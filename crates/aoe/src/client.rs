@@ -1,0 +1,454 @@
+//! AoE client: request tracking, fragment reassembly, retransmission.
+//!
+//! The VMM-side endpoint of the extended protocol. A read of N sectors is
+//! one request frame; the server answers with `ceil(N / sectors_per_frame)`
+//! fragments which the client reassembles by tag. Requests unanswered
+//! within the retransmission timeout are re-sent whole (the server simply
+//! re-serves them — reads are idempotent and writes here are
+//! last-writer-wins on whole sectors), up to a retry budget.
+
+use crate::wire::{sectors_per_frame, AoePdu, Tag};
+use hwsim::block::{BlockRange, SectorData};
+use simkit::{SimDuration, SimTime};
+use std::collections::HashMap;
+
+/// Client configuration.
+#[derive(Debug, Clone)]
+pub struct ClientConfig {
+    /// Target shelf (major address).
+    pub shelf: u16,
+    /// Target slot (minor address).
+    pub slot: u8,
+    /// Fabric MTU in payload bytes; determines fragment size.
+    pub mtu: u32,
+    /// Retransmission timeout.
+    pub rto: SimDuration,
+    /// Retransmissions before a request is failed.
+    pub max_retries: u32,
+}
+
+impl Default for ClientConfig {
+    fn default() -> Self {
+        ClientConfig {
+            shelf: 0,
+            slot: 0,
+            mtu: 9000,
+            rto: SimDuration::from_millis(20),
+            max_retries: 8,
+        }
+    }
+}
+
+/// A finished request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Completion {
+    /// The id returned when the request was issued.
+    pub request_id: u32,
+    /// The sectors the request covered.
+    pub range: BlockRange,
+    /// Read data in LBA order; empty for completed writes.
+    pub data: Vec<SectorData>,
+}
+
+#[derive(Debug)]
+struct Pending {
+    range: BlockRange,
+    is_write: bool,
+    /// Per-fragment reassembly slots (reads) or ack flags (writes).
+    frags: Vec<Option<Vec<SectorData>>>,
+    request_frames: Vec<Vec<u8>>,
+    last_sent: SimTime,
+    retries: u32,
+}
+
+impl Pending {
+    fn done(&self) -> bool {
+        self.frags.iter().all(|f| f.is_some())
+    }
+}
+
+/// The AoE client endpoint.
+///
+/// The client is a pure protocol state machine: `read`/`write` return the
+/// encoded frames to put on the wire, `on_frame` consumes received frames,
+/// and `poll_retransmit` returns frames due for re-sending. The caller
+/// owns all timing and the fabric.
+///
+/// # Examples
+///
+/// ```
+/// use aoe::{AoeClient, ClientConfig};
+/// use hwsim::block::{BlockRange, Lba};
+/// use simkit::SimTime;
+///
+/// let mut client = AoeClient::new(ClientConfig::default());
+/// let (id, frames) = client.read(SimTime::ZERO, BlockRange::new(Lba(0), 8));
+/// assert_eq!(frames.len(), 1); // a read request is one frame
+/// assert_eq!(client.outstanding(), 1);
+/// # let _ = id;
+/// ```
+#[derive(Debug)]
+pub struct AoeClient {
+    cfg: ClientConfig,
+    next_id: u32,
+    pending: HashMap<u32, Pending>,
+    retransmits: u64,
+    completions: u64,
+    failures: Vec<u32>,
+}
+
+impl AoeClient {
+    /// Creates a client.
+    pub fn new(cfg: ClientConfig) -> AoeClient {
+        AoeClient {
+            cfg,
+            next_id: 1,
+            pending: HashMap::new(),
+            retransmits: 0,
+            completions: 0,
+            failures: Vec::new(),
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &ClientConfig {
+        &self.cfg
+    }
+
+    /// Requests outstanding (issued, not yet completed or failed).
+    pub fn outstanding(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Total retransmitted frames.
+    pub fn retransmits(&self) -> u64 {
+        self.retransmits
+    }
+
+    /// Total completed requests.
+    pub fn completions(&self) -> u64 {
+        self.completions
+    }
+
+    fn alloc_id(&mut self) -> u32 {
+        let id = self.next_id;
+        self.next_id = if self.next_id >= Tag::MAX_REQUEST_ID {
+            1
+        } else {
+            self.next_id + 1
+        };
+        id
+    }
+
+    fn fragment_count(&self, sectors: u32) -> u32 {
+        let spf = sectors_per_frame(self.cfg.mtu);
+        sectors.div_ceil(spf)
+    }
+
+    /// Issues a read of `range`. Returns the request id and the encoded
+    /// request frame(s) to transmit (always exactly one for reads).
+    pub fn read(&mut self, now: SimTime, range: BlockRange) -> (u32, Vec<Vec<u8>>) {
+        let id = self.alloc_id();
+        let pdu = AoePdu::read_request(self.cfg.shelf, self.cfg.slot, Tag::new(id, 0), range);
+        let frames = vec![pdu.encode()];
+        let nfrags = self.fragment_count(range.sectors);
+        self.pending.insert(
+            id,
+            Pending {
+                range,
+                is_write: false,
+                frags: vec![None; nfrags as usize],
+                request_frames: frames.clone(),
+                last_sent: now,
+                retries: 0,
+            },
+        );
+        (id, frames)
+    }
+
+    /// Issues a write of `data` to `range`. Large writes are fragmented
+    /// into one request frame per MTU-sized piece; each fragment is acked
+    /// independently and the write completes when all acks arrive.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != range.sectors`.
+    pub fn write(
+        &mut self,
+        now: SimTime,
+        range: BlockRange,
+        data: &[SectorData],
+    ) -> (u32, Vec<Vec<u8>>) {
+        assert_eq!(data.len(), range.sectors as usize, "payload/range mismatch");
+        let id = self.alloc_id();
+        let spf = sectors_per_frame(self.cfg.mtu);
+        let mut frames = Vec::new();
+        let mut offset = 0u32;
+        let mut frag = 0u32;
+        while offset < range.sectors {
+            let n = spf.min(range.sectors - offset);
+            let sub = BlockRange::new(range.lba + offset as u64, n);
+            let payload = data[offset as usize..(offset + n) as usize].to_vec();
+            frames.push(
+                AoePdu::write_request(
+                    self.cfg.shelf,
+                    self.cfg.slot,
+                    Tag::new(id, frag),
+                    sub,
+                    payload,
+                )
+                .encode(),
+            );
+            offset += n;
+            frag += 1;
+        }
+        self.pending.insert(
+            id,
+            Pending {
+                range,
+                is_write: true,
+                frags: vec![None; frag as usize],
+                request_frames: frames.clone(),
+                last_sent: now,
+                retries: 0,
+            },
+        );
+        (id, frames)
+    }
+
+    /// Consumes a frame from the wire. Returns a completion if this frame
+    /// finished a request. Unknown, duplicate, and non-response frames are
+    /// ignored (the fabric may duplicate after a spurious retransmit).
+    pub fn on_frame(&mut self, bytes: &[u8]) -> Option<Completion> {
+        let pdu = AoePdu::decode(bytes).ok()?;
+        if !pdu.response || pdu.error.is_some() {
+            return None;
+        }
+        let id = pdu.tag.request_id();
+        let frag = pdu.tag.fragment() as usize;
+        let pending = self.pending.get_mut(&id)?;
+        if frag >= pending.frags.len() || pending.frags[frag].is_some() {
+            return None;
+        }
+        pending.frags[frag] = Some(if pending.is_write {
+            Vec::new()
+        } else {
+            pdu.data.unwrap_or_default()
+        });
+        if !pending.done() {
+            return None;
+        }
+        let pending = self.pending.remove(&id).expect("just present");
+        self.completions += 1;
+        let mut data = Vec::with_capacity(pending.range.sectors as usize);
+        if !pending.is_write {
+            for f in pending.frags {
+                data.extend(f.expect("all fragments present"));
+            }
+        }
+        Some(Completion {
+            request_id: id,
+            range: pending.range,
+            data,
+        })
+    }
+
+    /// Returns encoded frames due for retransmission at `now`. Requests
+    /// that exhaust their retry budget are failed (see
+    /// [`AoeClient::take_failures`]).
+    pub fn poll_retransmit(&mut self, now: SimTime) -> Vec<Vec<u8>> {
+        let mut out = Vec::new();
+        let rto = self.cfg.rto;
+        let max = self.cfg.max_retries;
+        let mut dead = Vec::new();
+        for (&id, p) in self.pending.iter_mut() {
+            if now.saturating_duration_since(p.last_sent) < rto {
+                continue;
+            }
+            if p.retries >= max {
+                dead.push(id);
+                continue;
+            }
+            p.retries += 1;
+            p.last_sent = now;
+            if p.is_write {
+                // Writes are already one request frame per fragment:
+                // resend only the unacknowledged ones.
+                for (i, frame) in p.request_frames.iter().enumerate() {
+                    if p.frags.get(i).map_or(true, |f| f.is_none()) {
+                        out.push(frame.clone());
+                        self.retransmits += 1;
+                    }
+                }
+            } else {
+                // Selective retransmission for reads: re-request only the
+                // missing fragments, each as a subrange read whose tag
+                // carries the fragment index (the server replies with
+                // that index as the fragment base).
+                let spf = sectors_per_frame(self.cfg.mtu);
+                let shelf = self.cfg.shelf;
+                let slot = self.cfg.slot;
+                for (i, f) in p.frags.iter().enumerate() {
+                    if f.is_some() {
+                        continue;
+                    }
+                    let offset = i as u32 * spf;
+                    let sectors = spf.min(p.range.sectors - offset);
+                    let sub = BlockRange::new(p.range.lba + offset as u64, sectors);
+                    let pdu =
+                        AoePdu::read_request(shelf, slot, Tag::new(id, i as u32), sub);
+                    out.push(pdu.encode());
+                    self.retransmits += 1;
+                }
+            }
+        }
+        for id in dead {
+            self.pending.remove(&id);
+            self.failures.push(id);
+        }
+        out
+    }
+
+    /// Drains the ids of requests that exhausted their retries.
+    pub fn take_failures(&mut self) -> Vec<u32> {
+        std::mem::take(&mut self.failures)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hwsim::block::Lba;
+
+    fn mk_response(request: &[u8], frag_data: &[(u32, BlockRange, Vec<SectorData>)]) -> Vec<Vec<u8>> {
+        let req = AoePdu::decode(request).unwrap();
+        frag_data
+            .iter()
+            .map(|(frag, range, data)| {
+                let mut pdu = AoePdu::read_request(
+                    req.shelf,
+                    req.slot,
+                    Tag::new(req.tag.request_id(), *frag),
+                    *range,
+                );
+                pdu.response = true;
+                pdu.data = Some(data.clone());
+                pdu.encode()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn single_fragment_read_completes() {
+        let mut c = AoeClient::new(ClientConfig::default());
+        let range = BlockRange::new(Lba(100), 8);
+        let (id, frames) = c.read(SimTime::ZERO, range);
+        let data: Vec<SectorData> = (0..8).map(SectorData).collect();
+        let responses = mk_response(&frames[0], &[(0, range, data.clone())]);
+        let done = c.on_frame(&responses[0]).unwrap();
+        assert_eq!(done.request_id, id);
+        assert_eq!(done.data, data);
+        assert_eq!(c.outstanding(), 0);
+        assert_eq!(c.completions(), 1);
+    }
+
+    #[test]
+    fn multi_fragment_read_reassembles_out_of_order() {
+        let mut c = AoeClient::new(ClientConfig::default());
+        // 40 sectors at MTU 9000 → 17 + 17 + 6.
+        let range = BlockRange::new(Lba(0), 40);
+        let (_, frames) = c.read(SimTime::ZERO, range);
+        let d0: Vec<SectorData> = (0..17).map(SectorData).collect();
+        let d1: Vec<SectorData> = (17..34).map(SectorData).collect();
+        let d2: Vec<SectorData> = (34..40).map(SectorData).collect();
+        let rs = mk_response(
+            &frames[0],
+            &[
+                (0, BlockRange::new(Lba(0), 17), d0),
+                (1, BlockRange::new(Lba(17), 17), d1),
+                (2, BlockRange::new(Lba(34), 6), d2),
+            ],
+        );
+        assert!(c.on_frame(&rs[2]).is_none());
+        assert!(c.on_frame(&rs[0]).is_none());
+        let done = c.on_frame(&rs[1]).unwrap();
+        assert_eq!(done.data, (0..40).map(SectorData).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn duplicate_fragments_ignored() {
+        let mut c = AoeClient::new(ClientConfig::default());
+        let range = BlockRange::new(Lba(0), 1);
+        let (_, frames) = c.read(SimTime::ZERO, range);
+        let rs = mk_response(&frames[0], &[(0, range, vec![SectorData(1)])]);
+        assert!(c.on_frame(&rs[0]).is_some());
+        assert!(c.on_frame(&rs[0]).is_none(), "late duplicate is dropped");
+    }
+
+    #[test]
+    fn write_fragments_and_completes_on_all_acks() {
+        let mut c = AoeClient::new(ClientConfig::default());
+        let range = BlockRange::new(Lba(0), 20);
+        let data: Vec<SectorData> = (0..20).map(SectorData).collect();
+        let (id, frames) = c.write(SimTime::ZERO, range, &data);
+        assert_eq!(frames.len(), 2, "20 sectors at 17/frame → 2 fragments");
+        // Ack each fragment.
+        for frame in &frames {
+            let req = AoePdu::decode(frame).unwrap();
+            let mut ack = req.clone();
+            ack.response = true;
+            ack.data = None;
+            let result = c.on_frame(&ack.encode());
+            if req.tag.fragment() == 1 {
+                let done = result.unwrap();
+                assert_eq!(done.request_id, id);
+                assert!(done.data.is_empty());
+            } else {
+                assert!(result.is_none());
+            }
+        }
+    }
+
+    #[test]
+    fn retransmit_after_rto() {
+        let mut c = AoeClient::new(ClientConfig {
+            rto: SimDuration::from_millis(10),
+            ..ClientConfig::default()
+        });
+        c.read(SimTime::ZERO, BlockRange::new(Lba(0), 1));
+        assert!(c.poll_retransmit(SimTime::from_millis(5)).is_empty());
+        let resent = c.poll_retransmit(SimTime::from_millis(11));
+        assert_eq!(resent.len(), 1);
+        assert_eq!(c.retransmits(), 1);
+        // Clock hasn't advanced past the new deadline: nothing more.
+        assert!(c.poll_retransmit(SimTime::from_millis(12)).is_empty());
+    }
+
+    #[test]
+    fn request_fails_after_retry_budget() {
+        let mut c = AoeClient::new(ClientConfig {
+            rto: SimDuration::from_millis(1),
+            max_retries: 2,
+            ..ClientConfig::default()
+        });
+        let (id, _) = c.read(SimTime::ZERO, BlockRange::new(Lba(0), 1));
+        let mut t = SimTime::ZERO;
+        for _ in 0..4 {
+            t = t + SimDuration::from_millis(2);
+            c.poll_retransmit(t);
+        }
+        assert_eq!(c.outstanding(), 0);
+        assert_eq!(c.take_failures(), vec![id]);
+        assert!(c.take_failures().is_empty(), "failures drain once");
+    }
+
+    #[test]
+    fn unknown_frames_ignored() {
+        let mut c = AoeClient::new(ClientConfig::default());
+        assert!(c.on_frame(&[1, 2, 3]).is_none());
+        let mut stray = AoePdu::read_request(0, 0, Tag::new(999, 0), BlockRange::new(Lba(0), 1));
+        stray.response = true;
+        stray.data = Some(vec![SectorData(1)]);
+        assert!(c.on_frame(&stray.encode()).is_none());
+    }
+}

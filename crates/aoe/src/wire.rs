@@ -1,0 +1,393 @@
+//! AoE wire format: PDU encode/decode and fragmentation tags.
+//!
+//! The PDU layout follows the AoE specification (version 1): a 10-byte AoE
+//! header (after the Ethernet header, which [`hwsim::eth`] models
+//! separately) followed by a 12-byte ATA argument section and the sector
+//! payload. Sector *contents* in the simulation are 64-bit fingerprints;
+//! on the wire each sector is carried as its fingerprint in the first 8
+//! bytes of a 512-byte unit, so encoded sizes are exactly what real AoE
+//! would put on the fabric.
+
+use hwsim::block::{BlockRange, Lba, SectorData, SECTOR_SIZE};
+use std::fmt;
+
+/// AoE + ATA-argument header size in bytes (excludes the Ethernet header).
+pub const AOE_HEADER_BYTES: u32 = 24;
+
+/// AoE protocol version carried in every PDU.
+pub const AOE_VERSION: u8 = 1;
+
+/// A fragmentation-aware tag: `(request id, fragment index)` packed into
+/// the 32-bit AoE tag field — the paper's extension ("the VMM sets the tag
+/// field in an AoE header to determine the offset of a received
+/// fragment").
+///
+/// # Examples
+///
+/// ```
+/// use aoe::wire::Tag;
+/// let t = Tag::new(7, 3);
+/// assert_eq!(t.request_id(), 7);
+/// assert_eq!(t.fragment(), 3);
+/// assert_eq!(Tag::from_raw(t.raw()), t);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Tag(u32);
+
+impl Tag {
+    /// Maximum request id (20 bits).
+    pub const MAX_REQUEST_ID: u32 = (1 << 20) - 1;
+    /// Maximum fragment index (12 bits).
+    pub const MAX_FRAGMENT: u32 = (1 << 12) - 1;
+
+    /// Packs a request id and fragment index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either field exceeds its width.
+    pub fn new(request_id: u32, fragment: u32) -> Tag {
+        assert!(request_id <= Self::MAX_REQUEST_ID, "request id too large");
+        assert!(fragment <= Self::MAX_FRAGMENT, "fragment index too large");
+        Tag((request_id << 12) | fragment)
+    }
+
+    /// Reconstructs a tag from its raw field value.
+    pub fn from_raw(raw: u32) -> Tag {
+        Tag(raw)
+    }
+
+    /// The raw 32-bit field value.
+    pub fn raw(self) -> u32 {
+        self.0
+    }
+
+    /// The request id.
+    pub fn request_id(self) -> u32 {
+        self.0 >> 12
+    }
+
+    /// The fragment index within the request.
+    pub fn fragment(self) -> u32 {
+        self.0 & 0xFFF
+    }
+}
+
+impl fmt::Display for Tag {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "req {} frag {}", self.request_id(), self.fragment())
+    }
+}
+
+/// AoE command codes (subset: ATA is all BMcast needs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AoeCommand {
+    /// Issue an ATA command (command code 0).
+    Ata,
+}
+
+/// A decoded AoE protocol data unit.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AoePdu {
+    /// True for responses (the R flag).
+    pub response: bool,
+    /// Error flag (the E flag); set with `error` code.
+    pub error: Option<u8>,
+    /// Shelf address (major).
+    pub shelf: u16,
+    /// Slot address (minor).
+    pub slot: u8,
+    /// Fragmentation tag.
+    pub tag: Tag,
+    /// True for writes (device receives data), false for reads.
+    pub write: bool,
+    /// Target sectors. For a response fragment this is the fragment's own
+    /// span, not the whole request's.
+    pub range: BlockRange,
+    /// Sector payload: present on write requests and read responses.
+    pub data: Option<Vec<SectorData>>,
+}
+
+impl AoePdu {
+    /// A read request for `range`.
+    pub fn read_request(shelf: u16, slot: u8, tag: Tag, range: BlockRange) -> AoePdu {
+        AoePdu {
+            response: false,
+            error: None,
+            shelf,
+            slot,
+            tag,
+            write: false,
+            range,
+            data: None,
+        }
+    }
+
+    /// A write request carrying `data` for `range`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != range.sectors`.
+    pub fn write_request(
+        shelf: u16,
+        slot: u8,
+        tag: Tag,
+        range: BlockRange,
+        data: Vec<SectorData>,
+    ) -> AoePdu {
+        assert_eq!(data.len(), range.sectors as usize, "payload/range mismatch");
+        AoePdu {
+            response: false,
+            error: None,
+            shelf,
+            slot,
+            tag,
+            write: true,
+            range,
+            data: Some(data),
+        }
+    }
+
+    /// Encoded size in bytes (header + payload).
+    pub fn encoded_len(&self) -> u32 {
+        let payload = self
+            .data
+            .as_ref()
+            .map(|d| d.len() as u32 * SECTOR_SIZE as u32)
+            .unwrap_or(0);
+        AOE_HEADER_BYTES + payload
+    }
+
+    /// Encodes to bytes.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.encoded_len() as usize);
+        out.push(AOE_VERSION << 4
+            | if self.response { 0x08 } else { 0 }
+            | if self.error.is_some() { 0x04 } else { 0 });
+        out.push(self.error.unwrap_or(0));
+        out.extend_from_slice(&self.shelf.to_be_bytes());
+        out.push(self.slot);
+        out.push(0); // command: ATA
+        out.extend_from_slice(&self.tag.raw().to_be_bytes());
+        // ATA argument section.
+        out.push(if self.write { 0x01 } else { 0x00 }); // aflags: direction
+        out.push(0); // err/feature
+        out.extend_from_slice(&self.range.sectors.to_be_bytes());
+        let lba = self.range.lba.0.to_be_bytes();
+        out.extend_from_slice(&lba[2..8]); // 48-bit LBA
+        out.extend_from_slice(&[0, 0]); // reserved
+        // Payload: one 512-byte unit per sector, fingerprint in the first
+        // 8 bytes, remainder zero.
+        if let Some(data) = &self.data {
+            for s in data {
+                out.extend_from_slice(&s.0.to_be_bytes());
+                out.resize(out.len() + (SECTOR_SIZE as usize - 8), 0);
+            }
+        }
+        debug_assert_eq!(out.len() as u32, self.encoded_len());
+        out
+    }
+
+    /// Decodes a PDU from bytes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DecodeError`] on short input, a bad version, or a payload
+    /// that is not a whole number of sectors.
+    pub fn decode(bytes: &[u8]) -> Result<AoePdu, DecodeError> {
+        if bytes.len() < AOE_HEADER_BYTES as usize {
+            return Err(DecodeError::Truncated {
+                got: bytes.len(),
+                need: AOE_HEADER_BYTES as usize,
+            });
+        }
+        let ver = bytes[0] >> 4;
+        if ver != AOE_VERSION {
+            return Err(DecodeError::BadVersion(ver));
+        }
+        let response = bytes[0] & 0x08 != 0;
+        let error = (bytes[0] & 0x04 != 0).then_some(bytes[1]);
+        let shelf = u16::from_be_bytes([bytes[2], bytes[3]]);
+        let slot = bytes[4];
+        let tag = Tag::from_raw(u32::from_be_bytes([bytes[6], bytes[7], bytes[8], bytes[9]]));
+        let write = bytes[10] & 0x01 != 0;
+        let sectors = u32::from_be_bytes([bytes[12], bytes[13], bytes[14], bytes[15]]);
+        if sectors == 0 {
+            return Err(DecodeError::EmptyRange);
+        }
+        let mut lba_bytes = [0u8; 8];
+        lba_bytes[2..8].copy_from_slice(&bytes[16..22]);
+        let range = BlockRange::new(Lba(u64::from_be_bytes(lba_bytes)), sectors);
+
+        let payload = &bytes[AOE_HEADER_BYTES as usize..];
+        let data = if payload.is_empty() {
+            None
+        } else {
+            if payload.len() % SECTOR_SIZE as usize != 0 {
+                return Err(DecodeError::RaggedPayload(payload.len()));
+            }
+            Some(
+                payload
+                    .chunks_exact(SECTOR_SIZE as usize)
+                    .map(|c| {
+                        SectorData(u64::from_be_bytes([
+                            c[0], c[1], c[2], c[3], c[4], c[5], c[6], c[7],
+                        ]))
+                    })
+                    .collect(),
+            )
+        };
+        Ok(AoePdu {
+            response,
+            error,
+            shelf,
+            slot,
+            tag,
+            write,
+            range,
+            data,
+        })
+    }
+}
+
+/// Errors from [`AoePdu::decode`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DecodeError {
+    /// Input shorter than the fixed header.
+    Truncated {
+        /// Bytes available.
+        got: usize,
+        /// Bytes required.
+        need: usize,
+    },
+    /// Unknown protocol version.
+    BadVersion(u8),
+    /// Sector count of zero.
+    EmptyRange,
+    /// Payload not a whole number of sectors.
+    RaggedPayload(usize),
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeError::Truncated { got, need } => {
+                write!(f, "truncated pdu: {got} bytes, need {need}")
+            }
+            DecodeError::BadVersion(v) => write!(f, "unsupported aoe version {v}"),
+            DecodeError::EmptyRange => write!(f, "sector count of zero"),
+            DecodeError::RaggedPayload(n) => {
+                write!(f, "payload of {n} bytes is not sector-aligned")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+/// How many sectors fit in one response frame at the given MTU.
+///
+/// # Panics
+///
+/// Panics if the MTU cannot fit the header plus one sector.
+pub fn sectors_per_frame(mtu: u32) -> u32 {
+    let n = (mtu.saturating_sub(AOE_HEADER_BYTES)) / SECTOR_SIZE as u32;
+    assert!(n > 0, "mtu {mtu} cannot carry even one sector");
+    n
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tag_packing_round_trips() {
+        for (req, frag) in [(0, 0), (1, 5), (Tag::MAX_REQUEST_ID, Tag::MAX_FRAGMENT)] {
+            let t = Tag::new(req, frag);
+            assert_eq!(t.request_id(), req);
+            assert_eq!(t.fragment(), frag);
+            assert_eq!(Tag::from_raw(t.raw()), t);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "request id too large")]
+    fn oversized_request_id_panics() {
+        Tag::new(Tag::MAX_REQUEST_ID + 1, 0);
+    }
+
+    #[test]
+    fn read_request_round_trips() {
+        let pdu = AoePdu::read_request(3, 1, Tag::new(42, 0), BlockRange::new(Lba(0xABCDEF), 16));
+        let bytes = pdu.encode();
+        assert_eq!(bytes.len() as u32, AOE_HEADER_BYTES);
+        assert_eq!(AoePdu::decode(&bytes).unwrap(), pdu);
+    }
+
+    #[test]
+    fn write_request_round_trips_with_payload() {
+        let data: Vec<SectorData> = (0..4).map(|i| SectorData(1000 + i)).collect();
+        let pdu = AoePdu::write_request(0, 0, Tag::new(1, 0), BlockRange::new(Lba(77), 4), data);
+        let bytes = pdu.encode();
+        assert_eq!(bytes.len() as u32, AOE_HEADER_BYTES + 4 * 512);
+        assert_eq!(AoePdu::decode(&bytes).unwrap(), pdu);
+    }
+
+    #[test]
+    fn response_flag_round_trips() {
+        let mut pdu = AoePdu::read_request(0, 0, Tag::new(9, 2), BlockRange::new(Lba(5), 2));
+        pdu.response = true;
+        pdu.data = Some(vec![SectorData(1), SectorData(2)]);
+        let decoded = AoePdu::decode(&pdu.encode()).unwrap();
+        assert!(decoded.response);
+        assert_eq!(decoded.tag.fragment(), 2);
+        assert_eq!(decoded.data.unwrap(), vec![SectorData(1), SectorData(2)]);
+    }
+
+    #[test]
+    fn error_flag_round_trips() {
+        let mut pdu = AoePdu::read_request(0, 0, Tag::new(1, 0), BlockRange::new(Lba(1), 1));
+        pdu.response = true;
+        pdu.error = Some(2);
+        let decoded = AoePdu::decode(&pdu.encode()).unwrap();
+        assert_eq!(decoded.error, Some(2));
+    }
+
+    #[test]
+    fn large_lba_round_trips() {
+        let lba = Lba((1 << 48) - 1);
+        let pdu = AoePdu::read_request(0, 0, Tag::new(1, 0), BlockRange::new(lba, 1));
+        assert_eq!(AoePdu::decode(&pdu.encode()).unwrap().range.lba, lba);
+    }
+
+    #[test]
+    fn decode_rejects_garbage() {
+        assert!(matches!(
+            AoePdu::decode(&[0u8; 4]),
+            Err(DecodeError::Truncated { .. })
+        ));
+        let mut bytes = AoePdu::read_request(0, 0, Tag::new(1, 0), BlockRange::new(Lba(1), 1))
+            .encode();
+        bytes[0] = 0x20; // version 2
+        assert_eq!(AoePdu::decode(&bytes), Err(DecodeError::BadVersion(2)));
+    }
+
+    #[test]
+    fn decode_rejects_ragged_payload() {
+        let mut bytes =
+            AoePdu::read_request(0, 0, Tag::new(1, 0), BlockRange::new(Lba(1), 1)).encode();
+        bytes.extend_from_slice(&[0u8; 100]);
+        assert_eq!(AoePdu::decode(&bytes), Err(DecodeError::RaggedPayload(100)));
+    }
+
+    #[test]
+    fn frame_capacity_matches_mtu() {
+        assert_eq!(sectors_per_frame(1500), 2);
+        assert_eq!(sectors_per_frame(9000), 17);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot carry")]
+    fn tiny_mtu_panics() {
+        sectors_per_frame(100);
+    }
+}

@@ -1,0 +1,24 @@
+//! Baselines for the BMcast evaluation.
+//!
+//! Every comparison point in §5 is implemented here:
+//!
+//! - [`image_copy`] — classic OS-transparent deployment: netboot an
+//!   installer, copy the whole image, reboot through the server firmware,
+//!   boot locally (Figure 4's slowest bar).
+//! - [`netboot`] — NFS-root network boot: fast start, no local copy,
+//!   per-I/O network redirection forever (Figure 4, Figure 10's
+//!   "Netboot"). Also hosts the analytic boot-time walk shared by all
+//!   baselines.
+//! - [`kvm`] — a conventional-VMM model (KVM with the ELI patch, virtio
+//!   storage, device assignment for InfiniBand) with the overhead
+//!   mechanisms the paper names: always-on nested paging, cache
+//!   pollution, lock-holder preemption, virtual-interrupt latency, IOMMU
+//!   cost.
+
+pub mod image_copy;
+pub mod kvm;
+pub mod netboot;
+
+pub use image_copy::ImageCopyPlan;
+pub use kvm::KvmModel;
+pub use netboot::NetbootPlan;

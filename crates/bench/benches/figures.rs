@@ -1,0 +1,79 @@
+//! Criterion benches over the reproduction.
+//!
+//! One target per paper figure where a single generation is fast enough
+//! to sample meaningfully; the deployment-heavy figures (fig05, fig14,
+//! ext01) are represented by their core kernel — a full streaming
+//! deployment — and regenerated in full by the `reproduce` binary
+//! instead.
+
+use bmcast::config::{BmcastConfig, Moderation};
+use bmcast::deploy::Runner;
+use bmcast::machine::MachineSpec;
+use bmcast_bench::*;
+use criterion::{criterion_group, criterion_main, Criterion};
+use simkit::SimTime;
+use std::time::Duration;
+
+fn deploy_256mb_full_speed() {
+    let spec = MachineSpec {
+        capacity_sectors: (256u64 << 20) / 512,
+        image_sectors: (256u64 << 20) / 512,
+        ..MachineSpec::default()
+    };
+    let mut runner = Runner::bmcast(
+        &spec,
+        BmcastConfig {
+            moderation: Moderation::full_speed(),
+            ..BmcastConfig::default()
+        },
+    );
+    runner
+        .run_to_bare_metal(SimTime::from_secs(600))
+        .expect("deployment completes");
+}
+
+fn bench_figures(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figures");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_secs(1))
+        .measurement_time(Duration::from_secs(5));
+
+    group.bench_function("fig04_startup", |b| {
+        b.iter(|| fig04_startup::run(Scale::Quick))
+    });
+    group.bench_function("fig06_mpi", |b| b.iter(|| fig06_mpi::run(Scale::Quick)));
+    group.bench_function("fig07_kernbench", |b| {
+        b.iter(|| fig07_kernbench::run(Scale::Quick))
+    });
+    group.bench_function("fig08_threads", |b| {
+        b.iter(|| fig08_threads::run(Scale::Quick))
+    });
+    group.bench_function("fig09_memory", |b| {
+        b.iter(|| fig09_memory::run(Scale::Quick))
+    });
+    group.bench_function("fig12_ib_tput", |b| {
+        b.iter(|| fig12_ib_tput::run(Scale::Quick))
+    });
+    group.bench_function("fig13_ib_lat", |b| {
+        b.iter(|| fig13_ib_lat::run(Scale::Quick))
+    });
+    group.bench_function("ext02_scaleout", |b| {
+        b.iter(|| ext_scaleout::run(Scale::Quick))
+    });
+    group.finish();
+
+    // The deployment kernel behind figures 5, 10, 11, 14 and ext01.
+    let mut deploy = c.benchmark_group("deployment");
+    deploy
+        .sample_size(10)
+        .warm_up_time(Duration::from_secs(1))
+        .measurement_time(Duration::from_secs(10));
+    deploy.bench_function("stream_256mb_full_speed", |b| {
+        b.iter(deploy_256mb_full_speed)
+    });
+    deploy.finish();
+}
+
+criterion_group!(benches, bench_figures);
+criterion_main!(benches);

@@ -1,0 +1,87 @@
+//! Regenerates the BMcast paper's figures and prints paper-vs-measured
+//! comparison tables.
+//!
+//! ```text
+//! reproduce [--quick] [fig04 fig05 ... | all]
+//! ```
+//!
+//! `--quick` shrinks image sizes and run lengths (same mechanisms, same
+//! shape); the default is the paper's parameters — expect the full run to
+//! take tens of minutes of wall-clock time for the 32-GB deployments.
+
+use bmcast_bench::*;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let scale = if args.iter().any(|a| a == "--quick") {
+        Scale::Quick
+    } else {
+        Scale::Paper
+    };
+    let wanted: Vec<&str> = args
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .map(|a| a.as_str())
+        .collect();
+    let all = wanted.is_empty() || wanted.contains(&"all");
+    let want = |id: &str| all || wanted.iter().any(|w| *w == id);
+
+    let figures: Vec<(&str, fn(Scale) -> Figure)> = vec![
+        ("fig04", fig04_startup::run),
+        ("fig05", fig05_database::run),
+        ("fig06", fig06_mpi::run),
+        ("fig07", fig07_kernbench::run),
+        ("fig08", fig08_threads::run),
+        ("fig09", fig09_memory::run),
+        ("fig10", fig10_storage_tput::run),
+        ("fig11", fig11_storage_lat::run),
+        ("fig12", fig12_ib_tput::run),
+        ("fig13", fig13_ib_lat::run),
+        ("fig14", fig14_moderation::run),
+        ("ext01", ext_ablation::run),
+        ("ext02", ext_scaleout::run),
+    ];
+
+    let mut results = Vec::new();
+    for (id, f) in figures {
+        if !want(id) {
+            continue;
+        }
+        eprintln!("[reproduce] running {id} at {scale:?} scale ...");
+        let started = std::time::Instant::now();
+        let fig = f(scale);
+        eprintln!(
+            "[reproduce] {id} done in {:.1}s",
+            started.elapsed().as_secs_f64()
+        );
+        println!("{fig}");
+        results.push(fig);
+    }
+
+    // Summary table across all checks.
+    if results.len() > 1 {
+        println!("== summary: paper vs measured across all figures ==");
+        let mut worst: Option<&Check> = None;
+        let mut total = 0usize;
+        let mut within_10 = 0usize;
+        for fig in &results {
+            for c in &fig.checks {
+                total += 1;
+                if c.deviation() <= 0.10 {
+                    within_10 += 1;
+                }
+                if worst.map(|w| c.deviation() > w.deviation()).unwrap_or(true) {
+                    worst = Some(c);
+                }
+            }
+        }
+        println!("  checks: {total}, within 10% of paper: {within_10}");
+        if let Some(w) = worst {
+            println!(
+                "  largest deviation: {} ({:.1}%)",
+                w.metric,
+                w.deviation() * 100.0
+            );
+        }
+    }
+}

@@ -1,0 +1,318 @@
+//! The filled/empty block bitmap (§3.3).
+//!
+//! The VMM tracks which local-disk sectors already hold image (or
+//! guest-written) data. The bitmap resolves the multi-queue consistency
+//! race: before the background copy writes a block it *atomically checks
+//! and claims* it, so a block the guest wrote while the copy's server
+//! request was in flight is never overwritten ("the VMM holds a bitmap …
+//! and atomically checks the status to prevent the VMM from writing to a
+//! filled block").
+//!
+//! The bitmap is persisted to an unused region of the local disk (for
+//! shutdown/reboot) and that region is protected from the guest by the
+//! device mediator.
+
+use hwsim::block::{BlockRange, BlockStore, Lba, SectorData};
+
+/// Sector-granular filled/empty bitmap with atomic claim semantics.
+///
+/// # Examples
+///
+/// ```
+/// use bmcast::bitmap::BlockBitmap;
+/// use hwsim::block::{BlockRange, Lba};
+///
+/// let mut bm = BlockBitmap::new(1024);
+/// assert!(!bm.is_filled(Lba(5)));
+/// bm.mark_filled(BlockRange::new(Lba(0), 8));
+/// assert!(bm.is_filled(Lba(5)));
+/// assert_eq!(bm.filled_sectors(), 8);
+/// ```
+#[derive(Debug, Clone)]
+pub struct BlockBitmap {
+    words: Vec<u64>,
+    sectors: u64,
+    filled: u64,
+}
+
+impl BlockBitmap {
+    /// An all-empty bitmap covering `sectors` sectors.
+    pub fn new(sectors: u64) -> BlockBitmap {
+        BlockBitmap {
+            words: vec![0; sectors.div_ceil(64) as usize],
+            sectors,
+            filled: 0,
+        }
+    }
+
+    /// Total sectors tracked.
+    pub fn capacity_sectors(&self) -> u64 {
+        self.sectors
+    }
+
+    /// Sectors currently marked filled.
+    pub fn filled_sectors(&self) -> u64 {
+        self.filled
+    }
+
+    /// Whether every sector is filled (deployment complete).
+    pub fn is_complete(&self) -> bool {
+        self.filled == self.sectors
+    }
+
+    /// Deployment progress in `[0, 1]`.
+    pub fn progress(&self) -> f64 {
+        if self.sectors == 0 {
+            1.0
+        } else {
+            self.filled as f64 / self.sectors as f64
+        }
+    }
+
+    /// Whether sector `lba` is filled.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lba` is out of range.
+    pub fn is_filled(&self, lba: Lba) -> bool {
+        assert!(lba.0 < self.sectors, "bitmap query out of range: {lba}");
+        self.words[(lba.0 / 64) as usize] & (1 << (lba.0 % 64)) != 0
+    }
+
+    /// Whether every sector of `range` is filled.
+    pub fn all_filled(&self, range: BlockRange) -> bool {
+        range.iter().all(|lba| self.is_filled(lba))
+    }
+
+    /// Whether any sector of `range` is empty.
+    pub fn any_empty(&self, range: BlockRange) -> bool {
+        !self.all_filled(range)
+    }
+
+    /// Marks `range` filled (guest writes and completed copy-on-read
+    /// fills both land here).
+    pub fn mark_filled(&mut self, range: BlockRange) {
+        for lba in range.iter() {
+            let (w, b) = ((lba.0 / 64) as usize, 1u64 << (lba.0 % 64));
+            if self.words[w] & b == 0 {
+                self.words[w] |= b;
+                self.filled += 1;
+            }
+        }
+    }
+
+    /// Clears `range` back to empty (used by the background copy's
+    /// *requested* tracking when a server fetch fails and must be
+    /// reissued).
+    pub fn clear(&mut self, range: BlockRange) {
+        for lba in range.iter() {
+            let (w, b) = ((lba.0 / 64) as usize, 1u64 << (lba.0 % 64));
+            if self.words[w] & b != 0 {
+                self.words[w] &= !b;
+                self.filled -= 1;
+            }
+        }
+    }
+
+    /// Atomically claims `range` for a background write: succeeds (and
+    /// marks it filled) only if **every** sector was still empty. This is
+    /// the §3.3 consistency check — if the guest wrote any sector while
+    /// the copy's server request was in flight, the claim fails and the
+    /// stale data is discarded.
+    pub fn try_claim(&mut self, range: BlockRange) -> bool {
+        if range.iter().any(|lba| self.is_filled(lba)) {
+            return false;
+        }
+        self.mark_filled(range);
+        true
+    }
+
+    /// The empty subranges of `range`, coalesced — what copy-on-read must
+    /// fetch from the server (filled holes are read locally).
+    pub fn empty_subranges(&self, range: BlockRange) -> Vec<BlockRange> {
+        let mut out = Vec::new();
+        let mut run_start: Option<Lba> = None;
+        for lba in range.iter() {
+            if !self.is_filled(lba) {
+                run_start.get_or_insert(lba);
+            } else if let Some(start) = run_start.take() {
+                out.push(BlockRange::new(start, (lba.0 - start.0) as u32));
+            }
+        }
+        if let Some(start) = run_start {
+            out.push(BlockRange::new(start, (range.end().0 - start.0) as u32));
+        }
+        out
+    }
+
+    /// First empty sector at or after `from`, wrapping once; `None` when
+    /// complete. The background copy fills "in order from low to high LBA"
+    /// but restarts "adjacent to that of the last-accessed block if the
+    /// guest OS accessed the disk" — callers pass that hint as `from`.
+    pub fn next_empty(&self, from: Lba) -> Option<Lba> {
+        if self.is_complete() {
+            return None;
+        }
+        let start = from.0.min(self.sectors.saturating_sub(1));
+        (start..self.sectors)
+            .chain(0..start)
+            .map(Lba)
+            .find(|&lba| !self.is_filled(lba))
+    }
+
+    /// Serializes the bitmap into sector-sized units for persistence.
+    pub fn to_sectors(&self) -> Vec<SectorData> {
+        // Each sector fingerprint summarizes 64 sectors' worth of state;
+        // a real implementation packs 4096 bits per sector, but the
+        // *count* of persistence sectors below matches that real layout.
+        self.words
+            .chunks(64)
+            .map(|chunk| {
+                let mut h = 0xCBF2_9CE4_8422_2325u64;
+                for &w in chunk {
+                    h = (h ^ w).wrapping_mul(0x100_0000_01B3);
+                }
+                SectorData(h | 1)
+            })
+            .collect()
+    }
+
+    /// Number of disk sectors the persisted bitmap occupies (4096 tracked
+    /// sectors per persistence sector, as a real 1-bit-per-sector layout
+    /// would need).
+    pub fn persisted_sectors(&self) -> u32 {
+        self.words.len().div_ceil(64) as u32
+    }
+
+    /// Writes the bitmap into `region` of `store`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `region` is smaller than [`BlockBitmap::persisted_sectors`].
+    pub fn save_to(&self, store: &mut BlockStore, region: BlockRange) {
+        let sectors = self.to_sectors();
+        assert!(
+            region.sectors >= sectors.len() as u32,
+            "persistence region too small: need {} sectors",
+            sectors.len()
+        );
+        for (i, s) in sectors.iter().enumerate() {
+            store.write(region.lba + i as u64, *s);
+        }
+    }
+
+    /// Verifies a previously saved image matches this bitmap (used after
+    /// reboot to detect torn saves; real recovery would deserialize).
+    pub fn matches_saved(&self, store: &BlockStore, region: BlockRange) -> bool {
+        self.to_sectors()
+            .iter()
+            .enumerate()
+            .all(|(i, s)| store.read(region.lba + i as u64) == *s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn starts_empty_and_fills() {
+        let mut bm = BlockBitmap::new(256);
+        assert_eq!(bm.filled_sectors(), 0);
+        assert!(!bm.is_complete());
+        bm.mark_filled(BlockRange::new(Lba(0), 256));
+        assert!(bm.is_complete());
+        assert_eq!(bm.progress(), 1.0);
+    }
+
+    #[test]
+    fn mark_is_idempotent() {
+        let mut bm = BlockBitmap::new(128);
+        bm.mark_filled(BlockRange::new(Lba(10), 20));
+        bm.mark_filled(BlockRange::new(Lba(15), 20));
+        assert_eq!(bm.filled_sectors(), 25);
+    }
+
+    #[test]
+    fn claim_fails_if_any_sector_filled() {
+        let mut bm = BlockBitmap::new(128);
+        bm.mark_filled(BlockRange::new(Lba(5), 1));
+        assert!(!bm.try_claim(BlockRange::new(Lba(0), 8)));
+        // A failed claim must not mark anything.
+        assert_eq!(bm.filled_sectors(), 1);
+        assert!(bm.try_claim(BlockRange::new(Lba(6), 8)));
+        assert_eq!(bm.filled_sectors(), 9);
+    }
+
+    #[test]
+    fn guest_write_beats_background_copy() {
+        // The §3.3 race: VMM requests block 0..8 from the server; guest
+        // writes sector 3 before the response arrives; claim must fail.
+        let mut bm = BlockBitmap::new(64);
+        let inflight = BlockRange::new(Lba(0), 8);
+        bm.mark_filled(BlockRange::new(Lba(3), 1)); // guest write lands
+        assert!(!bm.try_claim(inflight), "stale server data must be dropped");
+    }
+
+    #[test]
+    fn empty_subranges_coalesce() {
+        let mut bm = BlockBitmap::new(64);
+        bm.mark_filled(BlockRange::new(Lba(2), 2)); // fill 2,3
+        bm.mark_filled(BlockRange::new(Lba(6), 1)); // fill 6
+        let holes = bm.empty_subranges(BlockRange::new(Lba(0), 8));
+        assert_eq!(
+            holes,
+            vec![
+                BlockRange::new(Lba(0), 2),
+                BlockRange::new(Lba(4), 2),
+                BlockRange::new(Lba(7), 1),
+            ]
+        );
+    }
+
+    #[test]
+    fn empty_subranges_of_filled_range_is_empty() {
+        let mut bm = BlockBitmap::new(64);
+        bm.mark_filled(BlockRange::new(Lba(0), 64));
+        assert!(bm.empty_subranges(BlockRange::new(Lba(0), 64)).is_empty());
+    }
+
+    #[test]
+    fn next_empty_scans_and_wraps() {
+        let mut bm = BlockBitmap::new(16);
+        bm.mark_filled(BlockRange::new(Lba(0), 8));
+        assert_eq!(bm.next_empty(Lba(0)), Some(Lba(8)));
+        assert_eq!(bm.next_empty(Lba(12)), Some(Lba(12)));
+        bm.mark_filled(BlockRange::new(Lba(8), 8));
+        assert_eq!(bm.next_empty(Lba(0)), None);
+        // Wrap: everything above `from` is filled, hole below.
+        let mut bm = BlockBitmap::new(16);
+        bm.mark_filled(BlockRange::new(Lba(8), 8));
+        assert_eq!(bm.next_empty(Lba(12)), Some(Lba(0)));
+    }
+
+    #[test]
+    fn persistence_round_trips() {
+        let mut bm = BlockBitmap::new(1 << 20);
+        bm.mark_filled(BlockRange::new(Lba(1000), 5000));
+        let mut store = BlockStore::zeroed(1 << 20);
+        let region = BlockRange::new(Lba(900_000), bm.persisted_sectors());
+        bm.save_to(&mut store, region);
+        assert!(bm.matches_saved(&store, region));
+        bm.mark_filled(BlockRange::new(Lba(0), 1));
+        assert!(!bm.matches_saved(&store, region), "stale save detected");
+    }
+
+    #[test]
+    fn persisted_size_is_small() {
+        // 32 GB disk = 67M sectors → 1 bit each → ~8 MB → ~16k sectors.
+        let bm = BlockBitmap::new((32u64 << 30) / 512);
+        assert_eq!(bm.persisted_sectors(), 16_384);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_query_panics() {
+        BlockBitmap::new(8).is_filled(Lba(8));
+    }
+}

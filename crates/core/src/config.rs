@@ -1,0 +1,151 @@
+//! BMcast configuration.
+
+use hwsim::nic::NicModel;
+use simkit::SimDuration;
+
+/// Which storage controller (and therefore which device mediator) the
+/// machine uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ControllerKind {
+    /// IDE/ATA with bus-master DMA (1,472-LOC mediator in the paper).
+    Ide,
+    /// AHCI (2,285-LOC mediator in the paper).
+    Ahci,
+}
+
+/// Background-copy moderation parameters (§3.3).
+///
+/// "the VMM adjusts the write frequency based on the guest OS load and
+/// three configurable parameters: guest I/O frequency threshold, VMM-write
+/// interval, and VMM-write suspend interval."
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Moderation {
+    /// Guest disk-I/O frequency above which the copier backs off,
+    /// requests per second.
+    pub guest_io_threshold_per_sec: f64,
+    /// Gap between background writes when the guest is quiet.
+    pub vmm_write_interval: SimDuration,
+    /// Back-off applied while the guest is I/O-active.
+    pub vmm_write_suspend_interval: SimDuration,
+}
+
+impl Default for Moderation {
+    fn default() -> Self {
+        // Calibrated so every §5 observation is consistent with ONE
+        // configuration: an OS boot (thousands of small reads/s) and fio
+        // (108 req/s) exceed the threshold and suspend the copier; an
+        // idle or cache-bound guest (memcached), a commit-log stream
+        // (~13 req/s), and 1-per-second ioping probes do not.
+        Moderation {
+            guest_io_threshold_per_sec: 50.0,
+            vmm_write_interval: SimDuration::from_millis(18),
+            vmm_write_suspend_interval: SimDuration::from_millis(500),
+        }
+    }
+}
+
+impl Moderation {
+    /// Full-speed copying: no pacing at all (the Figure 14 "Full-speed"
+    /// configuration).
+    pub fn full_speed() -> Moderation {
+        Moderation {
+            guest_io_threshold_per_sec: f64::INFINITY,
+            vmm_write_interval: SimDuration::ZERO,
+            vmm_write_suspend_interval: SimDuration::ZERO,
+        }
+    }
+
+    /// The delay before the next background write given the measured guest
+    /// I/O rate.
+    pub fn next_delay(&self, guest_io_per_sec: f64) -> SimDuration {
+        if guest_io_per_sec > self.guest_io_threshold_per_sec {
+            self.vmm_write_suspend_interval
+        } else {
+            self.vmm_write_interval
+        }
+    }
+}
+
+/// Top-level BMcast configuration.
+#[derive(Debug, Clone)]
+pub struct BmcastConfig {
+    /// Storage controller to mediate.
+    pub controller: ControllerKind,
+    /// Memory reserved for the VMM (128 MB in the prototype).
+    pub vmm_memory_bytes: u64,
+    /// Polling granularity: the mediator detects device/network completion
+    /// on its next poll, so completions see on average half this much
+    /// added latency. Driven by the VMX preemption timer.
+    pub poll_interval: SimDuration,
+    /// Extra per-redirect latency of the prototype's completion polling
+    /// during copy-on-read: §4.1's poll scheduling is driven by
+    /// *estimated* round-trip and I/O latencies, and a conservative or
+    /// cold estimator overshoots. Calibrated so the §5.1 boot (72 MB over
+    /// ~900 reads) lands near the measured 58 s. Does not affect
+    /// pass-through I/O (Figures 10/11's Deploy bars involve no
+    /// redirects).
+    pub redirect_poll_penalty: SimDuration,
+    /// Background-copy block size in sectors (1024 KB in §5.6).
+    pub copy_block_sectors: u32,
+    /// Background-copy requests kept in flight by the retriever thread.
+    pub retriever_depth: usize,
+    /// FIFO capacity (blocks) between retriever and writer threads.
+    pub fifo_capacity: usize,
+    /// Moderation parameters.
+    pub moderation: Moderation,
+    /// Dedicated NIC model.
+    pub nic: NicModel,
+    /// Fabric MTU (jumbo frames on the evaluation switch).
+    pub mtu: u32,
+    /// Random frame-loss rate injected at the switch, `[0, 1]`; exercises
+    /// the AoE retransmission path.
+    pub fabric_loss_rate: f64,
+    /// Whether to execute VMXOFF after deployment (fully implemented here;
+    /// the paper's prototype needed a guest module).
+    pub vmxoff_after_deploy: bool,
+}
+
+impl Default for BmcastConfig {
+    fn default() -> Self {
+        BmcastConfig {
+            controller: ControllerKind::Ide,
+            vmm_memory_bytes: 128 << 20,
+            poll_interval: SimDuration::from_micros(400),
+            redirect_poll_penalty: SimDuration::from_micros(6_300),
+            copy_block_sectors: 2048, // 1024 KB
+            retriever_depth: 4,
+            fifo_capacity: 16,
+            moderation: Moderation::default(),
+            nic: NicModel::IntelPro1000,
+            mtu: 9000,
+            fabric_loss_rate: 0.0,
+            vmxoff_after_deploy: true,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn moderation_backs_off_under_guest_load() {
+        let m = Moderation::default();
+        assert_eq!(m.next_delay(0.0), m.vmm_write_interval);
+        assert_eq!(m.next_delay(100.0), m.vmm_write_suspend_interval);
+        assert!(m.vmm_write_suspend_interval > m.vmm_write_interval);
+    }
+
+    #[test]
+    fn full_speed_never_waits() {
+        let m = Moderation::full_speed();
+        assert_eq!(m.next_delay(0.0), SimDuration::ZERO);
+        assert_eq!(m.next_delay(1e9), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn default_copy_block_is_1mb() {
+        let cfg = BmcastConfig::default();
+        assert_eq!(cfg.copy_block_sectors as u64 * 512, 1 << 20);
+    }
+}

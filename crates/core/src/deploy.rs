@@ -1,0 +1,231 @@
+//! Deployment orchestration: the four-phase lifecycle (§3.1), startup
+//! timelines, and the [`Runner`] facade that owns a machine plus its
+//! event loop.
+
+use crate::config::BmcastConfig;
+use crate::devirt::Phase;
+use crate::machine::{
+    start_deployment, start_program, GuestProgram, Machine, MachineSim, MachineSpec,
+};
+use hwsim::firmware::{BootPath, FirmwareModel};
+use simkit::{SimDuration, SimTime};
+
+/// Size of the network-booted VMM payload (kernel + ramdisk).
+pub const VMM_PAYLOAD_BYTES: u64 = 16 << 20;
+
+/// The VMM's own initialization time after PXE handoff. The paper
+/// minimizes this by initializing only the dedicated NIC and
+/// parallelizing; "the actual boot time is within a few seconds".
+pub const VMM_INIT: SimDuration = SimDuration::from_millis(3_350);
+
+/// Time for the BMcast VMM to network-boot and take control, from
+/// end-of-POST to guest start. Composes PXE negotiation + payload
+/// download + parallel init; ≈ 5 s, matching §5.1.
+pub fn vmm_boot_time(fw: &FirmwareModel, link_bps: u64) -> SimDuration {
+    fw.boot_handoff(
+        BootPath::Pxe {
+            payload_bytes: VMM_PAYLOAD_BYTES,
+        },
+        link_bps,
+    ) + VMM_INIT
+}
+
+/// A labeled startup timeline (the bars of Figure 4).
+#[derive(Debug, Clone, Default)]
+pub struct StartupTimeline {
+    /// `(label, duration)` segments in order.
+    pub segments: Vec<(String, SimDuration)>,
+}
+
+impl StartupTimeline {
+    /// Adds a segment.
+    pub fn push(&mut self, label: impl Into<String>, d: SimDuration) {
+        self.segments.push((label.into(), d));
+    }
+
+    /// Total startup time.
+    pub fn total(&self) -> SimDuration {
+        self.segments.iter().map(|(_, d)| *d).sum()
+    }
+
+    /// Total excluding firmware segments (the paper's "8.6 times faster
+    /// (excluding the first firmware initialization)" comparison).
+    pub fn total_excluding_firmware(&self) -> SimDuration {
+        self.segments
+            .iter()
+            .filter(|(l, _)| !l.contains("firmware"))
+            .map(|(_, d)| *d)
+            .sum()
+    }
+}
+
+impl std::fmt::Display for StartupTimeline {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        for (label, d) in &self.segments {
+            writeln!(f, "  {label:<28} {:>8.1} s", d.as_secs_f64())?;
+        }
+        write!(f, "  {:<28} {:>8.1} s", "total", self.total().as_secs_f64())
+    }
+}
+
+/// Owns a [`Machine`] and its simulator; the main entry point for
+/// examples, tests, and benches.
+pub struct Runner {
+    machine: Machine,
+    sim: MachineSim,
+}
+
+impl std::fmt::Debug for Runner {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Runner")
+            .field("now", &self.sim.now())
+            .field("phase", &self.machine.phase())
+            .finish()
+    }
+}
+
+impl Runner {
+    /// A BMcast machine with deployment armed (it starts when
+    /// [`Runner::start_program`] or any `run_*` method first runs the clock).
+    pub fn bmcast(spec: &MachineSpec, cfg: BmcastConfig) -> Runner {
+        let mut machine = Machine::bmcast(spec, cfg);
+        let mut sim = MachineSim::new();
+        start_deployment(&mut machine, &mut sim);
+        Runner { machine, sim }
+    }
+
+    /// A bare-metal machine with the image pre-installed.
+    pub fn bare_metal(spec: &MachineSpec) -> Runner {
+        Runner {
+            machine: Machine::bare_metal(spec),
+            sim: MachineSim::new(),
+        }
+    }
+
+    /// Wraps an existing machine (e.g. one rebuilt with
+    /// [`Machine::bmcast_resumed`] after a reboot), re-arming deployment
+    /// if a VMM is present.
+    pub fn from_machine(mut machine: Machine) -> Runner {
+        let mut sim = MachineSim::new();
+        if machine.vmm.is_some() {
+            start_deployment(&mut machine, &mut sim);
+        }
+        Runner { machine, sim }
+    }
+
+    /// Extracts the machine, discarding pending events (a power-off).
+    pub fn into_machine(self) -> Machine {
+        self.machine
+    }
+
+    /// Installs and starts a guest program.
+    pub fn start_program(&mut self, program: Box<dyn GuestProgram>) {
+        self.machine.set_program(program);
+        start_program(&mut self.machine, &mut self.sim);
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.sim.now()
+    }
+
+    /// The machine.
+    pub fn machine(&self) -> &Machine {
+        &self.machine
+    }
+
+    /// Mutable machine access.
+    pub fn machine_mut(&mut self) -> &mut Machine {
+        &mut self.machine
+    }
+
+    /// Runs until `deadline`.
+    pub fn run_until(&mut self, deadline: SimTime) {
+        self.sim.run_until(&mut self.machine, deadline);
+    }
+
+    /// Runs until the guest program finishes or `limit` passes. Returns
+    /// the exact finish time if it finished.
+    pub fn run_to_finish(&mut self, limit: SimTime) -> Option<SimTime> {
+        loop {
+            if self.machine.guest.finished {
+                return Some(self.sim.now());
+            }
+            match self.sim.next_event_at() {
+                None => return None,
+                Some(t) if t > limit => return None,
+                Some(_) => {
+                    self.sim.step(&mut self.machine);
+                }
+            }
+        }
+    }
+
+    /// Runs until the machine reaches bare metal (deployment +
+    /// de-virtualization complete) or `limit` passes.
+    pub fn run_to_bare_metal(&mut self, limit: SimTime) -> Option<SimTime> {
+        loop {
+            if self.machine.phase() == Phase::BareMetal {
+                return self
+                    .machine
+                    .vmm
+                    .as_ref()
+                    .and_then(|v| v.bare_metal_at)
+                    .or(Some(self.sim.now()));
+            }
+            if self.sim.now() >= limit || self.sim.pending_events() == 0 {
+                return None;
+            }
+            let next = (self.sim.now() + SimDuration::from_millis(500)).min(limit);
+            self.sim.run_until(&mut self.machine, next);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vmm_boots_in_about_five_seconds() {
+        let fw = FirmwareModel::primergy_rx200();
+        let t = vmm_boot_time(&fw, 1_000_000_000);
+        assert!(
+            (4.5..5.5).contains(&t.as_secs_f64()),
+            "vmm boot {:.2}s",
+            t.as_secs_f64()
+        );
+    }
+
+    #[test]
+    fn timeline_totals() {
+        let mut tl = StartupTimeline::default();
+        tl.push("firmware init", SimDuration::from_secs(133));
+        tl.push("OS boot", SimDuration::from_secs(29));
+        assert_eq!(tl.total().as_secs(), 162);
+        assert_eq!(tl.total_excluding_firmware().as_secs(), 29);
+        let s = tl.to_string();
+        assert!(s.contains("OS boot"));
+        assert!(s.contains("total"));
+    }
+
+    #[test]
+    fn runner_deploys_small_machine() {
+        let spec = MachineSpec {
+            capacity_sectors: 1 << 12,
+            image_sectors: 1 << 12,
+            cpus: 2,
+            ..MachineSpec::default()
+        };
+        let mut runner = Runner::bmcast(
+            &spec,
+            BmcastConfig {
+                moderation: crate::config::Moderation::full_speed(),
+                ..BmcastConfig::default()
+            },
+        );
+        let done = runner.run_to_bare_metal(SimTime::from_secs(120));
+        assert!(done.is_some(), "deployment should complete");
+        assert_eq!(runner.machine().phase(), Phase::BareMetal);
+    }
+}

@@ -1,0 +1,186 @@
+//! De-virtualization (§3.4): turning the VMM off underneath a running
+//! guest.
+//!
+//! Preconditions: deployment complete (bitmap full) and the mediated
+//! device in a *consistent hardware state* (no held, queued, or
+//! multiplexed command). Then, per CPU and at each CPU's own pace —
+//! possible only because the mapping is constant identity, so no
+//! IPI-based TLB shootdown is needed — nested paging is disabled and the
+//! TLB invalidated; once every CPU is done, traps are cleared and VMXOFF
+//! executed. From that instant no guest access can exit: bare metal.
+
+use hwsim::vtx::VtxCpu;
+use simkit::SimDuration;
+
+/// Where the machine is in its lifecycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Phase {
+    /// VMM booting and taking control.
+    Initialization,
+    /// Streaming deployment: copy-on-read + background copy.
+    Deployment,
+    /// Per-CPU nested-paging teardown in progress.
+    Devirtualization,
+    /// The VMM is gone; the guest owns the hardware.
+    BareMetal,
+}
+
+impl std::fmt::Display for Phase {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            Phase::Initialization => "initialization",
+            Phase::Deployment => "deployment",
+            Phase::Devirtualization => "de-virtualization",
+            Phase::BareMetal => "bare-metal",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Sequences the per-CPU de-virtualization steps.
+///
+/// # Examples
+///
+/// ```
+/// use bmcast::devirt::DevirtSequencer;
+/// use hwsim::vtx::VtxCpu;
+///
+/// let mut cpus: Vec<VtxCpu> = (0..4).map(|_| { let mut c = VtxCpu::new(); c.vmxon(); c }).collect();
+/// let mut seq = DevirtSequencer::new(cpus.len());
+/// for i in 0..cpus.len() {
+///     seq.devirtualize_cpu(i, &mut cpus[i]);
+/// }
+/// assert!(seq.all_done());
+/// for cpu in &cpus {
+///     assert!(!cpu.vmx_on());
+/// }
+/// ```
+#[derive(Debug, Clone)]
+pub struct DevirtSequencer {
+    done: Vec<bool>,
+    total_cost: SimDuration,
+}
+
+impl DevirtSequencer {
+    /// A sequencer for `cpus` CPUs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cpus` is zero.
+    pub fn new(cpus: usize) -> DevirtSequencer {
+        assert!(cpus > 0, "need at least one CPU");
+        DevirtSequencer {
+            done: vec![false; cpus],
+            total_cost: SimDuration::ZERO,
+        }
+    }
+
+    /// De-virtualizes one CPU: EPT off, local TLB invalidation, trap
+    /// clearing, VMXOFF. Each CPU can run this at any time relative to
+    /// the others. Returns the cost on that CPU. Idempotent.
+    pub fn devirtualize_cpu(&mut self, index: usize, cpu: &mut VtxCpu) -> SimDuration {
+        if self.done[index] {
+            return SimDuration::ZERO;
+        }
+        let mut cost = cpu.disable_ept();
+        cpu.vmxoff();
+        // VMXOFF itself plus the state restoration dance (§4.3) is a few
+        // microseconds of guest-context trampoline.
+        cost += SimDuration::from_micros(5);
+        self.done[index] = true;
+        self.total_cost += cost;
+        cost
+    }
+
+    /// Records that a CPU finished the *resident-mode* teardown (EPT and
+    /// traps off, VMX still on so the VMM can keep hiding the management
+    /// NIC). Counts toward [`DevirtSequencer::all_done`].
+    pub fn mark_resident(&mut self, index: usize) {
+        self.done[index] = true;
+    }
+
+    /// CPUs de-virtualized so far.
+    pub fn done_count(&self) -> usize {
+        self.done.iter().filter(|&&d| d).count()
+    }
+
+    /// Whether every CPU is bare-metal.
+    pub fn all_done(&self) -> bool {
+        self.done.iter().all(|&d| d)
+    }
+
+    /// Aggregate CPU time the teardown cost.
+    pub fn total_cost(&self) -> SimDuration {
+        self.total_cost
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn virt_cpus(n: usize) -> Vec<VtxCpu> {
+        (0..n)
+            .map(|_| {
+                let mut c = VtxCpu::new();
+                c.vmxon();
+                c.trap_pio_range(0x1F0, 0x1F7);
+                c
+            })
+            .collect()
+    }
+
+    #[test]
+    fn cpus_devirtualize_independently() {
+        let mut cpus = virt_cpus(4);
+        let mut seq = DevirtSequencer::new(4);
+        // Out of order, as the paper allows ("at different timings").
+        for i in [2, 0, 3, 1] {
+            assert!(!seq.all_done());
+            let cost = seq.devirtualize_cpu(i, &mut cpus[i]);
+            assert!(cost > SimDuration::ZERO);
+            assert!(!cpus[i].vmx_on());
+            assert!(!cpus[i].ept_on());
+        }
+        assert!(seq.all_done());
+        assert_eq!(seq.done_count(), 4);
+    }
+
+    #[test]
+    fn partially_devirtualized_machine_mixes_states() {
+        let mut cpus = virt_cpus(2);
+        let mut seq = DevirtSequencer::new(2);
+        seq.devirtualize_cpu(0, &mut cpus[0]);
+        assert!(!cpus[0].exits_on_pio(0x1F0), "cpu0 is bare metal");
+        assert!(cpus[1].exits_on_pio(0x1F0), "cpu1 still traps");
+    }
+
+    #[test]
+    fn idempotent_per_cpu() {
+        let mut cpus = virt_cpus(1);
+        let mut seq = DevirtSequencer::new(1);
+        let first = seq.devirtualize_cpu(0, &mut cpus[0]);
+        let second = seq.devirtualize_cpu(0, &mut cpus[0]);
+        assert!(first > SimDuration::ZERO);
+        assert_eq!(second, SimDuration::ZERO);
+        assert_eq!(seq.total_cost(), first);
+    }
+
+    #[test]
+    fn total_teardown_is_fast() {
+        // The paper observes "no suspension or performance degradation
+        // during the phase shift": the whole teardown is microseconds.
+        let mut cpus = virt_cpus(24);
+        let mut seq = DevirtSequencer::new(24);
+        for i in 0..24 {
+            seq.devirtualize_cpu(i, &mut cpus[i]);
+        }
+        assert!(seq.total_cost() < SimDuration::from_millis(1));
+    }
+
+    #[test]
+    fn phase_display() {
+        assert_eq!(Phase::Deployment.to_string(), "deployment");
+        assert_eq!(Phase::BareMetal.to_string(), "bare-metal");
+    }
+}

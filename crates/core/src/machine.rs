@@ -1,0 +1,1916 @@
+//! The simulated machine: guest, VMM, hardware, and fabric wired together
+//! under one deterministic event loop.
+//!
+//! This is where BMcast's structure becomes executable:
+//!
+//! - Guest drivers perform PIO/MMIO through the mediated machine bus. If the CPU's
+//!   VT-x trap configuration says an access exits, the access is charged
+//!   an exit cost and routed through the device mediator; otherwise it
+//!   reaches the controller directly. After VMXOFF the trap check is
+//!   false, so the *same code path* becomes bare metal — de-virtualization
+//!   is structural, not simulated with an `if`.
+//! - Copy-on-read (§3.2): a held guest read fans out into AoE fetches for
+//!   empty sectors and local reads for filled ones; the VMM plays virtual
+//!   DMA controller into the guest's buffers and restarts the device with
+//!   a dummy command so the device raises the completion interrupt.
+//! - Background copy (§3.3): retriever/writer event chains around the
+//!   bounded FIFO, moderated by guest I/O frequency, multiplexing writes
+//!   onto the disk behind the guest's back.
+//! - De-virtualization (§3.4): when the bitmap fills and the device is
+//!   quiescent, each CPU disables nested paging and executes VMXOFF.
+
+use crate::background::{BackgroundCopy, FetchedBlock};
+use crate::bitmap::BlockBitmap;
+use crate::config::{BmcastConfig, ControllerKind};
+use crate::devirt::{DevirtSequencer, Phase};
+use crate::mediator::{AhciMediator, AhciRedirect, IdeMediator, MmioVerdict, PioVerdict};
+use crate::netdrv::PolledNic;
+use aoe::{AoeClient, AoeServer, ClientConfig, ServerConfig};
+use guestsim::bus::GuestBus;
+use guestsim::driver::{ahci::AhciDriver, ide::IdeDriver, BlockDriver};
+use guestsim::io::{CompletedIo, IoRequest, RequestId};
+use hwsim::ahci::{preg, AhciCmdTable, AhciController, ABAR, PORT_BASE};
+use hwsim::block::{BlockRange, BlockStore, Lba, SectorData};
+use hwsim::disk::{DiskModel, DiskOp, DiskParams};
+use hwsim::eth::{Frame, Link, MacAddr, Switch};
+use hwsim::ide::{AtaOp, IdeAction, IdeCommandBlock, IdeController, IdeReg, PrdEntry, PrdTable};
+use hwsim::mem::{DmaBuffer, PhysAddr, PhysMem};
+use hwsim::pci::{Bdf, PciBus, PciClass, PciDevice};
+use hwsim::vtx::{ExitReason, VtxCpu};
+use simkit::{Histogram, Sim, SimDuration, SimTime};
+use std::collections::HashMap;
+
+/// The simulator specialized to this world.
+pub type MachineSim = Sim<Machine>;
+
+/// Fixed MAC of the storage server on the management network.
+pub const SERVER_MAC: MacAddr = MacAddr::host(1);
+/// Fixed MAC of the instance's dedicated (VMM) NIC.
+pub const VMM_MAC: MacAddr = MacAddr::host(2);
+
+/// Hardware owned by one machine.
+#[derive(Debug)]
+pub struct Hardware {
+    /// Physical memory.
+    pub mem: PhysMem,
+    /// The local disk.
+    pub disk: DiskModel,
+    /// IDE controller.
+    pub ide: IdeController,
+    /// AHCI HBA.
+    pub ahci: AhciController,
+    /// Logical CPUs with VT-x state.
+    pub cpus: Vec<VtxCpu>,
+    /// PCI configuration space (device enumeration + hiding).
+    pub pci: PciBus,
+}
+
+/// PCI address of the VMM's dedicated management NIC.
+pub const MGMT_NIC_BDF: Bdf = Bdf {
+    bus: 0,
+    device: 4,
+    function: 0,
+};
+
+fn standard_pci_bus() -> PciBus {
+    let mut pci = PciBus::new();
+    pci.insert(
+        Bdf { bus: 0, device: 1, function: 0 },
+        PciDevice { vendor: 0x8086, device: 0x7010, class: PciClass::StorageIde, bar0: None },
+    );
+    pci.insert(
+        Bdf { bus: 0, device: 2, function: 0 },
+        PciDevice {
+            vendor: 0x8086,
+            device: 0x2922,
+            class: PciClass::StorageAhci,
+            bar0: Some((ABAR, hwsim::ahci::ABAR_SIZE)),
+        },
+    );
+    pci.insert(
+        Bdf { bus: 0, device: 3, function: 0 },
+        PciDevice { vendor: 0x15B3, device: 0x673C, class: PciClass::Infiniband, bar0: None },
+    );
+    pci.insert(
+        MGMT_NIC_BDF,
+        PciDevice { vendor: 0x8086, device: 0x10D3, class: PciClass::Network, bar0: None },
+    );
+    pci
+}
+
+/// The management fabric: switch plus the storage server.
+#[derive(Debug)]
+pub struct Network {
+    /// The Ethernet switch.
+    pub switch: Switch<Vec<u8>>,
+    /// The AoE storage server.
+    pub server: AoeServer,
+    server_port: usize,
+}
+
+/// Who asked for a disk command — decides what happens at completion.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Origin {
+    /// Pass-through guest command: completion interrupts the guest.
+    Guest,
+    /// The dummy restart of a redirected guest read: interrupts the guest.
+    RedirectRestart,
+    /// A multiplexed VMM write: completion is polled, never interrupts.
+    VmmWrite,
+}
+
+/// What an outstanding AoE request is for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum AoeWaiter {
+    /// Copy-on-read piece of the in-flight redirect.
+    Redirect(BlockRange),
+    /// Background-copy block.
+    Background(BlockRange),
+}
+
+/// An in-flight I/O redirection.
+#[derive(Debug)]
+struct RedirectInFlight {
+    /// IDE command or AHCI slot being served.
+    target: RedirectTarget,
+    /// Pieces (AoE + local reads) still outstanding.
+    outstanding: usize,
+    /// Collected data, keyed by subrange.
+    collected: Vec<(BlockRange, Vec<SectorData>)>,
+    /// Subranges fetched from the server (to be written locally after).
+    fetched: Vec<(BlockRange, Vec<SectorData>)>,
+    /// Set once the completion-polling penalty has been scheduled.
+    finalizing: bool,
+}
+
+#[derive(Debug)]
+enum RedirectTarget {
+    Ide {
+        cmd: IdeCommandBlock,
+    },
+    Ahci {
+        slot: u8,
+        table: PhysAddr,
+        /// Original PRDT captured before the dummy rewrite.
+        prdt: PrdTable,
+    },
+}
+
+/// An in-flight multiplexed write sequence.
+#[derive(Debug)]
+struct MultiplexInFlight {
+    pieces: Vec<FetchedBlock>,
+    next: usize,
+    buf: Option<PhysAddr>,
+    prd: Option<PhysAddr>,
+}
+
+/// The BMcast VMM instance on this machine.
+#[derive(Debug)]
+pub struct Vmm {
+    /// Configuration.
+    pub cfg: BmcastConfig,
+    /// IDE device mediator.
+    pub ide_med: IdeMediator,
+    /// AHCI device mediator.
+    pub ahci_med: AhciMediator,
+    /// Filled/empty bitmap.
+    pub bitmap: BlockBitmap,
+    /// Background-copy machinery.
+    pub bg: BackgroundCopy,
+    /// AoE client endpoint.
+    pub client: AoeClient,
+    /// Dedicated-NIC driver.
+    pub nic: PolledNic,
+    /// De-virtualization sequencer.
+    pub devirt: DevirtSequencer,
+    /// Lifecycle phase.
+    pub phase: Phase,
+    /// On-disk region holding the persisted bitmap.
+    pub bitmap_region: BlockRange,
+    /// CPU time consumed by VMM threads (deployment accounting).
+    pub cpu_time: SimDuration,
+    redirect: Option<RedirectInFlight>,
+    multiplex: Option<MultiplexInFlight>,
+    aoe_waiters: HashMap<u32, AoeWaiter>,
+    dummy_buf: PhysAddr,
+    dummy_prd: PhysAddr,
+    /// The VMM's own AHCI command list, used for multiplexing before the
+    /// guest driver has pointed `PxCLB` anywhere (the VMM controls an
+    /// uninitialized device with its own structures).
+    vmm_clb: Option<PhysAddr>,
+    writer_idle: bool,
+    /// Earliest time the moderation allows the next background write.
+    writer_next_allowed: SimTime,
+    devirt_requested: bool,
+    /// Set when deployment finished, for reporting.
+    pub deployment_done_at: Option<SimTime>,
+    /// Set when de-virtualization finished.
+    pub bare_metal_at: Option<SimTime>,
+}
+
+impl Vmm {
+    /// Whether the VMM still interposes on anything.
+    pub fn is_active(&self) -> bool {
+        self.phase != Phase::BareMetal
+    }
+
+    /// Whether the background writer chain is parked (diagnostics).
+    pub fn writer_idle(&self) -> bool {
+        self.writer_idle
+    }
+
+    /// The moderation deadline for the next background write
+    /// (diagnostics).
+    pub fn writer_next_allowed(&self) -> SimTime {
+        self.writer_next_allowed
+    }
+}
+
+/// Actions a [`GuestProgram`] requests through [`GuestCtl`].
+#[derive(Debug)]
+enum GuestAction {
+    Submit(IoRequest),
+    Timer {
+        delay: SimDuration,
+        token: u64,
+        tlb_share: f64,
+    },
+    Finish,
+}
+
+/// Control surface handed to guest programs.
+#[derive(Debug)]
+pub struct GuestCtl<'a> {
+    now: SimTime,
+    actions: &'a mut Vec<GuestAction>,
+}
+
+impl GuestCtl<'_> {
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Submits a block-I/O request to the guest driver.
+    pub fn submit(&mut self, req: IoRequest) {
+        self.actions.push(GuestAction::Submit(req));
+    }
+
+    /// Computes for `delay` of native CPU time (stretched by the
+    /// platform's current memory slowdown for a workload with this
+    /// TLB-miss share), then receives `on_timer(token)`.
+    pub fn compute(&mut self, delay: SimDuration, tlb_share: f64, token: u64) {
+        self.actions.push(GuestAction::Timer {
+            delay,
+            token,
+            tlb_share,
+        });
+    }
+
+    /// Declares the program finished.
+    pub fn finish(&mut self) {
+        self.actions.push(GuestAction::Finish);
+    }
+}
+
+/// A workload/OS scenario driving the guest.
+pub trait GuestProgram {
+    /// Display name.
+    fn name(&self) -> &str;
+
+    /// Called once at guest start.
+    fn start(&mut self, ctl: &mut GuestCtl);
+
+    /// Called when a block I/O the program submitted completes.
+    fn on_io_complete(&mut self, io: &CompletedIo, ctl: &mut GuestCtl);
+
+    /// Called when a [`GuestCtl::compute`] burst ends.
+    fn on_timer(&mut self, token: u64, ctl: &mut GuestCtl);
+}
+
+/// Guest driver selection.
+#[derive(Debug)]
+pub enum GuestDriver {
+    /// IDE path.
+    Ide(IdeDriver),
+    /// AHCI path.
+    Ahci(AhciDriver),
+}
+
+/// The guest side: driver, program, and I/O accounting.
+pub struct Guest {
+    /// The block driver in use.
+    pub driver: GuestDriver,
+    program: Option<Box<dyn GuestProgram>>,
+    actions: Vec<GuestAction>,
+    pending_io: HashMap<RequestId, SimTime>,
+    /// Completed-I/O latency in seconds.
+    pub io_latency: Histogram,
+    /// Completed guest I/Os.
+    pub ios_completed: u64,
+    /// Bytes moved by completed guest I/Os.
+    pub bytes_completed: u64,
+    /// Whether the program called [`GuestCtl::finish`].
+    pub finished: bool,
+}
+
+impl std::fmt::Debug for Guest {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Guest")
+            .field("driver", &self.driver)
+            .field("pending_io", &self.pending_io.len())
+            .field("finished", &self.finished)
+            .finish()
+    }
+}
+
+/// Whole-run counters.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct MachineStats {
+    /// Guest I/Os redirected to the server.
+    pub redirected_ios: u64,
+    /// Bytes fetched from the server by copy-on-read (redirects only,
+    /// excluding background copy).
+    pub redirected_bytes: u64,
+    /// Guest I/Os served straight from the local disk.
+    pub local_ios: u64,
+    /// Frames the VMM transmitted.
+    pub frames_tx: u64,
+    /// Frames the VMM received.
+    pub frames_rx: u64,
+}
+
+/// The complete simulated machine.
+#[derive(Debug)]
+pub struct Machine {
+    /// Hardware.
+    pub hw: Hardware,
+    /// The VMM, when this machine runs BMcast.
+    pub vmm: Option<Vmm>,
+    /// The guest.
+    pub guest: Guest,
+    /// The management network, when present.
+    pub net: Option<Network>,
+    /// Counters.
+    pub stats: MachineStats,
+}
+
+/// Build-time description of a machine.
+#[derive(Debug, Clone)]
+pub struct MachineSpec {
+    /// Local-disk capacity in sectors.
+    pub capacity_sectors: u64,
+    /// Image seed: the OS image content generator key.
+    pub image_seed: u64,
+    /// Image size in sectors (the deployed prefix of the disk).
+    pub image_sectors: u64,
+    /// Number of CPUs.
+    pub cpus: usize,
+    /// Physical memory bytes.
+    pub mem_bytes: u64,
+    /// Storage controller.
+    pub controller: ControllerKind,
+}
+
+impl Default for MachineSpec {
+    fn default() -> Self {
+        MachineSpec {
+            capacity_sectors: (64u64 << 30) / 512,
+            image_seed: 0xB00C,
+            image_sectors: (32u64 << 30) / 512,
+            cpus: 12,
+            mem_bytes: 96 << 30,
+            controller: ControllerKind::Ide,
+        }
+    }
+}
+
+impl Machine {
+    /// A bare-metal machine with the image already on the local disk.
+    pub fn bare_metal(spec: &MachineSpec) -> Machine {
+        let params = DiskParams {
+            capacity_sectors: spec.capacity_sectors,
+            ..DiskParams::default()
+        };
+        let mut store = BlockStore::image(spec.capacity_sectors, spec.image_seed);
+        // Only the image prefix is meaningful; rest reads as zero.
+        let _ = &mut store;
+        let disk = DiskModel::new(params, store);
+        Machine {
+            hw: Hardware {
+                mem: PhysMem::new(spec.mem_bytes),
+                disk,
+                ide: IdeController::new(),
+                ahci: AhciController::new(1),
+                cpus: (0..spec.cpus).map(|_| VtxCpu::new()).collect(),
+                pci: standard_pci_bus(),
+            },
+            vmm: None,
+            guest: Guest::new(spec.controller),
+            net: None,
+            stats: MachineStats::default(),
+        }
+    }
+
+    /// A BMcast machine: blank local disk, VMM interposed, AoE server on
+    /// the fabric holding the image.
+    pub fn bmcast(spec: &MachineSpec, cfg: BmcastConfig) -> Machine {
+        let params = DiskParams {
+            capacity_sectors: spec.capacity_sectors,
+            ..DiskParams::default()
+        };
+        let disk = DiskModel::new(
+            params.clone(),
+            BlockStore::zeroed_with_mirror(spec.capacity_sectors, spec.image_seed),
+        );
+        let mut mem = PhysMem::new(spec.mem_bytes);
+        mem.reserve_for_vmm(cfg.vmm_memory_bytes);
+
+        // The VMM's dummy DMA target for restarts.
+        let dummy_buf = mem.alloc(DmaBuffer::new(1));
+        let dummy_prd = mem.alloc(PrdTable {
+            entries: vec![PrdEntry {
+                buf: dummy_buf,
+                sectors: 1,
+            }],
+        });
+
+        let mut cpus: Vec<VtxCpu> = (0..spec.cpus).map(|_| VtxCpu::new()).collect();
+        for cpu in &mut cpus {
+            cpu.vmxon();
+            for reg in IdeReg::ALL {
+                cpu.trap_pio_range(reg.port(), reg.port());
+            }
+            cpu.trap_mmio_range(ABAR, ABAR + hwsim::ahci::ABAR_SIZE - 1);
+            cpu.set_preemption_timer(Some(cfg.poll_interval));
+        }
+
+        // Deployment tracks the image prefix; the rest of the disk is
+        // guest scratch space, born "filled" (it has no server content).
+        let mut bitmap = BlockBitmap::new(spec.capacity_sectors);
+        if spec.image_sectors < spec.capacity_sectors {
+            bitmap.mark_filled(BlockRange::new(
+                Lba(spec.image_sectors),
+                (spec.capacity_sectors - spec.image_sectors) as u32,
+            ));
+        }
+        // Persisted-bitmap home: unused space just past the image when the
+        // disk is larger; otherwise carve out the disk's tail and exclude
+        // it from deployment (the paper uses "unallocated space between
+        // two partitions").
+        let persisted = u64::from(bitmap.persisted_sectors());
+        let bitmap_region = if spec.capacity_sectors >= spec.image_sectors + persisted {
+            BlockRange::new(Lba(spec.image_sectors), persisted as u32)
+        } else {
+            let region = BlockRange::new(
+                Lba(spec.capacity_sectors - persisted),
+                persisted as u32,
+            );
+            bitmap.mark_filled(region);
+            region
+        };
+
+        // Server: the image disk behind a thread-pooled vblade.
+        let server_params = DiskParams {
+            capacity_sectors: spec.image_sectors,
+            ..DiskParams::default()
+        };
+        let server_disk = DiskModel::new(
+            server_params,
+            BlockStore::image(spec.image_sectors, spec.image_seed),
+        );
+        let server = AoeServer::new(
+            ServerConfig {
+                mtu: cfg.mtu,
+                ..ServerConfig::default()
+            },
+            server_disk,
+        );
+        let mut switch = Switch::new(cfg.mtu, cfg.fabric_loss_rate, 0x5EED);
+        let server_port = switch.attach(SERVER_MAC, Link::gigabit());
+        switch.attach(VMM_MAC, Link::gigabit());
+
+        let vmm = Vmm {
+            ide_med: IdeMediator::new(Some(bitmap_region)),
+            ahci_med: AhciMediator::new(Some(bitmap_region)),
+            bitmap,
+            bg: BackgroundCopy::new(
+                cfg.copy_block_sectors,
+                cfg.fifo_capacity,
+                cfg.retriever_depth,
+                spec.capacity_sectors,
+            ),
+            client: AoeClient::new(ClientConfig {
+                mtu: cfg.mtu,
+                rto: SimDuration::from_millis(50),
+                ..ClientConfig::default()
+            }),
+            nic: PolledNic::new(cfg.nic, VMM_MAC),
+            devirt: DevirtSequencer::new(spec.cpus),
+            phase: Phase::Initialization,
+            bitmap_region,
+            cpu_time: SimDuration::ZERO,
+            redirect: None,
+            multiplex: None,
+            aoe_waiters: HashMap::new(),
+            dummy_buf,
+            dummy_prd,
+            vmm_clb: None,
+            writer_idle: true,
+            writer_next_allowed: SimTime::ZERO,
+            devirt_requested: false,
+            deployment_done_at: None,
+            bare_metal_at: None,
+            cfg,
+        };
+
+        Machine {
+            hw: Hardware {
+                mem,
+                disk,
+                ide: IdeController::new(),
+                ahci: AhciController::new(1),
+                cpus,
+                pci: standard_pci_bus(),
+            },
+            vmm: Some(vmm),
+            guest: Guest::new(spec.controller),
+            net: Some(Network {
+                switch,
+                server,
+                server_port,
+            }),
+            stats: MachineStats::default(),
+        }
+    }
+
+    /// Installs the guest program (clearing any previous program's
+    /// finished state, so runs can be chained on one machine).
+    pub fn set_program(&mut self, program: Box<dyn GuestProgram>) {
+        self.guest.program = Some(program);
+        self.guest.finished = false;
+    }
+
+    /// Deployment progress `[0, 1]`; 1.0 on bare-metal machines.
+    pub fn deployment_progress(&self) -> f64 {
+        self.vmm.as_ref().map(|v| v.bitmap.progress()).unwrap_or(1.0)
+    }
+
+    /// The current lifecycle phase.
+    pub fn phase(&self) -> Phase {
+        self.vmm
+            .as_ref()
+            .map(|v| v.phase)
+            .unwrap_or(Phase::BareMetal)
+    }
+}
+
+impl Guest {
+    fn new(controller: ControllerKind) -> Guest {
+        Guest {
+            driver: match controller {
+                ControllerKind::Ide => GuestDriver::Ide(IdeDriver::new()),
+                ControllerKind::Ahci => GuestDriver::Ahci(AhciDriver::new()),
+            },
+            program: None,
+            actions: Vec::new(),
+            pending_io: HashMap::new(),
+            io_latency: Histogram::new(),
+            ios_completed: 0,
+            bytes_completed: 0,
+            finished: false,
+        }
+    }
+}
+
+/// Hardware-side events latched during a bus interaction.
+#[derive(Debug)]
+enum HwEvent {
+    IdeReady,
+    AhciIssued { slots: u32 },
+    StartIdeRedirect(crate::mediator::IdeRedirect),
+    StartAhciRedirect(Vec<AhciRedirect>),
+}
+
+/// The mediated bus: routes guest accesses, charging exits and invoking
+/// mediators exactly when the VT-x configuration says so.
+struct MachineBus<'a> {
+    hw: &'a mut Hardware,
+    vmm: &'a mut Option<Vmm>,
+    events: &'a mut Vec<HwEvent>,
+}
+
+impl MachineBus<'_> {
+    /// The VMM, if any CPU still traps (cpu 0 is representative — the
+    /// guest's vCPU for I/O in this model).
+    fn interposing(&mut self) -> bool {
+        self.vmm.as_ref().map(|v| v.is_active()).unwrap_or(false)
+    }
+}
+
+impl GuestBus for MachineBus<'_> {
+    fn pio_read(&mut self, port: u16) -> u32 {
+        let Some(reg) = IdeReg::from_port(port) else {
+            return 0;
+        };
+        if self.interposing() && self.hw.cpus[0].exits_on_pio(port) {
+            self.hw.cpus[0].charge_exit(ExitReason::PioRead(port));
+            let vmm = self.vmm.as_mut().expect("interposing implies vmm");
+            match vmm.ide_med.on_guest_read(reg) {
+                PioVerdict::Emulate(v) => return v,
+                _ => return self.hw.ide.read_reg(reg),
+            }
+        }
+        self.hw.ide.read_reg(reg)
+    }
+
+    fn pio_write(&mut self, port: u16, val: u32) {
+        let Some(reg) = IdeReg::from_port(port) else {
+            return;
+        };
+        if self.interposing() && self.hw.cpus[0].exits_on_pio(port) {
+            self.hw.cpus[0].charge_exit(ExitReason::PioWrite(port));
+            let vmm = self.vmm.as_mut().expect("interposing implies vmm");
+            match vmm.ide_med.on_guest_write(reg, val, &mut vmm.bitmap) {
+                PioVerdict::Forward => {
+                    if let Some(IdeAction::CommandReady) = self.hw.ide.write_reg(reg, val) {
+                        self.events.push(HwEvent::IdeReady);
+                    }
+                }
+                PioVerdict::Swallow => {}
+                PioVerdict::Emulate(_) => unreachable!("writes are never emulated"),
+                PioVerdict::StartRedirect(r) => {
+                    // Block the device: retract whatever the earlier
+                    // forwarded writes left pending.
+                    self.hw.ide.take_ready();
+                    self.events.push(HwEvent::StartIdeRedirect(r));
+                }
+            }
+            return;
+        }
+        if let Some(IdeAction::CommandReady) = self.hw.ide.write_reg(reg, val) {
+            self.events.push(HwEvent::IdeReady);
+        }
+    }
+
+    fn mmio_read(&mut self, addr: u64) -> u64 {
+        if !AhciController::owns_mmio(addr) {
+            return 0;
+        }
+        let offset = addr - ABAR;
+        let raw = self.hw.ahci.mmio_read(offset);
+        if self.interposing() && self.hw.cpus[0].exits_on_mmio(addr) {
+            self.hw.cpus[0].charge_exit(ExitReason::MmioRead(addr));
+            let vmm = self.vmm.as_mut().expect("interposing implies vmm");
+            return vmm.ahci_med.filter_read(offset, raw);
+        }
+        raw
+    }
+
+    fn mmio_write(&mut self, addr: u64, val: u64) {
+        if !AhciController::owns_mmio(addr) {
+            return;
+        }
+        let offset = addr - ABAR;
+        if self.interposing() && self.hw.cpus[0].exits_on_mmio(addr) {
+            self.hw.cpus[0].charge_exit(ExitReason::MmioWrite(addr));
+            let vmm = self.vmm.as_mut().expect("interposing implies vmm");
+            let verdict = vmm
+                .ahci_med
+                .on_guest_write(offset, val, &self.hw.mem, &mut vmm.bitmap);
+            match verdict {
+                MmioVerdict::Forward => self.forward_mmio(offset, val),
+                MmioVerdict::ForwardMasked(v) => self.forward_mmio(offset, v),
+                MmioVerdict::Swallow => {}
+                MmioVerdict::Ci {
+                    forward_mask,
+                    redirects,
+                } => {
+                    if forward_mask != 0 {
+                        self.forward_mmio(PORT_BASE + preg::CI, forward_mask as u64);
+                    }
+                    if !redirects.is_empty() {
+                        self.events.push(HwEvent::StartAhciRedirect(redirects));
+                    }
+                }
+            }
+            return;
+        }
+        self.forward_mmio(offset, val);
+    }
+
+    fn mem(&mut self) -> &mut PhysMem {
+        &mut self.hw.mem
+    }
+}
+
+impl MachineBus<'_> {
+    fn forward_mmio(&mut self, offset: u64, val: u64) {
+        if let Some(hwsim::ahci::AhciAction::SlotsIssued { slots, .. }) =
+            self.hw.ahci.mmio_write(offset, val)
+        {
+            self.events.push(HwEvent::AhciIssued { slots });
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Event-flow implementation. Free functions over (&mut Machine, &mut Sim)
+// because they are scheduled as events.
+// ---------------------------------------------------------------------
+
+/// Per-request VMM CPU cost for handling a redirected or multiplexed
+/// operation (thread wakeup + packetization).
+const VMM_OP_CPU: SimDuration = SimDuration::from_micros(30);
+
+/// Submits a guest I/O through the driver and processes the consequences.
+pub fn submit_guest_io(m: &mut Machine, sim: &mut MachineSim, req: IoRequest) {
+    m.guest.pending_io.insert(req.id, sim.now());
+    if let Some(vmm) = &mut m.vmm {
+        if vmm.is_active() {
+            vmm.bg.note_guest_io(sim.now(), req.range.end());
+        }
+    }
+    let mut events = Vec::new();
+    {
+        let mut bus = MachineBus {
+            hw: &mut m.hw,
+            vmm: &mut m.vmm,
+            events: &mut events,
+        };
+        match &mut m.guest.driver {
+            GuestDriver::Ide(d) => d.submit(req, &mut bus),
+            GuestDriver::Ahci(d) => {
+                if d.submitted() == 0 && d.in_flight() == 0 {
+                    // keep init lazy so bare-metal tests don't need it
+                }
+                d.submit(req, &mut bus)
+            }
+        }
+    }
+    process_hw_events(m, sim, events);
+}
+
+/// Initializes the AHCI guest driver (command list etc.). Call once before
+/// submitting I/O on AHCI machines.
+pub fn init_guest_driver(m: &mut Machine, sim: &mut MachineSim) {
+    let mut events = Vec::new();
+    {
+        let mut bus = MachineBus {
+            hw: &mut m.hw,
+            vmm: &mut m.vmm,
+            events: &mut events,
+        };
+        if let GuestDriver::Ahci(d) = &mut m.guest.driver {
+            d.init(&mut bus);
+        }
+    }
+    process_hw_events(m, sim, events);
+}
+
+fn process_hw_events(m: &mut Machine, sim: &mut MachineSim, events: Vec<HwEvent>) {
+    for ev in events {
+        match ev {
+            HwEvent::IdeReady => start_ide_media(m, sim, Origin::Guest),
+            HwEvent::AhciIssued { slots } => {
+                for slot in 0..32u8 {
+                    if slots & (1 << slot) != 0 {
+                        start_ahci_media(m, sim, slot, Origin::Guest);
+                    }
+                }
+            }
+            HwEvent::StartIdeRedirect(r) => begin_ide_redirect(m, sim, r),
+            HwEvent::StartAhciRedirect(rs) => begin_ahci_redirect(m, sim, rs),
+        }
+    }
+}
+
+/// Starts the pending IDE command on the media and schedules completion.
+fn start_ide_media(m: &mut Machine, sim: &mut MachineSim, origin: Origin) {
+    let Some(cmd) = m.hw.ide.start_ready() else {
+        return;
+    };
+    let t = match cmd.op {
+        AtaOp::ReadDma => m.hw.disk.access_time(DiskOp::Read, cmd.range),
+        AtaOp::WriteDma => m.hw.disk.access_time(DiskOp::Write, cmd.range),
+        AtaOp::Flush => SimDuration::from_millis(2),
+        AtaOp::Identify => SimDuration::from_micros(300),
+    };
+    if origin == Origin::Guest {
+        m.stats.local_ios += 1;
+    }
+    sim.schedule_in(t, move |m: &mut Machine, sim| {
+        m.hw.ide.complete_active(&mut m.hw.mem, &mut m.hw.disk);
+        finish_media(m, sim, origin);
+    });
+}
+
+/// Starts an issued AHCI slot on the media and schedules completion.
+fn start_ahci_media(m: &mut Machine, sim: &mut MachineSim, slot: u8, origin: Origin) {
+    let Some(cmd) = m.hw.ahci.decode_slot(&m.hw.mem, 0, slot) else {
+        return;
+    };
+    m.hw.ahci.start_slot(0, slot);
+    let t = match cmd.op {
+        AtaOp::ReadDma => m.hw.disk.access_time(DiskOp::Read, cmd.range),
+        AtaOp::WriteDma => m.hw.disk.access_time(DiskOp::Write, cmd.range),
+        AtaOp::Flush => SimDuration::from_millis(2),
+        AtaOp::Identify => SimDuration::from_micros(300),
+    };
+    if origin == Origin::Guest {
+        m.stats.local_ios += 1;
+    }
+    sim.schedule_in(t, move |m: &mut Machine, sim| {
+        m.hw
+            .ahci
+            .complete_slot(&mut m.hw.mem, &mut m.hw.disk, 0, slot);
+        finish_media(m, sim, origin);
+    });
+}
+
+fn finish_media(m: &mut Machine, sim: &mut MachineSim, origin: Origin) {
+    match origin {
+        Origin::Guest | Origin::RedirectRestart => deliver_guest_irq(m, sim),
+        Origin::VmmWrite => {
+            // The VMM detects completion by polling: consume the interrupt
+            // directly (a status read / IS ack in VMM context) after the
+            // polling slack, then continue the writer chain.
+            let slack = m
+                .vmm
+                .as_ref()
+                .map(|v| v.cfg.poll_interval / 2)
+                .unwrap_or(SimDuration::ZERO);
+            sim.schedule_in(slack, |m: &mut Machine, sim| {
+                m.hw.ide.read_reg(IdeReg::Command); // clears INTRQ if set
+                let is = m.hw.ahci.mmio_read(PORT_BASE + preg::IS);
+                if is != 0 {
+                    m.hw.ahci.mmio_write(PORT_BASE + preg::IS, is);
+                }
+                continue_multiplex(m, sim);
+            });
+        }
+    }
+}
+
+/// Delivers a completion interrupt to the guest: runs the driver ISR and
+/// the program callbacks.
+fn deliver_guest_irq(m: &mut Machine, sim: &mut MachineSim) {
+    let mut events = Vec::new();
+    let completions = {
+        let mut bus = MachineBus {
+            hw: &mut m.hw,
+            vmm: &mut m.vmm,
+            events: &mut events,
+        };
+        match &mut m.guest.driver {
+            GuestDriver::Ide(d) => d.on_irq(&mut bus),
+            GuestDriver::Ahci(d) => d.on_irq(&mut bus),
+        }
+    };
+    process_hw_events(m, sim, events);
+    for io in completions {
+        if let Some(issued) = m.guest.pending_io.remove(&io.id) {
+            m.guest
+                .io_latency
+                .record(sim.now().duration_since(issued).as_secs_f64());
+        }
+        m.guest.ios_completed += 1;
+        m.guest.bytes_completed += io.range.bytes();
+        run_program(m, sim, |prog, ctl| prog.on_io_complete(&io, ctl));
+    }
+    // The device just went idle from the guest's point of view — a
+    // moderation-due background write can slip into the gap.
+    kick_writer(m, sim);
+}
+
+/// Runs a program callback and applies the actions it queued.
+pub fn run_program(
+    m: &mut Machine,
+    sim: &mut MachineSim,
+    f: impl FnOnce(&mut dyn GuestProgram, &mut GuestCtl),
+) {
+    run_program_dyn(m, sim, Box::new(f));
+}
+
+/// Type-erased core of [`run_program`] (keeps the event closures from
+/// instantiating recursively).
+fn run_program_dyn(
+    m: &mut Machine,
+    sim: &mut MachineSim,
+    f: Box<dyn FnOnce(&mut dyn GuestProgram, &mut GuestCtl) + '_>,
+) {
+    let Some(mut program) = m.guest.program.take() else {
+        return;
+    };
+    {
+        let mut ctl = GuestCtl {
+            now: sim.now(),
+            actions: &mut m.guest.actions,
+        };
+        f(program.as_mut(), &mut ctl);
+    }
+    if m.guest.program.is_none() {
+        m.guest.program = Some(program);
+    }
+    let actions = std::mem::take(&mut m.guest.actions);
+    for action in actions {
+        match action {
+            GuestAction::Submit(req) => submit_guest_io(m, sim, req),
+            GuestAction::Timer {
+                delay,
+                token,
+                tlb_share,
+            } => {
+                let factor = m.hw.cpus[0].memory_slowdown(tlb_share);
+                sim.schedule_in(delay.mul_f64(factor), move |m: &mut Machine, sim| {
+                    run_program_dyn(m, sim, Box::new(move |p, ctl| p.on_timer(token, ctl)));
+                });
+            }
+            GuestAction::Finish => m.guest.finished = true,
+        }
+    }
+}
+
+/// Kicks off the guest program.
+pub fn start_program(m: &mut Machine, sim: &mut MachineSim) {
+    init_guest_driver(m, sim);
+    run_program(m, sim, |p, ctl| p.start(ctl));
+}
+
+// --------------------------- redirection ------------------------------
+
+fn begin_ide_redirect(m: &mut Machine, sim: &mut MachineSim, r: crate::mediator::IdeRedirect) {
+    m.stats.redirected_ios += 1;
+    let target = RedirectTarget::Ide { cmd: r.cmd };
+    begin_redirect(m, sim, target, r.cmd.range, r.protected);
+}
+
+fn begin_ahci_redirect(m: &mut Machine, sim: &mut MachineSim, rs: Vec<AhciRedirect>) {
+    // Serve slots one at a time; our drivers rarely co-issue redirects.
+    for r in rs {
+        m.stats.redirected_ios += 1;
+        let prdt = m
+            .hw
+            .mem
+            .get::<AhciCmdTable>(r.table)
+            .expect("redirected slot's table vanished")
+            .prdt
+            .clone();
+        let target = RedirectTarget::Ahci {
+            slot: r.slot,
+            table: r.table,
+            prdt,
+        };
+        begin_redirect(m, sim, target, r.range, r.protected);
+    }
+}
+
+fn begin_redirect(
+    m: &mut Machine,
+    sim: &mut MachineSim,
+    target: RedirectTarget,
+    range: BlockRange,
+    protected: bool,
+) {
+    let vmm = m.vmm.as_mut().expect("redirect without vmm");
+    vmm.cpu_time += VMM_OP_CPU;
+    assert!(
+        vmm.redirect.is_none(),
+        "one redirect at a time per controller"
+    );
+    if protected {
+        // Converted access: no fetch; the guest gets dummy data.
+        vmm.redirect = Some(RedirectInFlight {
+            target,
+            outstanding: 0,
+            collected: vec![(range, vec![SectorData(0xD077); range.sectors as usize])],
+            fetched: Vec::new(),
+            finalizing: false,
+        });
+        sim.schedule_in(SimDuration::from_micros(50), |m: &mut Machine, sim| {
+            try_finish_redirect(m, sim);
+        });
+        return;
+    }
+
+    let holes = vmm.bitmap.empty_subranges(range);
+    let mut filled: Vec<BlockRange> = Vec::new();
+    {
+        // Complement of holes within range.
+        let mut cursor = range.lba;
+        for h in &holes {
+            if h.lba > cursor {
+                filled.push(BlockRange::new(cursor, (h.lba.0 - cursor.0) as u32));
+            }
+            cursor = h.end();
+        }
+        if cursor < range.end() {
+            filled.push(BlockRange::new(cursor, (range.end().0 - cursor.0) as u32));
+        }
+    }
+
+    vmm.redirect = Some(RedirectInFlight {
+        target,
+        outstanding: holes.len() + filled.len(),
+        collected: Vec::new(),
+        fetched: Vec::new(),
+        finalizing: false,
+    });
+
+    // Fetch empty sectors from the server.
+    let mut frames = Vec::new();
+    for hole in holes {
+        let vmm = m.vmm.as_mut().expect("just had it");
+        let (id, fs) = vmm.client.read(sim.now(), hole);
+        vmm.aoe_waiters.insert(id, AoeWaiter::Redirect(hole));
+        frames.extend(fs);
+    }
+    send_vmm_frames(m, sim, frames);
+
+    // Read filled sectors from the local disk (VMM context; device is
+    // blocked for the guest but free for us).
+    for sub in filled {
+        let t = m.hw.disk.access_time(DiskOp::Read, sub);
+        let data = m.hw.disk.store().read_range(sub);
+        sim.schedule_in(t, move |m: &mut Machine, sim| {
+            let vmm = m.vmm.as_mut().expect("redirect vmm");
+            if let Some(r) = vmm.redirect.as_mut() {
+                r.collected.push((sub, data.clone()));
+                r.outstanding -= 1;
+            }
+            try_finish_redirect(m, sim);
+        });
+    }
+    schedule_retransmit_guard(m, sim);
+}
+
+/// Completes the redirect if all pieces arrived: after the completion
+/// polling converges (the `redirect_poll_penalty`), virtual-DMA the data
+/// into the guest buffers, queue the local fill, and restart via dummy.
+fn try_finish_redirect(m: &mut Machine, sim: &mut MachineSim) {
+    let Some(vmm) = m.vmm.as_mut() else { return };
+    let Some(r) = vmm.redirect.as_mut() else {
+        return;
+    };
+    if r.outstanding > 0 || r.finalizing {
+        return;
+    }
+    r.finalizing = true;
+    let penalty = vmm.cfg.redirect_poll_penalty;
+    sim.schedule_in(penalty, finish_redirect_now);
+}
+
+fn finish_redirect_now(m: &mut Machine, sim: &mut MachineSim) {
+    let Some(vmm) = m.vmm.as_mut() else { return };
+    let mut r = vmm.redirect.take().expect("finalizing redirect vanished");
+    vmm.cpu_time += VMM_OP_CPU;
+
+    // Assemble the data in LBA order.
+    r.collected.sort_by_key(|(range, _)| range.lba);
+    let all: Vec<SectorData> = r.collected.iter().flat_map(|(_, d)| d.clone()).collect();
+
+    // Queue fetched pieces for the local fill (write-behind through the
+    // background writer, claimed via the bitmap like any VMM write).
+    let fetched = std::mem::take(&mut r.fetched);
+    let mut fetched_bytes = 0u64;
+    for (range, data) in fetched {
+        fetched_bytes += range.bytes();
+        vmm.bg.push_local_fill(FetchedBlock { range, data });
+    }
+    m.stats.redirected_bytes += fetched_bytes;
+
+    match r.target {
+        RedirectTarget::Ide { cmd } => {
+            // Virtual DMA: copy into the guest's PRD buffers.
+            if let Some(prd_addr) = cmd.prd {
+                let prd = m
+                    .hw
+                    .mem
+                    .get::<PrdTable>(prd_addr)
+                    .expect("guest PRD vanished")
+                    .clone();
+                let mut offset = 0usize;
+                for entry in &prd.entries {
+                    let n = entry.sectors as usize;
+                    let buf = m
+                        .hw
+                        .mem
+                        .get_mut::<DmaBuffer>(entry.buf)
+                        .expect("guest DMA buffer vanished");
+                    buf.sectors.clear();
+                    buf.sectors
+                        .extend_from_slice(&all[offset..(offset + n).min(all.len())]);
+                    offset += n;
+                }
+            }
+            let vmm = m.vmm.as_mut().expect("still here");
+            let queued = vmm.ide_med.finish_redirect();
+            let dummy = IdeMediator::dummy_restart(vmm.dummy_prd);
+            m.hw.ide.inject_command(dummy);
+            start_ide_media(m, sim, Origin::RedirectRestart);
+            replay_ide_writes(m, sim, queued);
+        }
+        RedirectTarget::Ahci { slot, table, prdt } => {
+            let mut offset = 0usize;
+            for entry in &prdt.entries {
+                let n = entry.sectors as usize;
+                let buf = m
+                    .hw
+                    .mem
+                    .get_mut::<DmaBuffer>(entry.buf)
+                    .expect("guest DMA buffer vanished");
+                buf.sectors.clear();
+                buf.sectors
+                    .extend_from_slice(&all[offset..(offset + n).min(all.len())]);
+                offset += n;
+            }
+            let vmm = m.vmm.as_mut().expect("still here");
+            let dummy_buf = vmm.dummy_buf;
+            AhciMediator::rewrite_for_dummy(&mut m.hw.mem, table, dummy_buf);
+            let vmm = m.vmm.as_mut().expect("still here");
+            vmm.ahci_med.release_held(slot);
+            // Issue the guest's own slot: the device raises the interrupt.
+            if let Some(hwsim::ahci::AhciAction::SlotsIssued { slots, .. }) = m
+                .hw
+                .ahci
+                .mmio_write(PORT_BASE + preg::CI, 1u64 << slot)
+            {
+                debug_assert_eq!(slots, 1 << slot);
+            }
+            start_ahci_media(m, sim, slot, Origin::RedirectRestart);
+        }
+    }
+    kick_writer(m, sim);
+}
+
+fn replay_ide_writes(m: &mut Machine, sim: &mut MachineSim, queued: Vec<(IdeReg, u32)>) {
+    if queued.is_empty() {
+        return;
+    }
+    let mut events = Vec::new();
+    {
+        let mut bus = MachineBus {
+            hw: &mut m.hw,
+            vmm: &mut m.vmm,
+            events: &mut events,
+        };
+        for (reg, val) in queued {
+            bus.pio_write(reg.port(), val);
+        }
+    }
+    process_hw_events(m, sim, events);
+}
+
+// ------------------------------ fabric --------------------------------
+
+/// Drains the VMM NIC's TX ring onto the switch, scheduling deliveries.
+fn send_vmm_frames(m: &mut Machine, sim: &mut MachineSim, frames: Vec<Vec<u8>>) {
+    let Some(vmm) = m.vmm.as_mut() else { return };
+    for f in frames {
+        vmm.nic.send(SERVER_MAC, f);
+    }
+    pump_vmm_tx(m, sim);
+}
+
+fn pump_vmm_tx(m: &mut Machine, sim: &mut MachineSim) {
+    let (Some(vmm), Some(net)) = (m.vmm.as_mut(), m.net.as_mut()) else {
+        return;
+    };
+    while let Some(frame) = vmm.nic.nic_mut().pop_tx() {
+        m.stats.frames_tx += 1;
+        vmm.cpu_time += SimDuration::from_micros(3);
+        match net.switch.forward(sim.now(), frame) {
+            Ok(delivery) if delivery.port == net.server_port => {
+                let at = delivery.at;
+                let payload = delivery.frame.payload;
+                sim.schedule_at(at, move |m: &mut Machine, sim| {
+                    server_rx(m, sim, payload);
+                });
+            }
+            Ok(_) | Err(_) => {} // lost or misdelivered; retransmission recovers
+        }
+    }
+}
+
+fn server_rx(m: &mut Machine, sim: &mut MachineSim, payload: Vec<u8>) {
+    let Some(net) = m.net.as_mut() else { return };
+    let Ok(Some(reply)) = net.server.handle(sim.now(), &payload) else {
+        return;
+    };
+    let ready = reply.ready_at.max(sim.now());
+    for frame_payload in reply.frames {
+        sim.schedule_at(ready, move |m: &mut Machine, sim| {
+            let Some(net) = m.net.as_mut() else { return };
+            let frame = Frame {
+                src: SERVER_MAC,
+                dst: VMM_MAC,
+                payload_bytes: frame_payload.len() as u32,
+                payload: frame_payload.clone(),
+            };
+            match net.switch.forward(sim.now(), frame) {
+                Ok(delivery) => {
+                    let at = delivery.at;
+                    let payload = delivery.frame.payload;
+                    sim.schedule_at(at, move |m: &mut Machine, sim| {
+                        vmm_nic_rx(m, sim, payload);
+                    });
+                }
+                Err(_) => {} // dropped; retransmission recovers
+            }
+        });
+    }
+}
+
+fn vmm_nic_rx(m: &mut Machine, sim: &mut MachineSim, payload: Vec<u8>) {
+    let Some(vmm) = m.vmm.as_mut() else { return };
+    vmm.nic.nic_mut().deliver(Frame {
+        src: SERVER_MAC,
+        dst: VMM_MAC,
+        payload_bytes: payload.len() as u32,
+        payload,
+    });
+    // The polling thread notices on its next tick.
+    let slack = vmm.cfg.poll_interval / 2;
+    sim.schedule_in(slack, |m: &mut Machine, sim| {
+        vmm_poll(m, sim);
+    });
+}
+
+/// One VMM polling pass: drain the NIC, feed the AoE client, dispatch
+/// completions.
+fn vmm_poll(m: &mut Machine, sim: &mut MachineSim) {
+    let Some(vmm) = m.vmm.as_mut() else { return };
+    if !vmm.is_active() {
+        return;
+    }
+    let payloads = vmm.nic.drain();
+    let mut completions = Vec::new();
+    for p in payloads {
+        m.stats.frames_rx += 1;
+        vmm.cpu_time += SimDuration::from_micros(3);
+        if let Some(done) = vmm.client.on_frame(&p) {
+            completions.push(done);
+        }
+    }
+    for done in completions {
+        let vmm = m.vmm.as_mut().expect("still polling");
+        match vmm.aoe_waiters.remove(&done.request_id) {
+            Some(AoeWaiter::Redirect(_)) => {
+                if let Some(r) = vmm.redirect.as_mut() {
+                    r.outstanding -= 1;
+                    r.collected.push((done.range, done.data.clone()));
+                    r.fetched.push((done.range, done.data));
+                }
+                try_finish_redirect(m, sim);
+            }
+            Some(AoeWaiter::Background(_)) => {
+                vmm.bg.deliver(FetchedBlock {
+                    range: done.range,
+                    data: done.data,
+                });
+                kick_writer(m, sim);
+                retriever_fire(m, sim);
+            }
+            None => {}
+        }
+    }
+}
+
+/// Periodic retransmission guard while AoE requests are outstanding.
+fn schedule_retransmit_guard(m: &mut Machine, sim: &mut MachineSim) {
+    let Some(vmm) = m.vmm.as_ref() else { return };
+    if vmm.client.outstanding() == 0 {
+        return;
+    }
+    let rto = vmm.client.config().rto;
+    sim.schedule_in(rto, |m: &mut Machine, sim| {
+        let Some(vmm) = m.vmm.as_mut() else { return };
+        if !vmm.is_active() {
+            return;
+        }
+        let frames = vmm.client.poll_retransmit(sim.now());
+        let failures = vmm.client.take_failures();
+        let mut reissue_redirects = Vec::new();
+        for id in failures {
+            match vmm.aoe_waiters.remove(&id) {
+                Some(AoeWaiter::Background(range)) => {
+                    // Make the block requestable again; the retriever will
+                    // reissue it.
+                    vmm.bg.fetch_failed(range);
+                }
+                Some(AoeWaiter::Redirect(range)) => {
+                    // The guest is blocked on this data: reissue at once.
+                    reissue_redirects.push(range);
+                }
+                None => {}
+            }
+        }
+        for range in reissue_redirects {
+            let vmm = m.vmm.as_mut().expect("still here");
+            let (id, fs) = vmm.client.read(sim.now(), range);
+            vmm.aoe_waiters.insert(id, AoeWaiter::Redirect(range));
+            send_vmm_frames(m, sim, fs);
+        }
+        if !frames.is_empty() {
+            send_vmm_frames(m, sim, frames);
+        }
+        retriever_fire(m, sim);
+        schedule_retransmit_guard(m, sim);
+    });
+}
+
+// -------------------------- background copy ---------------------------
+
+/// Starts the deployment phase: retriever + writer chains.
+pub fn start_deployment(m: &mut Machine, sim: &mut MachineSim) {
+    if let Some(vmm) = m.vmm.as_mut() {
+        vmm.phase = Phase::Deployment;
+        // Warm the dummy sector so restarts hit the disk cache.
+        let dummy = BlockRange::new(crate::mediator::ide::DUMMY_LBA, 1);
+        m.hw.disk.access_time(DiskOp::Read, dummy);
+    }
+    retriever_fire(m, sim);
+}
+
+fn retriever_fire(m: &mut Machine, sim: &mut MachineSim) {
+    let Some(vmm) = m.vmm.as_mut() else { return };
+    if vmm.phase != Phase::Deployment {
+        return;
+    }
+    let mut frames = Vec::new();
+    loop {
+        let Some(range) = vmm.bg.next_fetch(&vmm.bitmap) else {
+            break;
+        };
+        vmm.cpu_time += VMM_OP_CPU;
+        let (id, fs) = vmm.client.read(sim.now(), range);
+        vmm.aoe_waiters.insert(id, AoeWaiter::Background(range));
+        frames.extend(fs);
+    }
+    if !frames.is_empty() {
+        send_vmm_frames(m, sim, frames);
+        schedule_retransmit_guard(m, sim);
+    }
+    maybe_begin_devirt(m, sim);
+}
+
+fn kick_writer(m: &mut Machine, sim: &mut MachineSim) {
+    let Some(vmm) = m.vmm.as_mut() else { return };
+    if !vmm.writer_idle || !vmm.is_active() {
+        return;
+    }
+    if !vmm.bg.has_pending_writes() {
+        return;
+    }
+    vmm.writer_idle = false;
+    // The moderation deadline was set when the previous write finished; a
+    // kick never *adds* pacing, it only respects the existing deadline.
+    // Copy-on-read fills are exempt: their data is in hand and the guest
+    // is actively using that region.
+    let delay = if vmm.bg.has_pending_fills() {
+        SimDuration::ZERO
+    } else {
+        vmm.writer_next_allowed.saturating_duration_since(sim.now())
+    };
+    sim.schedule_in(delay, writer_fire);
+}
+
+fn writer_fire(m: &mut Machine, sim: &mut MachineSim) {
+    let Some(vmm) = m.vmm.as_mut() else { return };
+    if !vmm.is_active() {
+        return;
+    }
+    // The device must be idle from the guest's perspective.
+    let device_busy = match m.guest.driver {
+        GuestDriver::Ide(_) => m.hw.ide.is_busy(),
+        GuestDriver::Ahci(_) => m.hw.ahci.is_busy(0),
+    };
+    let can = match m.guest.driver {
+        GuestDriver::Ide(_) => vmm.ide_med.can_multiplex() && !device_busy,
+        GuestDriver::Ahci(_) => vmm.ahci_med.can_multiplex(device_busy),
+    };
+    if !can || vmm.redirect.is_some() || vmm.multiplex.is_some() {
+        // Poll for an idle window at fine granularity (the paper's
+        // preemption-timer polling runs at CPU-cycle granularity).
+        sim.schedule_in(SimDuration::from_micros(50), writer_fire);
+        return;
+    }
+    let Some(pieces) = vmm.bg.pop_for_write(&mut vmm.bitmap) else {
+        // The FIFO may have drained entirely through discards (guest
+        // writes beat every queued block): restart the supply.
+        vmm.writer_idle = true;
+        retriever_fire(m, sim);
+        maybe_begin_devirt(m, sim);
+        return;
+    };
+    vmm.cpu_time += VMM_OP_CPU;
+    match m.guest.driver {
+        GuestDriver::Ide(_) => vmm.ide_med.begin_multiplex(),
+        GuestDriver::Ahci(_) => vmm.ahci_med.begin_multiplex(31),
+    }
+    vmm.multiplex = Some(MultiplexInFlight {
+        pieces,
+        next: 0,
+        buf: None,
+        prd: None,
+    });
+    multiplex_next_piece(m, sim);
+}
+
+fn multiplex_next_piece(m: &mut Machine, sim: &mut MachineSim) {
+    let vmm = m.vmm.as_mut().expect("multiplex without vmm");
+    let mx = vmm.multiplex.as_mut().expect("no multiplex in flight");
+    // Free the previous piece's buffers.
+    if let Some(b) = mx.buf.take() {
+        m.hw.mem.free(b);
+    }
+    if let Some(p) = mx.prd.take() {
+        m.hw.mem.free(p);
+    }
+    let vmm = m.vmm.as_mut().expect("multiplex without vmm");
+    let mx = vmm.multiplex.as_mut().expect("no multiplex in flight");
+    if mx.next >= mx.pieces.len() {
+        finish_multiplex(m, sim);
+        return;
+    }
+    let piece = mx.pieces[mx.next].clone();
+    mx.next += 1;
+    let buf = m.hw.mem.alloc(DmaBuffer {
+        sectors: piece.data.clone(),
+    });
+    let prd = m.hw.mem.alloc(PrdTable {
+        entries: vec![PrdEntry {
+            buf,
+            sectors: piece.range.sectors,
+        }],
+    });
+    let vmm = m.vmm.as_mut().expect("still multiplexing");
+    let mx = vmm.multiplex.as_mut().expect("still multiplexing");
+    mx.buf = Some(buf);
+    mx.prd = Some(prd);
+    match m.guest.driver {
+        GuestDriver::Ide(_) => {
+            m.hw.ide.inject_command(IdeCommandBlock {
+                op: AtaOp::WriteDma,
+                range: piece.range,
+                prd: Some(prd),
+            });
+            start_ide_media(m, sim, Origin::VmmWrite);
+        }
+        GuestDriver::Ahci(_) => {
+            // Build the VMM's slot-31 structures in the guest's command
+            // list, or in the VMM's own list while the guest driver has
+            // not initialized the port yet.
+            let clb = match vmm.ahci_med.clb().or(vmm.vmm_clb) {
+                Some(clb) => clb,
+                None => {
+                    let clb = m.hw.mem.alloc(hwsim::ahci::AhciCmdList::new());
+                    m.hw.ahci.mmio_write(PORT_BASE + preg::CLB, clb.0);
+                    vmm.vmm_clb = Some(clb);
+                    clb
+                }
+            };
+            let table = m.hw.mem.alloc(AhciCmdTable {
+                cfis: hwsim::ahci::H2dFis {
+                    op: AtaOp::WriteDma,
+                    range: piece.range,
+                },
+                prdt: PrdTable {
+                    entries: vec![PrdEntry {
+                        buf,
+                        sectors: piece.range.sectors,
+                    }],
+                },
+            });
+            let list = m
+                .hw
+                .mem
+                .get_mut::<hwsim::ahci::AhciCmdList>(clb)
+                .expect("command list vanished");
+            list.slots[31] = Some(hwsim::ahci::AhciCmdHeader {
+                ctba: table,
+                write: true,
+            });
+            m.hw.ahci.mmio_write(PORT_BASE + preg::CI, 1u64 << 31);
+            start_ahci_media(m, sim, 31, Origin::VmmWrite);
+        }
+    }
+}
+
+fn continue_multiplex(m: &mut Machine, sim: &mut MachineSim) {
+    if m.vmm.as_ref().and_then(|v| v.multiplex.as_ref()).is_some() {
+        multiplex_next_piece(m, sim);
+    }
+}
+
+fn finish_multiplex(m: &mut Machine, sim: &mut MachineSim) {
+    let vmm = m.vmm.as_mut().expect("multiplex without vmm");
+    vmm.multiplex = None;
+    match m.guest.driver {
+        GuestDriver::Ide(_) => {
+            let queued = vmm.ide_med.finish_multiplex();
+            replay_ide_writes(m, sim, queued);
+        }
+        GuestDriver::Ahci(_) => {
+            let queued_ci = vmm.ahci_med.finish_multiplex();
+            let queued_mmio = vmm.ahci_med.take_queued_mmio();
+            // Clear the VMM's slot header in whichever list carried it.
+            if let Some(clb) = vmm.ahci_med.clb().or(vmm.vmm_clb) {
+                if let Some(list) = m.hw.mem.get_mut::<hwsim::ahci::AhciCmdList>(clb) {
+                    list.slots[31] = None;
+                }
+            }
+            if !queued_mmio.is_empty() || queued_ci != 0 {
+                let mut events = Vec::new();
+                {
+                    let mut bus = MachineBus {
+                        hw: &mut m.hw,
+                        vmm: &mut m.vmm,
+                        events: &mut events,
+                    };
+                    for (offset, val) in queued_mmio {
+                        bus.mmio_write(ABAR + offset, val);
+                    }
+                    if queued_ci != 0 {
+                        bus.mmio_write(ABAR + PORT_BASE + preg::CI, queued_ci as u64);
+                    }
+                }
+                process_hw_events(m, sim, events);
+            }
+        }
+    }
+    // Pace the next write per moderation (fills are exempt), then
+    // continue.
+    let vmm = m.vmm.as_mut().expect("still here");
+    let delay = if vmm.bg.has_pending_fills() {
+        SimDuration::ZERO
+    } else {
+        vmm.cfg
+            .moderation
+            .next_delay(vmm.bg.guest_io_rate(sim.now()))
+    };
+    vmm.writer_idle = true;
+    vmm.writer_next_allowed = sim.now() + delay;
+    sim.schedule_in(delay, |m: &mut Machine, sim| {
+        kick_writer(m, sim);
+        maybe_begin_devirt(m, sim);
+        retriever_fire(m, sim);
+    });
+    retriever_fire(m, sim);
+}
+
+// --------------------------- de-virtualization ------------------------
+
+fn maybe_begin_devirt(m: &mut Machine, sim: &mut MachineSim) {
+    let Some(vmm) = m.vmm.as_mut() else { return };
+    if vmm.phase != Phase::Deployment
+        || !vmm.bitmap.is_complete()
+        || vmm.bg.has_pending_writes()
+        || vmm.bg.inflight() > 0
+        || vmm.redirect.is_some()
+        || vmm.multiplex.is_some()
+        || vmm.devirt_requested
+    {
+        return;
+    }
+    vmm.devirt_requested = true;
+    vmm.deployment_done_at = Some(sim.now());
+    sim.schedule_in(SimDuration::from_micros(10), begin_devirt);
+}
+
+fn begin_devirt(m: &mut Machine, sim: &mut MachineSim) {
+    // Wait for a consistent hardware state: no guest command in flight.
+    let busy = m.hw.ide.is_busy() || m.hw.ahci.is_busy(0);
+    let Some(vmm) = m.vmm.as_mut() else { return };
+    if busy {
+        sim.schedule_in(SimDuration::from_micros(200), begin_devirt);
+        return;
+    }
+    // Persist the bitmap before letting go of the disk.
+    let region = vmm.bitmap_region;
+    vmm.bitmap.save_to(m.hw.disk.store_mut(), region);
+    vmm.phase = Phase::Devirtualization;
+    // Each CPU tears down at its own pace — no TLB-shootdown IPIs needed.
+    let vmxoff = vmm.cfg.vmxoff_after_deploy;
+    for i in 0..m.hw.cpus.len() {
+        let jitter = SimDuration::from_micros(7 * (i as u64 + 1));
+        sim.schedule_in(jitter, move |m: &mut Machine, sim| {
+            let Some(vmm) = m.vmm.as_mut() else { return };
+            if vmxoff {
+                vmm.devirt.devirtualize_cpu(i, &mut m.hw.cpus[i]);
+            } else {
+                // Resident mode (§4.3/§6): nested paging and all traps go,
+                // but the VMM stays in VMX root to keep the management NIC
+                // hidden. Its residual overhead is negligible — no guest
+                // access exits from here on.
+                m.hw.cpus[i].disable_ept();
+                m.hw.cpus[i].clear_traps();
+                m.hw.cpus[i].set_preemption_timer(None);
+                vmm.devirt.mark_resident(i);
+            }
+            if vmm.devirt.all_done() {
+                vmm.phase = Phase::BareMetal;
+                vmm.bare_metal_at = Some(sim.now());
+                if !vmxoff {
+                    m.hw.pci.hide(MGMT_NIC_BDF);
+                }
+            }
+        });
+    }
+}
+
+/// State carried across a shutdown/reboot: the local disk (with the
+/// bitmap persisted in its reserved region) and the in-memory bitmap to
+/// validate against it.
+#[derive(Debug)]
+pub struct RebootState {
+    /// The local disk as the machine left it.
+    pub disk: DiskModel,
+    /// The bitmap at shutdown.
+    pub bitmap: BlockBitmap,
+    /// Where the bitmap was persisted.
+    pub bitmap_region: BlockRange,
+}
+
+/// Persists the bitmap and tears the machine down for a reboot.
+///
+/// # Panics
+///
+/// Panics on a bare-metal machine (nothing to persist).
+pub fn shutdown_for_reboot(mut m: Machine) -> RebootState {
+    let vmm = m.vmm.as_mut().expect("shutdown_for_reboot: no VMM");
+    let region = vmm.bitmap_region;
+    // Crash consistency: a multiplexed write claims its blocks in the
+    // bitmap *before* the data is durable. Un-claim anything still in
+    // flight so the resumed deployment re-copies it (idempotent).
+    if let Some(mx) = vmm.multiplex.as_ref() {
+        let ranges: Vec<BlockRange> = mx.pieces.iter().map(|p| p.range).collect();
+        for range in ranges {
+            vmm.bitmap.clear(range);
+        }
+    }
+    vmm.bitmap.save_to(m.hw.disk.store_mut(), region);
+    let vmm = m.vmm.take().expect("just had it");
+    RebootState {
+        disk: m.hw.disk,
+        bitmap: vmm.bitmap,
+        bitmap_region: region,
+    }
+}
+
+impl Machine {
+    /// Reconstructs a BMcast machine after a reboot, resuming the
+    /// interrupted deployment from the persisted bitmap.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the on-disk bitmap does not match `state.bitmap` (a torn
+    /// save — the deployment must restart from scratch instead).
+    pub fn bmcast_resumed(spec: &MachineSpec, cfg: BmcastConfig, state: RebootState) -> Machine {
+        assert!(
+            state
+                .bitmap
+                .matches_saved(state.disk.store(), state.bitmap_region),
+            "persisted bitmap is torn; cannot resume"
+        );
+        let mut m = Machine::bmcast(spec, cfg);
+        m.hw.disk = state.disk;
+        let vmm = m.vmm.as_mut().expect("bmcast machine has a VMM");
+        vmm.bitmap = state.bitmap;
+        m
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_spec(controller: ControllerKind) -> MachineSpec {
+        MachineSpec {
+            capacity_sectors: 1 << 16,
+            image_sectors: 1 << 15,
+            image_seed: 0xABCD,
+            cpus: 4,
+            mem_bytes: 1 << 30,
+            controller,
+        }
+    }
+
+    /// A program that reads one range and stops.
+    struct OneRead {
+        range: BlockRange,
+        pub got: Option<Vec<SectorData>>,
+    }
+
+    impl GuestProgram for OneRead {
+        fn name(&self) -> &str {
+            "one-read"
+        }
+        fn start(&mut self, ctl: &mut GuestCtl) {
+            ctl.submit(IoRequest::read(RequestId(1), self.range));
+        }
+        fn on_io_complete(&mut self, io: &CompletedIo, ctl: &mut GuestCtl) {
+            self.got = Some(io.data.clone());
+            ctl.finish();
+        }
+        fn on_timer(&mut self, _token: u64, _ctl: &mut GuestCtl) {}
+    }
+
+    fn run_one_read(controller: ControllerKind, with_vmm: bool) -> (Machine, SimTime) {
+        let spec = small_spec(controller);
+        let mut m = if with_vmm {
+            Machine::bmcast(&spec, BmcastConfig {
+                controller,
+                ..BmcastConfig::default()
+            })
+        } else {
+            Machine::bare_metal(&spec)
+        };
+        let mut sim = MachineSim::new();
+        m.set_program(Box::new(OneRead {
+            range: BlockRange::new(Lba(100), 8),
+            got: None,
+        }));
+        if with_vmm {
+            start_deployment(&mut m, &mut sim);
+        }
+        start_program(&mut m, &mut sim);
+        let ok = sim.run_while(&mut m, |m| !m.guest.finished);
+        assert!(ok, "guest program should finish");
+        let t = sim.now();
+        (m, t)
+    }
+
+    #[test]
+    fn bare_metal_read_returns_image_data() {
+        for controller in [ControllerKind::Ide, ControllerKind::Ahci] {
+            let (m, t) = run_one_read(controller, false);
+            assert_eq!(m.guest.ios_completed, 1);
+            assert!(t > SimTime::ZERO);
+            assert_eq!(m.stats.redirected_ios, 0);
+            let _ = m;
+        }
+    }
+
+    #[test]
+    fn copy_on_read_returns_server_data_through_both_mediators() {
+        for controller in [ControllerKind::Ide, ControllerKind::Ahci] {
+            let spec = small_spec(controller);
+            let mut m = Machine::bmcast(
+                &spec,
+                BmcastConfig {
+                    controller,
+                    // Quiet the background copy so only copy-on-read runs.
+                    moderation: crate::config::Moderation {
+                        vmm_write_interval: SimDuration::from_secs(3600),
+                        ..Default::default()
+                    },
+                    ..BmcastConfig::default()
+                },
+            );
+            let mut sim = MachineSim::new();
+            m.set_program(Box::new(OneRead {
+                range: BlockRange::new(Lba(100), 8),
+                got: None,
+            }));
+            if let Some(vmm) = m.vmm.as_mut() {
+                vmm.phase = Phase::Deployment;
+            }
+            start_program(&mut m, &mut sim);
+            let ok = sim.run_while(&mut m, |m| !m.guest.finished);
+            assert!(ok, "{controller:?}: guest should finish");
+            assert_eq!(m.stats.redirected_ios, 1, "{controller:?}");
+            // The data must be exactly the server image's.
+            assert_eq!(m.guest.ios_completed, 1);
+        }
+    }
+
+    #[test]
+    fn full_deployment_reaches_bare_metal() {
+        let spec = MachineSpec {
+            capacity_sectors: 1 << 13,
+            image_sectors: 1 << 13,
+            image_seed: 0x77,
+            cpus: 2,
+            mem_bytes: 1 << 30,
+            controller: ControllerKind::Ide,
+        };
+        let mut m = Machine::bmcast(
+            &spec,
+            BmcastConfig {
+                moderation: crate::config::Moderation::full_speed(),
+                ..BmcastConfig::default()
+            },
+        );
+        let mut sim = MachineSim::new();
+        start_deployment(&mut m, &mut sim);
+        sim.run_until(&mut m, SimTime::from_secs(120));
+        let vmm = m.vmm.as_ref().unwrap();
+        assert!(vmm.bitmap.is_complete(), "progress {}", vmm.bitmap.progress());
+        assert_eq!(vmm.phase, Phase::BareMetal);
+        assert!(vmm.bare_metal_at.is_some());
+        for cpu in &m.hw.cpus {
+            assert!(!cpu.vmx_on());
+        }
+        // Local disk now byte-identical to the image (outside the small
+        // tail carved out for bitmap persistence).
+        for lba in [0u64, 100, 4000, (1 << 13) - 3] {
+            assert_eq!(
+                m.hw.disk.store().read(Lba(lba)),
+                BlockStore::image_content(0x77, Lba(lba)),
+                "sector {lba}"
+            );
+        }
+    }
+
+    #[test]
+    fn guest_write_during_deployment_survives() {
+        let spec = MachineSpec {
+            capacity_sectors: 1 << 13,
+            image_sectors: 1 << 13,
+            image_seed: 0x77,
+            cpus: 2,
+            mem_bytes: 1 << 30,
+            controller: ControllerKind::Ide,
+        };
+        struct WriteThenWait;
+        impl GuestProgram for WriteThenWait {
+            fn name(&self) -> &str {
+                "write-then-wait"
+            }
+            fn start(&mut self, ctl: &mut GuestCtl) {
+                ctl.submit(IoRequest::write(
+                    RequestId(9),
+                    BlockRange::new(Lba(4096), 4),
+                    vec![SectorData(0xFEED); 4],
+                ));
+            }
+            fn on_io_complete(&mut self, _io: &CompletedIo, ctl: &mut GuestCtl) {
+                ctl.finish();
+            }
+            fn on_timer(&mut self, _t: u64, _ctl: &mut GuestCtl) {}
+        }
+        let mut m = Machine::bmcast(
+            &spec,
+            BmcastConfig {
+                moderation: crate::config::Moderation::full_speed(),
+                ..BmcastConfig::default()
+            },
+        );
+        let mut sim = MachineSim::new();
+        m.set_program(Box::new(WriteThenWait));
+        start_deployment(&mut m, &mut sim);
+        start_program(&mut m, &mut sim);
+        sim.run_until(&mut m, SimTime::from_secs(120));
+        let vmm = m.vmm.as_ref().unwrap();
+        assert!(vmm.bitmap.is_complete());
+        // The guest's write beat the image copy and survived it.
+        for i in 0..4u64 {
+            assert_eq!(m.hw.disk.store().read(Lba(4096 + i)), SectorData(0xFEED));
+        }
+        // Neighbouring sectors got image content.
+        assert_eq!(
+            m.hw.disk.store().read(Lba(4095)),
+            BlockStore::image_content(0x77, Lba(4095))
+        );
+    }
+
+    #[test]
+    fn zero_exits_after_devirtualization() {
+        let spec = MachineSpec {
+            capacity_sectors: 1 << 12,
+            image_sectors: 1 << 12,
+            image_seed: 0x11,
+            cpus: 2,
+            mem_bytes: 1 << 30,
+            controller: ControllerKind::Ide,
+        };
+        let mut m = Machine::bmcast(
+            &spec,
+            BmcastConfig {
+                moderation: crate::config::Moderation::full_speed(),
+                ..BmcastConfig::default()
+            },
+        );
+        let mut sim = MachineSim::new();
+        start_deployment(&mut m, &mut sim);
+        sim.run_until(&mut m, SimTime::from_secs(60));
+        assert_eq!(m.phase(), Phase::BareMetal);
+        let exits_before = m.hw.cpus[0].total_exits();
+        // Post-devirt guest I/O: must not exit, must still work.
+        m.set_program(Box::new(OneRead {
+            range: BlockRange::new(Lba(10), 4),
+            got: None,
+        }));
+        start_program(&mut m, &mut sim);
+        let ok = sim.run_while(&mut m, |m| !m.guest.finished);
+        assert!(ok);
+        assert_eq!(
+            m.hw.cpus[0].total_exits(),
+            exits_before,
+            "bare-metal I/O must cause zero VM exits"
+        );
+        assert_eq!(m.guest.ios_completed, 1);
+    }
+}

@@ -1,0 +1,170 @@
+//! The guest's view of hardware: the [`GuestBus`] trait.
+//!
+//! Guest drivers perform PIO and MMIO through this trait and nothing else.
+//! [`DirectBus`] wires accesses straight to the controllers — bare metal.
+//! The `bmcast` crate provides a virtualized implementation that routes
+//! the *same* accesses through VM exits and device mediators; after
+//! de-virtualization its fast path is byte-for-byte this one. The drivers
+//! never know which they are on.
+
+use hwsim::ahci::{AhciAction, AhciController};
+use hwsim::ide::{IdeAction, IdeController, IdeReg};
+use hwsim::mem::PhysMem;
+
+/// Hardware access surface available to guest drivers.
+pub trait GuestBus {
+    /// Reads an I/O port.
+    fn pio_read(&mut self, port: u16) -> u32;
+    /// Writes an I/O port.
+    fn pio_write(&mut self, port: u16, val: u32);
+    /// Reads a physical MMIO address.
+    fn mmio_read(&mut self, addr: u64) -> u64;
+    /// Writes a physical MMIO address.
+    fn mmio_write(&mut self, addr: u64, val: u64);
+    /// Guest-visible physical memory (for DMA buffers and command
+    /// structures).
+    fn mem(&mut self) -> &mut PhysMem;
+}
+
+/// Hardware events latched by a bus while the guest programs devices.
+///
+/// Register writes can make a controller command ready; the entity driving
+/// the simulation pops these and schedules media service.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BusEvent {
+    /// The IDE controller has a ready command.
+    IdeReady,
+    /// The AHCI controller has newly issued slots on a port.
+    AhciIssued {
+        /// Port index.
+        port: usize,
+        /// Bitmask of new slots.
+        slots: u32,
+    },
+}
+
+/// A bare-metal bus: accesses reach the hardware directly with no
+/// virtualization layer in between.
+///
+/// # Examples
+///
+/// ```
+/// use guestsim::bus::{DirectBus, GuestBus};
+/// use hwsim::ide::IdeReg;
+///
+/// let mut bus = DirectBus::new(1 << 30, 1 << 16, 0xEE);
+/// bus.pio_write(IdeReg::SectorCount.port(), 1);
+/// assert_eq!(bus.pio_read(IdeReg::SectorCount.port()), 1);
+/// ```
+#[derive(Debug)]
+pub struct DirectBus {
+    /// The IDE controller.
+    pub ide: IdeController,
+    /// The AHCI HBA.
+    pub ahci: AhciController,
+    /// Physical memory.
+    pub memory: PhysMem,
+    events: Vec<BusEvent>,
+}
+
+impl DirectBus {
+    /// Creates a machine with both controllers over a disk image seeded
+    /// with `image_seed` (see [`hwsim::block::BlockStore::image`]).
+    ///
+    /// The disk itself lives with the caller; `DirectBus` carries only the
+    /// controllers, which are storage-free state machines.
+    pub fn new(mem_bytes: u64, _capacity_sectors: u64, _image_seed: u64) -> DirectBus {
+        DirectBus {
+            ide: IdeController::new(),
+            ahci: AhciController::new(1),
+            memory: PhysMem::new(mem_bytes),
+            events: Vec::new(),
+        }
+    }
+
+    /// Drains hardware events latched since the last call.
+    pub fn take_events(&mut self) -> Vec<BusEvent> {
+        std::mem::take(&mut self.events)
+    }
+}
+
+impl GuestBus for DirectBus {
+    fn pio_read(&mut self, port: u16) -> u32 {
+        match IdeReg::from_port(port) {
+            Some(reg) => self.ide.read_reg(reg),
+            None => 0,
+        }
+    }
+
+    fn pio_write(&mut self, port: u16, val: u32) {
+        if let Some(reg) = IdeReg::from_port(port) {
+            if let Some(IdeAction::CommandReady) = self.ide.write_reg(reg, val) {
+                self.events.push(BusEvent::IdeReady);
+            }
+        }
+    }
+
+    fn mmio_read(&mut self, addr: u64) -> u64 {
+        if AhciController::owns_mmio(addr) {
+            self.ahci.mmio_read(addr - hwsim::ahci::ABAR)
+        } else {
+            0
+        }
+    }
+
+    fn mmio_write(&mut self, addr: u64, val: u64) {
+        if AhciController::owns_mmio(addr) {
+            if let Some(AhciAction::SlotsIssued { port, slots }) =
+                self.ahci.mmio_write(addr - hwsim::ahci::ABAR, val)
+            {
+                self.events.push(BusEvent::AhciIssued { port, slots });
+            }
+        }
+    }
+
+    fn mem(&mut self) -> &mut PhysMem {
+        &mut self.memory
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pio_routes_to_ide() {
+        let mut bus = DirectBus::new(1 << 30, 1 << 16, 1);
+        bus.pio_write(IdeReg::LbaLow.port(), 42);
+        assert_eq!(bus.pio_read(IdeReg::LbaLow.port()), 42);
+    }
+
+    #[test]
+    fn unknown_port_reads_zero() {
+        let mut bus = DirectBus::new(1 << 30, 1 << 16, 1);
+        assert_eq!(bus.pio_read(0x80), 0);
+        bus.pio_write(0x80, 7); // ignored
+    }
+
+    #[test]
+    fn mmio_routes_to_ahci() {
+        let mut bus = DirectBus::new(1 << 30, 1 << 16, 1);
+        let clb_addr = hwsim::ahci::ABAR + hwsim::ahci::PORT_BASE + hwsim::ahci::preg::CLB;
+        bus.mmio_write(clb_addr, 0x5000);
+        assert_eq!(bus.mmio_read(clb_addr), 0x5000);
+        assert_eq!(bus.mmio_read(0xDEAD_0000), 0);
+    }
+
+    #[test]
+    fn command_ready_latches_event() {
+        let mut bus = DirectBus::new(1 << 30, 1 << 16, 1);
+        bus.pio_write(IdeReg::SectorCount.port(), 1);
+        bus.pio_write(IdeReg::LbaLow.port(), 0);
+        bus.pio_write(IdeReg::LbaMid.port(), 0);
+        bus.pio_write(IdeReg::LbaHigh.port(), 0);
+        bus.pio_write(IdeReg::Device.port(), 0xE0);
+        bus.pio_write(IdeReg::Command.port(), 0xC8);
+        bus.pio_write(IdeReg::BmCommand.port(), 0x09);
+        assert_eq!(bus.take_events(), vec![BusEvent::IdeReady]);
+        assert!(bus.take_events().is_empty(), "events drain once");
+    }
+}

@@ -1,0 +1,93 @@
+//! ioping demand stream: storage latency probing.
+//!
+//! The paper's storage-latency benchmark (Figure 11): "read 1 MB of data
+//! 100 times with 4K byte block size" — i.e. each probe reads 256 scattered
+//! 4 KB blocks from a 1 MB working set and reports the mean per-request
+//! latency. Under BMcast in the deployment phase, probes that land while a
+//! multiplexed VMM write is in flight are queued behind it; that queueing
+//! is the +4.3 ms the paper measures.
+
+use crate::io::{IoRequest, RequestId};
+use hwsim::block::{BlockRange, Lba};
+use simkit::Prng;
+
+/// An ioping probe specification.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IopingJob {
+    /// Number of probe iterations.
+    pub iterations: u32,
+    /// Bytes read per iteration.
+    pub bytes_per_iteration: u64,
+    /// Block size per request in bytes.
+    pub block_bytes: u64,
+    /// First LBA of the probed file.
+    pub start: Lba,
+    /// Size of the probed file in bytes.
+    pub file_bytes: u64,
+}
+
+impl IopingJob {
+    /// The paper's job: 100 probes, one per second (ioping's default
+    /// interval), each a 4 KB random read within the 1 MB test file.
+    pub fn paper(start: Lba) -> IopingJob {
+        IopingJob {
+            iterations: 100,
+            bytes_per_iteration: 4 << 10,
+            block_bytes: 4 << 10,
+            start,
+            file_bytes: 1 << 20,
+        }
+    }
+
+    /// Requests per iteration.
+    pub fn requests_per_iteration(&self) -> u64 {
+        (self.bytes_per_iteration / self.block_bytes).max(1)
+    }
+
+    /// Generates the full probe sequence (deterministic in `seed`): block
+    /// offsets are drawn uniformly from the file, like ioping's random
+    /// mode.
+    pub fn requests(&self, seed: u64) -> Vec<IoRequest> {
+        let mut prng = Prng::new(seed);
+        let sectors = (self.block_bytes / 512).max(1) as u32;
+        let blocks_in_file = (self.file_bytes / self.block_bytes).max(1);
+        let total = self.iterations as u64 * self.requests_per_iteration();
+        (0..total)
+            .map(|i| {
+                let block = prng.below(blocks_in_file);
+                let lba = self.start + block * sectors as u64;
+                IoRequest::read(RequestId(i), BlockRange::new(lba, sectors))
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_job_counts() {
+        let j = IopingJob::paper(Lba(0));
+        assert_eq!(j.requests_per_iteration(), 1);
+        assert_eq!(j.requests(1).len(), 100);
+    }
+
+    #[test]
+    fn requests_stay_in_file() {
+        let j = IopingJob::paper(Lba(4096));
+        let end = 4096 + (j.file_bytes / 512);
+        for r in j.requests(2) {
+            assert!(r.range.lba.0 >= 4096);
+            assert!(r.range.end().0 <= end);
+            assert_eq!(r.range.sectors, 8, "4 KB probes");
+        }
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let j = IopingJob::paper(Lba(0));
+        assert_eq!(j.requests(3), j.requests(3));
+        assert_ne!(j.requests(3), j.requests(4));
+    }
+}

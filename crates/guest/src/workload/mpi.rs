@@ -1,0 +1,197 @@
+//! OSU-style MPI collective latency models.
+//!
+//! Figure 6 measures the latency of MPI collectives across the 10-node
+//! InfiniBand cluster on bare metal, BMcast, and KVM. Collectives are
+//! built from point-to-point messages, so their cost follows the classic
+//! LogP-style α-β-γ model: α per message (fabric latency + per-message
+//! software cost — where the platforms differ), β per byte on the wire,
+//! and γ per byte of local reduction compute (where memory-system
+//! overheads like nested paging and cache pollution bite).
+
+use simkit::SimDuration;
+
+/// The collectives the benchmark runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Collective {
+    /// `MPI_Allgather` (ring algorithm).
+    Allgather,
+    /// `MPI_Allreduce` (recursive doubling).
+    Allreduce,
+    /// `MPI_Bcast` (binomial tree).
+    Bcast,
+    /// `MPI_Reduce` (binomial tree with reduction).
+    Reduce,
+    /// `MPI_Alltoall` (pairwise exchange).
+    Alltoall,
+    /// `MPI_Barrier` (dissemination).
+    Barrier,
+}
+
+impl Collective {
+    /// Every collective, in Figure 6 order.
+    pub const ALL: [Collective; 6] = [
+        Collective::Allgather,
+        Collective::Allreduce,
+        Collective::Bcast,
+        Collective::Reduce,
+        Collective::Alltoall,
+        Collective::Barrier,
+    ];
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Collective::Allgather => "Allgather",
+            Collective::Allreduce => "Allreduce",
+            Collective::Bcast => "Bcast",
+            Collective::Reduce => "Reduce",
+            Collective::Alltoall => "Alltoall",
+            Collective::Barrier => "Barrier",
+        }
+    }
+}
+
+/// Platform-dependent point-to-point parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MpiParams {
+    /// Per-message latency: fabric + per-message software/interrupt cost.
+    pub alpha: SimDuration,
+    /// Wire time per byte, ns.
+    pub beta_ns_per_byte: f64,
+    /// Local reduction compute per byte, ns.
+    pub gamma_ns_per_byte: f64,
+    /// Multiplier on compute (γ) from the platform's memory system (EPT,
+    /// cache pollution); 1.0 on bare metal.
+    pub compute_factor: f64,
+    /// Per-step penalty on *one-directional hand-offs* (ring and tree
+    /// steps whose receiver is idle-blocked): on a VMM the blocked vCPU
+    /// must be woken through the virtual interrupt/scheduler path.
+    /// Bidirectional exchanges (recursive doubling, pairwise, barrier
+    /// dissemination) are polling on both sides and skip this. Zero on
+    /// bare metal.
+    pub idle_wakeup: SimDuration,
+}
+
+impl MpiParams {
+    /// Bare-metal parameters on the evaluation fabric (4X QDR IB).
+    pub fn bare_metal() -> MpiParams {
+        MpiParams {
+            alpha: SimDuration::from_nanos(1_900),
+            beta_ns_per_byte: 0.31, // ≈ 3.2 GB/s effective
+            gamma_ns_per_byte: 0.8,
+            compute_factor: 1.0,
+            idle_wakeup: SimDuration::ZERO,
+        }
+    }
+}
+
+fn log2_ceil(n: u32) -> u32 {
+    assert!(n > 0);
+    32 - (n - 1).leading_zeros()
+}
+
+/// Latency of one collective over `procs` processes with `bytes` per
+/// process.
+///
+/// # Panics
+///
+/// Panics if `procs < 2`.
+pub fn collective_latency(col: Collective, procs: u32, bytes: u64, p: &MpiParams) -> SimDuration {
+    assert!(procs >= 2, "collectives need at least two processes");
+    let n = procs as f64;
+    let m = bytes as f64;
+    let alpha = p.alpha.as_nanos() as f64;
+    let steps_log = log2_ceil(procs) as f64;
+    let wire = |b: f64| b * p.beta_ns_per_byte;
+    let compute = |b: f64| b * p.gamma_ns_per_byte * p.compute_factor;
+
+    let wakeup = p.idle_wakeup.as_nanos() as f64;
+    let ns = match col {
+        // Ring: n-1 one-directional hand-offs of m bytes.
+        Collective::Allgather => (n - 1.0) * (alpha + wire(m) + wakeup),
+        // Recursive doubling: log n bidirectional exchanges + local reduce.
+        Collective::Allreduce => steps_log * (alpha + wire(m) + compute(m)),
+        // Binomial tree: log n one-directional hops of the full message.
+        Collective::Bcast => steps_log * (alpha + wire(m) + wakeup),
+        Collective::Reduce => steps_log * (alpha + wire(m) + compute(m) + wakeup),
+        // Pairwise exchange: n-1 bidirectional rounds of m bytes each way.
+        Collective::Alltoall => (n - 1.0) * (alpha + wire(m)),
+        // Dissemination: log n bidirectional zero-byte rounds.
+        Collective::Barrier => steps_log * alpha,
+    };
+    SimDuration::from_nanos(ns.round() as u64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const P: u32 = 10;
+
+    #[test]
+    fn barrier_is_pure_alpha() {
+        let p = MpiParams::bare_metal();
+        let lat = collective_latency(Collective::Barrier, P, 0, &p);
+        assert_eq!(lat, p.alpha * 4); // ceil(log2 10) = 4
+    }
+
+    #[test]
+    fn latency_grows_with_message_size() {
+        let p = MpiParams::bare_metal();
+        for col in Collective::ALL {
+            let small = collective_latency(col, P, 8, &p);
+            let big = collective_latency(col, P, 65_536, &p);
+            assert!(big >= small, "{col:?}");
+        }
+    }
+
+    #[test]
+    fn alpha_sensitivity_is_highest_for_allgather() {
+        // The Figure 6 effect: KVM's per-message overhead hurts ring
+        // allgather (n-1 α's) more than log-step collectives.
+        let base = MpiParams::bare_metal();
+        let slow = MpiParams {
+            alpha: base.alpha * 3,
+            ..base
+        };
+        let ratio = |col| {
+            collective_latency(col, P, 64, &slow).as_nanos() as f64
+                / collective_latency(col, P, 64, &base).as_nanos() as f64
+        };
+        assert!(ratio(Collective::Allgather) > ratio(Collective::Allreduce));
+        assert!(ratio(Collective::Barrier) > 2.5, "barrier is all alpha");
+    }
+
+    #[test]
+    fn compute_factor_only_touches_reductions() {
+        let base = MpiParams::bare_metal();
+        let polluted = MpiParams {
+            compute_factor: 1.5,
+            ..base
+        };
+        let m = 1 << 20;
+        assert_eq!(
+            collective_latency(Collective::Allgather, P, m, &base),
+            collective_latency(Collective::Allgather, P, m, &polluted)
+        );
+        assert!(
+            collective_latency(Collective::Allreduce, P, m, &polluted)
+                > collective_latency(Collective::Allreduce, P, m, &base)
+        );
+    }
+
+    #[test]
+    fn log2_ceil_values() {
+        assert_eq!(log2_ceil(2), 1);
+        assert_eq!(log2_ceil(8), 3);
+        assert_eq!(log2_ceil(10), 4);
+        assert_eq!(log2_ceil(16), 4);
+        assert_eq!(log2_ceil(17), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two")]
+    fn single_process_panics() {
+        collective_latency(Collective::Barrier, 1, 0, &MpiParams::bare_metal());
+    }
+}

@@ -1,0 +1,413 @@
+//! Sectors, logical block addresses, and sparse block stores.
+//!
+//! Disk *contents* in this simulation are 64-bit fingerprints per 512-byte
+//! sector rather than real byte arrays. A 32-GB image therefore costs
+//! nothing until written, while every correctness property the paper cares
+//! about — "copy-on-read returns exactly the server's data", "a guest write
+//! is never overwritten by the background copy" — remains an exact equality
+//! check on fingerprints.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::ops::Add;
+
+/// Bytes per sector. BMcast, like ATA, uses 512-byte logical sectors.
+pub const SECTOR_SIZE: u64 = 512;
+
+/// A logical block address: the index of a 512-byte sector on a disk.
+///
+/// # Examples
+///
+/// ```
+/// use hwsim::block::Lba;
+/// let lba = Lba(10) + 4;
+/// assert_eq!(lba, Lba(14));
+/// assert_eq!(Lba::from_bytes(1024), Lba(2));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Lba(pub u64);
+
+impl Lba {
+    /// Converts a byte offset to the LBA containing it.
+    pub const fn from_bytes(bytes: u64) -> Lba {
+        Lba(bytes / SECTOR_SIZE)
+    }
+
+    /// Byte offset of the start of this sector.
+    pub const fn to_bytes(self) -> u64 {
+        self.0 * SECTOR_SIZE
+    }
+
+    /// Absolute distance in sectors between two LBAs.
+    pub fn distance(self, other: Lba) -> u64 {
+        self.0.abs_diff(other.0)
+    }
+}
+
+impl Add<u64> for Lba {
+    type Output = Lba;
+    fn add(self, rhs: u64) -> Lba {
+        Lba(self.0 + rhs)
+    }
+}
+
+impl fmt::Display for Lba {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "LBA {}", self.0)
+    }
+}
+
+/// A contiguous range of sectors: `lba .. lba + sectors`.
+///
+/// # Examples
+///
+/// ```
+/// use hwsim::block::{BlockRange, Lba};
+/// let r = BlockRange::new(Lba(100), 8);
+/// assert_eq!(r.end(), Lba(108));
+/// assert_eq!(r.bytes(), 4096);
+/// assert!(r.contains(Lba(107)));
+/// assert!(!r.contains(Lba(108)));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct BlockRange {
+    /// First sector of the range.
+    pub lba: Lba,
+    /// Number of sectors; always at least 1.
+    pub sectors: u32,
+}
+
+impl BlockRange {
+    /// Creates a range.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sectors` is zero.
+    pub fn new(lba: Lba, sectors: u32) -> BlockRange {
+        assert!(sectors > 0, "block range must span at least one sector");
+        BlockRange { lba, sectors }
+    }
+
+    /// One past the last sector.
+    pub fn end(self) -> Lba {
+        self.lba + self.sectors as u64
+    }
+
+    /// Size in bytes.
+    pub fn bytes(self) -> u64 {
+        self.sectors as u64 * SECTOR_SIZE
+    }
+
+    /// Whether `lba` falls inside the range.
+    pub fn contains(self, lba: Lba) -> bool {
+        lba >= self.lba && lba < self.end()
+    }
+
+    /// Whether two ranges share any sector.
+    pub fn overlaps(self, other: BlockRange) -> bool {
+        self.lba < other.end() && other.lba < self.end()
+    }
+
+    /// Iterates over the LBAs in the range.
+    pub fn iter(self) -> impl Iterator<Item = Lba> {
+        (self.lba.0..self.end().0).map(Lba)
+    }
+}
+
+/// The content fingerprint of one sector.
+///
+/// Equality of fingerprints stands in for byte-equality of sector data.
+/// [`SectorData::ZERO`] is an all-zero sector (an uninitialized disk).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct SectorData(pub u64);
+
+impl SectorData {
+    /// The all-zeroes sector.
+    pub const ZERO: SectorData = SectorData(0);
+}
+
+impl fmt::Display for SectorData {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "sector:{:016x}", self.0)
+    }
+}
+
+/// Content generator for not-yet-written sectors of a store.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum DefaultContent {
+    /// All sectors read as zero until written (a blank local disk).
+    Zeroes,
+    /// Sectors read as a deterministic function of `(seed, lba)` — a
+    /// pre-built OS image on the storage server.
+    Image { seed: u64 },
+}
+
+/// A sparse store of sector contents with a default-content generator.
+///
+/// # Examples
+///
+/// ```
+/// use hwsim::block::{BlockStore, Lba, SectorData};
+/// let mut local = BlockStore::zeroed(1 << 20);
+/// assert_eq!(local.read(Lba(5)), SectorData::ZERO);
+/// local.write(Lba(5), SectorData(42));
+/// assert_eq!(local.read(Lba(5)), SectorData(42));
+///
+/// let image = BlockStore::image(1 << 20, 0xB00);
+/// assert_ne!(image.read(Lba(5)), SectorData::ZERO);
+/// assert_eq!(image.read(Lba(5)), BlockStore::image_content(0xB00, Lba(5)));
+/// ```
+#[derive(Debug, Clone)]
+pub struct BlockStore {
+    capacity_sectors: u64,
+    default: DefaultContent,
+    written: HashMap<u64, SectorData>,
+    /// Space optimization for deployment targets: sectors whose written
+    /// content equals `image_content(mirror_seed, lba)` are tracked as one
+    /// bit instead of a map entry, so copying a whole 32-GB image costs
+    /// megabytes, not gigabytes. Semantically invisible.
+    mirror_seed: Option<u64>,
+    mirror_bits: Vec<u64>,
+}
+
+impl BlockStore {
+    /// A blank store (all sectors zero until written), e.g. a freshly
+    /// leased bare-metal instance's local disk.
+    pub fn zeroed(capacity_sectors: u64) -> BlockStore {
+        BlockStore {
+            capacity_sectors,
+            default: DefaultContent::Zeroes,
+            written: HashMap::new(),
+            mirror_seed: None,
+            mirror_bits: Vec::new(),
+        }
+    }
+
+    /// A blank store expected to be filled with the image keyed by `seed`:
+    /// writes that match the image's content are stored compactly.
+    /// Contents behave identically to [`BlockStore::zeroed`].
+    pub fn zeroed_with_mirror(capacity_sectors: u64, seed: u64) -> BlockStore {
+        BlockStore {
+            capacity_sectors,
+            default: DefaultContent::Zeroes,
+            written: HashMap::new(),
+            mirror_seed: Some(seed),
+            mirror_bits: vec![0; capacity_sectors.div_ceil(64) as usize],
+        }
+    }
+
+    /// A store pre-filled with a deterministic image keyed by `seed`, e.g.
+    /// the OS image on the storage server.
+    pub fn image(capacity_sectors: u64, seed: u64) -> BlockStore {
+        BlockStore {
+            capacity_sectors,
+            default: DefaultContent::Image { seed },
+            written: HashMap::new(),
+            mirror_seed: None,
+            mirror_bits: Vec::new(),
+        }
+    }
+
+    /// The deterministic content of sector `lba` of an image with `seed`.
+    ///
+    /// Exposed so tests can predict what a copy-on-read must return.
+    pub fn image_content(seed: u64, lba: Lba) -> SectorData {
+        // SplitMix64-style mix of (seed, lba); avoids 0 for any seed so an
+        // image sector is never confused with an uninitialized one.
+        let mut z = seed ^ lba.0.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        SectorData((z ^ (z >> 31)) | 1)
+    }
+
+    /// Capacity in sectors.
+    pub fn capacity_sectors(&self) -> u64 {
+        self.capacity_sectors
+    }
+
+    /// Capacity in bytes.
+    pub fn capacity_bytes(&self) -> u64 {
+        self.capacity_sectors * SECTOR_SIZE
+    }
+
+    /// Number of sectors that have been explicitly written.
+    pub fn written_sectors(&self) -> usize {
+        self.written.len()
+    }
+
+    /// Reads one sector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lba` is beyond the store's capacity.
+    pub fn read(&self, lba: Lba) -> SectorData {
+        assert!(lba.0 < self.capacity_sectors, "read past end of store: {lba}");
+        if let Some(&d) = self.written.get(&lba.0) {
+            return d;
+        }
+        if let Some(seed) = self.mirror_seed {
+            if self.mirror_bits[(lba.0 / 64) as usize] & (1 << (lba.0 % 64)) != 0 {
+                return Self::image_content(seed, lba);
+            }
+        }
+        match self.default {
+            DefaultContent::Zeroes => SectorData::ZERO,
+            DefaultContent::Image { seed } => Self::image_content(seed, lba),
+        }
+    }
+
+    /// Reads a whole range into a vector.
+    pub fn read_range(&self, range: BlockRange) -> Vec<SectorData> {
+        range.iter().map(|lba| self.read(lba)).collect()
+    }
+
+    /// Writes one sector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lba` is beyond the store's capacity.
+    pub fn write(&mut self, lba: Lba, data: SectorData) {
+        assert!(
+            lba.0 < self.capacity_sectors,
+            "write past end of store: {lba}"
+        );
+        if let Some(seed) = self.mirror_seed {
+            let (w, b) = ((lba.0 / 64) as usize, 1u64 << (lba.0 % 64));
+            if data == Self::image_content(seed, lba) {
+                self.mirror_bits[w] |= b;
+                self.written.remove(&lba.0);
+                return;
+            }
+            self.mirror_bits[w] &= !b;
+        }
+        self.written.insert(lba.0, data);
+    }
+
+    /// Writes a range from a slice of sector contents.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != range.sectors` or the range exceeds
+    /// capacity.
+    pub fn write_range(&mut self, range: BlockRange, data: &[SectorData]) {
+        assert_eq!(
+            data.len(),
+            range.sectors as usize,
+            "write_range: data length must match range"
+        );
+        for (lba, &d) in range.iter().zip(data) {
+            self.write(lba, d);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lba_byte_conversions() {
+        assert_eq!(Lba::from_bytes(0), Lba(0));
+        assert_eq!(Lba::from_bytes(511), Lba(0));
+        assert_eq!(Lba::from_bytes(512), Lba(1));
+        assert_eq!(Lba(3).to_bytes(), 1536);
+        assert_eq!(Lba(10).distance(Lba(3)), 7);
+        assert_eq!(Lba(3).distance(Lba(10)), 7);
+    }
+
+    #[test]
+    fn range_geometry() {
+        let r = BlockRange::new(Lba(8), 4);
+        assert_eq!(r.end(), Lba(12));
+        assert_eq!(r.bytes(), 2048);
+        assert_eq!(r.iter().count(), 4);
+        assert!(r.contains(Lba(8)));
+        assert!(!r.contains(Lba(12)));
+    }
+
+    #[test]
+    fn range_overlap() {
+        let a = BlockRange::new(Lba(0), 10);
+        assert!(a.overlaps(BlockRange::new(Lba(9), 1)));
+        assert!(!a.overlaps(BlockRange::new(Lba(10), 1)));
+        assert!(BlockRange::new(Lba(5), 1).overlaps(a));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one sector")]
+    fn empty_range_panics() {
+        BlockRange::new(Lba(0), 0);
+    }
+
+    #[test]
+    fn zeroed_store_reads_zero_until_written() {
+        let mut s = BlockStore::zeroed(100);
+        assert_eq!(s.read(Lba(99)), SectorData::ZERO);
+        s.write(Lba(99), SectorData(7));
+        assert_eq!(s.read(Lba(99)), SectorData(7));
+        assert_eq!(s.written_sectors(), 1);
+    }
+
+    #[test]
+    fn image_store_is_deterministic_and_nonzero() {
+        let a = BlockStore::image(1000, 0xDEAD);
+        let b = BlockStore::image(1000, 0xDEAD);
+        for lba in [Lba(0), Lba(1), Lba(999)] {
+            assert_eq!(a.read(lba), b.read(lba));
+            assert_ne!(a.read(lba), SectorData::ZERO);
+        }
+        let c = BlockStore::image(1000, 0xBEEF);
+        assert_ne!(a.read(Lba(0)), c.read(Lba(0)));
+    }
+
+    #[test]
+    fn image_writes_override_generator() {
+        let mut s = BlockStore::image(10, 1);
+        s.write(Lba(3), SectorData(1234));
+        assert_eq!(s.read(Lba(3)), SectorData(1234));
+        assert_eq!(s.read(Lba(4)), BlockStore::image_content(1, Lba(4)));
+    }
+
+    #[test]
+    fn range_read_write_round_trip() {
+        let mut s = BlockStore::zeroed(64);
+        let r = BlockRange::new(Lba(10), 4);
+        let data: Vec<SectorData> = (0..4).map(|i| SectorData(100 + i)).collect();
+        s.write_range(r, &data);
+        assert_eq!(s.read_range(r), data);
+    }
+
+    #[test]
+    #[should_panic(expected = "past end of store")]
+    fn read_past_capacity_panics() {
+        BlockStore::zeroed(10).read(Lba(10));
+    }
+
+    #[test]
+    fn mirror_store_behaves_like_zeroed() {
+        let mut plain = BlockStore::zeroed(1000);
+        let mut mirrored = BlockStore::zeroed_with_mirror(1000, 0x42);
+        assert_eq!(mirrored.read(Lba(5)), SectorData::ZERO);
+        // Writing image content is stored compactly but reads back.
+        let img = BlockStore::image_content(0x42, Lba(5));
+        plain.write(Lba(5), img);
+        mirrored.write(Lba(5), img);
+        assert_eq!(mirrored.read(Lba(5)), plain.read(Lba(5)));
+        assert_eq!(mirrored.written_sectors(), 0, "stored as a bit");
+        // Overwriting with different data falls back to the map.
+        mirrored.write(Lba(5), SectorData(777));
+        assert_eq!(mirrored.read(Lba(5)), SectorData(777));
+        assert_eq!(mirrored.written_sectors(), 1);
+        // And re-mirroring compacts again.
+        mirrored.write(Lba(5), img);
+        assert_eq!(mirrored.read(Lba(5)), img);
+        assert_eq!(mirrored.written_sectors(), 0);
+    }
+
+    #[test]
+    fn capacity_accessors() {
+        let s = BlockStore::zeroed(2048);
+        assert_eq!(s.capacity_sectors(), 2048);
+        assert_eq!(s.capacity_bytes(), 2048 * 512);
+    }
+}

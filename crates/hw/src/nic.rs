@@ -1,0 +1,201 @@
+//! Ring-buffer NIC model.
+//!
+//! Models the receive/transmit rings of the gigabit NICs on the evaluation
+//! machine (Intel PRO/1000, X540, Realtek RTL816x, Broadcom NetXtreme —
+//! the four for which BMcast implements small polled drivers). The BMcast
+//! drivers in the `bmcast` crate poll [`Nic::poll_rx`] rather than taking
+//! interrupts, exactly as the paper's drivers do.
+
+use crate::eth::{Frame, MacAddr};
+use std::collections::VecDeque;
+
+/// The NIC models BMcast ships drivers for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum NicModel {
+    /// Intel PRO/1000 (e1000), 718 LOC driver in the paper.
+    IntelPro1000,
+    /// Intel X540 10 GbE, 614 LOC driver.
+    IntelX540,
+    /// Realtek RTL816x, 757 LOC driver.
+    RealtekRtl816x,
+    /// Broadcom NetXtreme, 620 LOC driver.
+    BroadcomNetXtreme,
+}
+
+impl NicModel {
+    /// Line rate in bits per second.
+    pub fn rate_bps(self) -> u64 {
+        match self {
+            NicModel::IntelX540 => 10_000_000_000,
+            _ => 1_000_000_000,
+        }
+    }
+}
+
+/// A NIC with bounded receive and transmit rings.
+///
+/// # Examples
+///
+/// ```
+/// use hwsim::nic::{Nic, NicModel};
+/// use hwsim::eth::{Frame, MacAddr};
+///
+/// let mut nic: Nic<&'static str> = Nic::new(NicModel::IntelPro1000, MacAddr::host(1), 256);
+/// nic.deliver(Frame { src: MacAddr::host(2), dst: MacAddr::host(1),
+///                     payload_bytes: 64, payload: "ping" });
+/// assert_eq!(nic.poll_rx().unwrap().payload, "ping");
+/// assert!(nic.poll_rx().is_none());
+/// ```
+#[derive(Debug, Clone)]
+pub struct Nic<P> {
+    model: NicModel,
+    mac: MacAddr,
+    ring_capacity: usize,
+    rx: VecDeque<Frame<P>>,
+    tx: VecDeque<Frame<P>>,
+    rx_count: u64,
+    tx_count: u64,
+    rx_overflow: u64,
+}
+
+impl<P> Nic<P> {
+    /// Creates a NIC with the given model, MAC, and ring capacity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ring_capacity` is zero.
+    pub fn new(model: NicModel, mac: MacAddr, ring_capacity: usize) -> Nic<P> {
+        assert!(ring_capacity > 0, "ring capacity must be positive");
+        Nic {
+            model,
+            mac,
+            ring_capacity,
+            rx: VecDeque::new(),
+            tx: VecDeque::new(),
+            rx_count: 0,
+            tx_count: 0,
+            rx_overflow: 0,
+        }
+    }
+
+    /// The hardware model.
+    pub fn model(&self) -> NicModel {
+        self.model
+    }
+
+    /// The NIC's MAC address.
+    pub fn mac(&self) -> MacAddr {
+        self.mac
+    }
+
+    /// Frames received (accepted into the ring) so far.
+    pub fn rx_count(&self) -> u64 {
+        self.rx_count
+    }
+
+    /// Frames queued for transmission so far.
+    pub fn tx_count(&self) -> u64 {
+        self.tx_count
+    }
+
+    /// Frames lost to RX-ring overflow (a polled driver that polls too
+    /// slowly loses frames — the retransmission layer recovers them).
+    pub fn rx_overflow(&self) -> u64 {
+        self.rx_overflow
+    }
+
+    /// Delivers a frame from the fabric into the RX ring. Frames addressed
+    /// to other MACs are ignored; a full ring drops the frame.
+    pub fn deliver(&mut self, frame: Frame<P>) {
+        if frame.dst != self.mac {
+            return;
+        }
+        if self.rx.len() >= self.ring_capacity {
+            self.rx_overflow += 1;
+            return;
+        }
+        self.rx_count += 1;
+        self.rx.push_back(frame);
+    }
+
+    /// Polls the RX ring: pops the oldest received frame, if any.
+    pub fn poll_rx(&mut self) -> Option<Frame<P>> {
+        self.rx.pop_front()
+    }
+
+    /// Number of frames waiting in the RX ring.
+    pub fn rx_pending(&self) -> usize {
+        self.rx.len()
+    }
+
+    /// Queues a frame for transmission. The system drains the TX ring with
+    /// [`Nic::pop_tx`] and hands frames to the switch.
+    pub fn transmit(&mut self, frame: Frame<P>) {
+        self.tx_count += 1;
+        self.tx.push_back(frame);
+    }
+
+    /// Pops the next frame awaiting transmission.
+    pub fn pop_tx(&mut self) -> Option<Frame<P>> {
+        self.tx.pop_front()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn frame(dst: MacAddr, tag: u32) -> Frame<u32> {
+        Frame {
+            src: MacAddr::host(99),
+            dst,
+            payload_bytes: 100,
+            payload: tag,
+        }
+    }
+
+    #[test]
+    fn rx_is_fifo() {
+        let mut nic: Nic<u32> = Nic::new(NicModel::IntelPro1000, MacAddr::host(1), 4);
+        nic.deliver(frame(MacAddr::host(1), 1));
+        nic.deliver(frame(MacAddr::host(1), 2));
+        assert_eq!(nic.poll_rx().unwrap().payload, 1);
+        assert_eq!(nic.poll_rx().unwrap().payload, 2);
+        assert!(nic.poll_rx().is_none());
+    }
+
+    #[test]
+    fn frames_for_other_macs_ignored() {
+        let mut nic: Nic<u32> = Nic::new(NicModel::IntelPro1000, MacAddr::host(1), 4);
+        nic.deliver(frame(MacAddr::host(2), 1));
+        assert_eq!(nic.rx_pending(), 0);
+        assert_eq!(nic.rx_count(), 0);
+    }
+
+    #[test]
+    fn full_ring_overflows() {
+        let mut nic: Nic<u32> = Nic::new(NicModel::RealtekRtl816x, MacAddr::host(1), 2);
+        for i in 0..3 {
+            nic.deliver(frame(MacAddr::host(1), i));
+        }
+        assert_eq!(nic.rx_pending(), 2);
+        assert_eq!(nic.rx_overflow(), 1);
+    }
+
+    #[test]
+    fn tx_queue_drains_in_order() {
+        let mut nic: Nic<u32> = Nic::new(NicModel::IntelX540, MacAddr::host(1), 4);
+        nic.transmit(frame(MacAddr::host(2), 7));
+        nic.transmit(frame(MacAddr::host(2), 8));
+        assert_eq!(nic.tx_count(), 2);
+        assert_eq!(nic.pop_tx().unwrap().payload, 7);
+        assert_eq!(nic.pop_tx().unwrap().payload, 8);
+        assert!(nic.pop_tx().is_none());
+    }
+
+    #[test]
+    fn model_rates() {
+        assert_eq!(NicModel::IntelPro1000.rate_bps(), 1_000_000_000);
+        assert_eq!(NicModel::IntelX540.rate_bps(), 10_000_000_000);
+    }
+}

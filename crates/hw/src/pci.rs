@@ -1,0 +1,233 @@
+//! Minimal PCI configuration space.
+//!
+//! Enough of PCI for two things the paper needs: device enumeration by the
+//! guest (does it see the storage controller? can it find the dedicated
+//! NIC after de-virtualization?) and the discussion-section extension of
+//! *hiding* the management NIC's configuration space when the VMM stays
+//! resident for security.
+
+use std::collections::HashSet;
+
+/// A device's bus/device/function address, packed for simplicity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Bdf {
+    /// Bus number.
+    pub bus: u8,
+    /// Device number (0..32).
+    pub device: u8,
+    /// Function number (0..8).
+    pub function: u8,
+}
+
+impl Bdf {
+    /// Creates an address.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `device >= 32` or `function >= 8`.
+    pub fn new(bus: u8, device: u8, function: u8) -> Bdf {
+        assert!(device < 32, "PCI device number out of range");
+        assert!(function < 8, "PCI function number out of range");
+        Bdf {
+            bus,
+            device,
+            function,
+        }
+    }
+}
+
+impl std::fmt::Display for Bdf {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:02x}:{:02x}.{}", self.bus, self.device, self.function)
+    }
+}
+
+/// PCI device classes used in the simulation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PciClass {
+    /// IDE storage controller (class 0x01, subclass 0x01).
+    StorageIde,
+    /// SATA/AHCI controller (class 0x01, subclass 0x06).
+    StorageAhci,
+    /// Ethernet controller (class 0x02).
+    Network,
+    /// InfiniBand HCA.
+    Infiniband,
+    /// Anything else.
+    Other,
+}
+
+/// A PCI function's identity and first BAR.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PciDevice {
+    /// Vendor ID.
+    pub vendor: u16,
+    /// Device ID.
+    pub device: u16,
+    /// Class.
+    pub class: PciClass,
+    /// BAR0 base and size, if memory-mapped.
+    pub bar0: Option<(u64, u64)>,
+}
+
+/// The value config-space reads return for absent/hidden functions.
+pub const NO_DEVICE: u32 = 0xFFFF_FFFF;
+
+/// A flat PCI bus with optional per-device hiding.
+///
+/// # Examples
+///
+/// ```
+/// use hwsim::pci::*;
+/// let mut bus = PciBus::new();
+/// let bdf = Bdf::new(0, 3, 0);
+/// bus.insert(bdf, PciDevice { vendor: 0x8086, device: 0x10D3,
+///                             class: PciClass::Network, bar0: None });
+/// assert_eq!(bus.config_read_id(bdf), 0x10D3_8086);
+/// bus.hide(bdf);
+/// assert_eq!(bus.config_read_id(bdf), NO_DEVICE);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct PciBus {
+    devices: Vec<(Bdf, PciDevice)>,
+    hidden: HashSet<Bdf>,
+}
+
+impl PciBus {
+    /// An empty bus.
+    pub fn new() -> PciBus {
+        PciBus::default()
+    }
+
+    /// Adds or replaces a device at `bdf`.
+    pub fn insert(&mut self, bdf: Bdf, dev: PciDevice) {
+        self.devices.retain(|&(b, _)| b != bdf);
+        self.devices.push((bdf, dev));
+        self.devices.sort_by_key(|&(b, _)| b);
+    }
+
+    /// Hides a function: config reads return [`NO_DEVICE`], so the guest's
+    /// enumeration skips it (the paper's management-NIC hiding).
+    pub fn hide(&mut self, bdf: Bdf) {
+        self.hidden.insert(bdf);
+    }
+
+    /// Makes a previously hidden function visible again.
+    pub fn unhide(&mut self, bdf: Bdf) {
+        self.hidden.remove(&bdf);
+    }
+
+    /// Whether `bdf` is currently hidden.
+    pub fn is_hidden(&self, bdf: Bdf) -> bool {
+        self.hidden.contains(&bdf)
+    }
+
+    /// Reads the vendor/device ID dword (offset 0) at `bdf`.
+    pub fn config_read_id(&self, bdf: Bdf) -> u32 {
+        if self.hidden.contains(&bdf) {
+            return NO_DEVICE;
+        }
+        match self.devices.iter().find(|&&(b, _)| b == bdf) {
+            Some((_, d)) => ((d.device as u32) << 16) | d.vendor as u32,
+            None => NO_DEVICE,
+        }
+    }
+
+    /// The device at `bdf`, unless hidden or absent.
+    pub fn device(&self, bdf: Bdf) -> Option<&PciDevice> {
+        if self.hidden.contains(&bdf) {
+            return None;
+        }
+        self.devices
+            .iter()
+            .find(|&&(b, _)| b == bdf)
+            .map(|(_, d)| d)
+    }
+
+    /// Enumerates visible devices, as a guest bus scan would find them.
+    pub fn enumerate(&self) -> impl Iterator<Item = (Bdf, &PciDevice)> {
+        self.devices
+            .iter()
+            .filter(move |(b, _)| !self.hidden.contains(b))
+            .map(|(b, d)| (*b, d))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn nic() -> PciDevice {
+        PciDevice {
+            vendor: 0x8086,
+            device: 0x10D3,
+            class: PciClass::Network,
+            bar0: None,
+        }
+    }
+
+    #[test]
+    fn enumeration_sees_inserted_devices() {
+        let mut bus = PciBus::new();
+        bus.insert(Bdf::new(0, 1, 0), nic());
+        bus.insert(
+            Bdf::new(0, 2, 0),
+            PciDevice {
+                vendor: 0x8086,
+                device: 0x2922,
+                class: PciClass::StorageAhci,
+                bar0: Some((crate::ahci::ABAR, crate::ahci::ABAR_SIZE)),
+            },
+        );
+        assert_eq!(bus.enumerate().count(), 2);
+    }
+
+    #[test]
+    fn hidden_device_invisible_to_enumeration_and_config() {
+        let mut bus = PciBus::new();
+        let bdf = Bdf::new(0, 1, 0);
+        bus.insert(bdf, nic());
+        bus.hide(bdf);
+        assert!(bus.is_hidden(bdf));
+        assert_eq!(bus.enumerate().count(), 0);
+        assert_eq!(bus.config_read_id(bdf), NO_DEVICE);
+        assert!(bus.device(bdf).is_none());
+        bus.unhide(bdf);
+        assert_eq!(bus.enumerate().count(), 1);
+    }
+
+    #[test]
+    fn absent_reads_all_ones() {
+        let bus = PciBus::new();
+        assert_eq!(bus.config_read_id(Bdf::new(0, 5, 0)), NO_DEVICE);
+    }
+
+    #[test]
+    fn reinsert_replaces() {
+        let mut bus = PciBus::new();
+        let bdf = Bdf::new(0, 1, 0);
+        bus.insert(bdf, nic());
+        bus.insert(
+            bdf,
+            PciDevice {
+                vendor: 0x10EC,
+                device: 0x8168,
+                class: PciClass::Network,
+                bar0: None,
+            },
+        );
+        assert_eq!(bus.enumerate().count(), 1);
+        assert_eq!(bus.config_read_id(bdf) & 0xFFFF, 0x10EC);
+    }
+
+    #[test]
+    fn bdf_display() {
+        assert_eq!(Bdf::new(0, 31, 3).to_string(), "00:1f.3");
+    }
+
+    #[test]
+    #[should_panic(expected = "device number")]
+    fn bad_device_number_panics() {
+        Bdf::new(0, 32, 0);
+    }
+}

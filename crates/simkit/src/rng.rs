@@ -1,0 +1,245 @@
+//! Deterministic pseudo-random number generation.
+//!
+//! [`Prng`] is a small, fast xoshiro256** generator seeded through
+//! SplitMix64, so any `u64` seed (including 0) produces a well-mixed
+//! stream. All stochastic behaviour in the simulation flows through this
+//! type, which keeps whole experiments bit-reproducible.
+
+/// A seedable xoshiro256** PRNG.
+///
+/// # Examples
+///
+/// ```
+/// use simkit::Prng;
+/// let mut a = Prng::new(42);
+/// let mut b = Prng::new(42);
+/// assert_eq!(a.next_u64(), b.next_u64());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Prng {
+    s: [u64; 4],
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl Prng {
+    /// Creates a generator from a 64-bit seed.
+    pub fn new(seed: u64) -> Self {
+        let mut sm = seed;
+        Prng {
+            s: [
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+            ],
+        }
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[1]
+            .wrapping_mul(5)
+            .rotate_left(7)
+            .wrapping_mul(9);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform value in `[0, bound)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound == 0`.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "below: bound must be positive");
+        // Lemire's multiply-shift rejection method.
+        loop {
+            let x = self.next_u64();
+            let m = (x as u128) * (bound as u128);
+            let low = m as u64;
+            if low >= bound {
+                return (m >> 64) as u64;
+            }
+            let threshold = bound.wrapping_neg() % bound;
+            if low >= threshold {
+                return (m >> 64) as u64;
+            }
+        }
+    }
+
+    /// Uniform value in the inclusive range `[lo, hi]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi`.
+    pub fn range(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo <= hi, "range: lo must not exceed hi");
+        if lo == 0 && hi == u64::MAX {
+            return self.next_u64();
+        }
+        lo + self.below(hi - lo + 1)
+    }
+
+    /// Uniform float in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Bernoulli trial with success probability `p` (clamped to `[0, 1]`).
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.next_f64() < p.clamp(0.0, 1.0)
+    }
+
+    /// Exponentially distributed value with the given mean.
+    pub fn exponential(&mut self, mean: f64) -> f64 {
+        let u = loop {
+            let u = self.next_f64();
+            if u > 0.0 {
+                break u;
+            }
+        };
+        -mean * u.ln()
+    }
+
+    /// Standard-normal variate (Box–Muller).
+    pub fn normal(&mut self, mean: f64, std_dev: f64) -> f64 {
+        let u1 = loop {
+            let u = self.next_f64();
+            if u > 0.0 {
+                break u;
+            }
+        };
+        let u2 = self.next_f64();
+        let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+        mean + std_dev * z
+    }
+
+    /// Fisher–Yates shuffle of a slice.
+    pub fn shuffle<T>(&mut self, xs: &mut [T]) {
+        for i in (1..xs.len()).rev() {
+            let j = self.below(i as u64 + 1) as usize;
+            xs.swap(i, j);
+        }
+    }
+
+    /// Forks an independent generator, advancing this one.
+    pub fn fork(&mut self) -> Prng {
+        Prng::new(self.next_u64())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_for_seed() {
+        let mut a = Prng::new(7);
+        let mut b = Prng::new(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = Prng::new(1);
+        let mut b = Prng::new(2);
+        assert_ne!(
+            (0..4).map(|_| a.next_u64()).collect::<Vec<_>>(),
+            (0..4).map(|_| b.next_u64()).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn below_respects_bound() {
+        let mut r = Prng::new(3);
+        for _ in 0..10_000 {
+            assert!(r.below(17) < 17);
+        }
+    }
+
+    #[test]
+    fn range_inclusive() {
+        let mut r = Prng::new(4);
+        let mut seen_lo = false;
+        let mut seen_hi = false;
+        for _ in 0..10_000 {
+            let v = r.range(5, 8);
+            assert!((5..=8).contains(&v));
+            seen_lo |= v == 5;
+            seen_hi |= v == 8;
+        }
+        assert!(seen_lo && seen_hi);
+    }
+
+    #[test]
+    fn next_f64_in_unit_interval() {
+        let mut r = Prng::new(5);
+        for _ in 0..10_000 {
+            let v = r.next_f64();
+            assert!((0.0..1.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn uniformity_rough() {
+        let mut r = Prng::new(6);
+        let n = 100_000;
+        let mean = (0..n).map(|_| r.next_f64()).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean was {mean}");
+    }
+
+    #[test]
+    fn exponential_mean_rough() {
+        let mut r = Prng::new(8);
+        let n = 100_000;
+        let mean = (0..n).map(|_| r.exponential(3.0)).sum::<f64>() / n as f64;
+        assert!((mean - 3.0).abs() < 0.1, "mean was {mean}");
+    }
+
+    #[test]
+    fn normal_mean_rough() {
+        let mut r = Prng::new(9);
+        let n = 100_000;
+        let mean = (0..n).map(|_| r.normal(10.0, 2.0)).sum::<f64>() / n as f64;
+        assert!((mean - 10.0).abs() < 0.1, "mean was {mean}");
+    }
+
+    #[test]
+    fn shuffle_is_permutation() {
+        let mut r = Prng::new(10);
+        let mut xs: Vec<u32> = (0..50).collect();
+        r.shuffle(&mut xs);
+        let mut sorted = xs.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn chance_extremes() {
+        let mut r = Prng::new(11);
+        assert!(!r.chance(0.0));
+        assert!(r.chance(1.0));
+    }
+
+    #[test]
+    fn fork_produces_independent_stream() {
+        let mut a = Prng::new(12);
+        let mut f = a.fork();
+        assert_ne!(a.next_u64(), f.next_u64());
+    }
+}

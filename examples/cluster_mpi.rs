@@ -1,0 +1,47 @@
+//! HPC cluster scenario from the paper's §5.3: ten bare-metal instances
+//! run MPI collectives over InfiniBand while (a) deployed by BMcast,
+//! (b) virtualized under KVM, or (c) on raw hardware.
+//!
+//! ```text
+//! cargo run --release --example cluster_mpi
+//! ```
+
+use bmcast_repro::baselines::kvm::KvmModel;
+use bmcast_repro::guestsim::workload::mpi::{collective_latency, Collective, MpiParams};
+use bmcast_repro::simkit::SimDuration;
+
+fn main() {
+    let nodes = 10;
+    let bare = MpiParams::bare_metal();
+    let bmcast = MpiParams {
+        alpha: bare.alpha + SimDuration::from_nanos(60),
+        compute_factor: 1.35,
+        ..bare
+    };
+    let kvm = KvmModel::default().mpi_params();
+
+    println!("OSU-style MPI collective latency, {nodes} nodes over 4X QDR InfiniBand\n");
+    println!(
+        "{:<12} {:>10} {:>22} {:>22}",
+        "collective", "size", "BMcast (deploying)", "KVM (+ELI)"
+    );
+    for col in Collective::ALL {
+        for bytes in [64u64, 4096, 65536] {
+            let b = collective_latency(col, nodes, bytes, &bare).as_nanos() as f64;
+            let m = collective_latency(col, nodes, bytes, &bmcast).as_nanos() as f64;
+            let k = collective_latency(col, nodes, bytes, &kvm).as_nanos() as f64;
+            println!(
+                "{:<12} {:>8}B {:>15.1}% {:>21.1}%",
+                col.name(),
+                bytes,
+                m / b * 100.0,
+                k / b * 100.0,
+            );
+        }
+    }
+    println!(
+        "\nBMcast passes the HCA straight through — collectives stay near 100% of bare\n\
+         metal even during deployment — while KVM's per-message interrupt path makes\n\
+         hand-off-chained collectives (Allgather, Bcast) pay the most."
+    );
+}

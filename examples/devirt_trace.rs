@@ -1,0 +1,72 @@
+//! De-virtualization under a microscope: traces VM-exit counts and
+//! lifecycle phases while a guest keeps issuing I/O, showing exits
+//! flatlining to zero the moment VMXOFF runs — the paper's "zero overhead
+//! after de-virtualization", made visible.
+//!
+//! ```text
+//! cargo run --release --example devirt_trace
+//! ```
+
+use bmcast_repro::bmcast::config::{BmcastConfig, Moderation};
+use bmcast_repro::bmcast::deploy::Runner;
+use bmcast_repro::bmcast::machine::MachineSpec;
+use bmcast_repro::bmcast::programs::StreamProgram;
+use bmcast_repro::hwsim::block::{BlockRange, Lba};
+use bmcast_repro::hwsim::vtx::ExitCategory;
+use bmcast_repro::simkit::{SimDuration, SimTime};
+
+fn main() {
+    let spec = MachineSpec {
+        capacity_sectors: (1u64 << 30) / 512,
+        image_sectors: (1u64 << 30) / 512,
+        ..MachineSpec::default()
+    };
+    let mut runner = Runner::bmcast(
+        &spec,
+        BmcastConfig {
+            moderation: Moderation::full_speed(),
+            ..BmcastConfig::default()
+        },
+    );
+    // A guest that never stops touching the disk.
+    runner.start_program(Box::new(StreamProgram::sequential(
+        BlockRange::new(Lba(64), 1 << 18),
+        false,
+        256,
+        SimTime::from_secs(120),
+        3,
+    )));
+
+    println!(
+        "{:>6} {:>18} {:>10} {:>12} {:>12} {:>10}",
+        "t", "phase", "deployed", "exits", "exits/s", "guest IOs"
+    );
+    let mut last_exits = 0u64;
+    let mut t = SimTime::ZERO;
+    for _ in 0..24 {
+        t += SimDuration::from_secs(5);
+        runner.run_until(t);
+        let m = runner.machine();
+        let exits: u64 = m.hw.cpus.iter().map(|c| c.total_exits()).sum();
+        println!(
+            "{:>5}s {:>18} {:>9.1}% {:>12} {:>12.0} {:>10}",
+            t.as_secs(),
+            m.phase().to_string(),
+            m.deployment_progress() * 100.0,
+            exits,
+            (exits - last_exits) as f64 / 5.0,
+            m.guest.ios_completed,
+        );
+        last_exits = exits;
+    }
+
+    let m = runner.machine();
+    println!("\nexit breakdown on CPU 0:");
+    for cat in ExitCategory::ALL {
+        println!("  {:?}: {}", cat, m.hw.cpus[0].exits_in(cat));
+    }
+    println!(
+        "\nafter VMXOFF the same guest I/O stream causes zero exits — the bus's trap\n\
+         check is against real VT-x state, so bare metal is structural, not special-cased."
+    );
+}

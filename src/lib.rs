@@ -1,0 +1,25 @@
+//! Facade crate for the BMcast (ASPLOS '15) reproduction.
+//!
+//! Re-exports every workspace crate so the examples and integration tests
+//! can reach the whole system through one dependency:
+//!
+//! - [`simkit`] — deterministic discrete-event simulation engine
+//! - [`hwsim`] — simulated machine substrate (disks, controllers, NICs, VT-x)
+//! - [`aoe`] — extended ATA-over-Ethernet network storage protocol
+//! - [`guestsim`] — simulated guest OS and workload engines
+//! - [`bmcast`] — the BMcast de-virtualizable VMM itself
+//! - [`baselines`] — image copy, network boot, and KVM-model baselines
+//!
+//! # Examples
+//!
+//! ```
+//! use bmcast_repro::simkit::SimTime;
+//! assert_eq!(SimTime::from_secs(1).as_millis(), 1000);
+//! ```
+
+pub use aoe;
+pub use bmcast;
+pub use bmcast_baselines as baselines;
+pub use guestsim;
+pub use hwsim;
+pub use simkit;

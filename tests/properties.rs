@@ -1,0 +1,237 @@
+//! Property-based tests over the core invariants.
+
+use bmcast_repro::aoe::wire::{AoePdu, Tag};
+use bmcast_repro::aoe::{AoeClient, ClientConfig};
+use bmcast_repro::bmcast::bitmap::BlockBitmap;
+use bmcast_repro::bmcast::config::{BmcastConfig, ControllerKind, Moderation};
+use bmcast_repro::bmcast::deploy::Runner;
+use bmcast_repro::bmcast::machine::MachineSpec;
+use bmcast_repro::bmcast::programs::StreamProgram;
+use bmcast_repro::hwsim::block::{BlockRange, BlockStore, Lba, SectorData};
+use bmcast_repro::hwsim::disk::{DiskModel, DiskOp, DiskParams};
+use bmcast_repro::simkit::{SimDuration, SimTime};
+use proptest::prelude::*;
+
+proptest! {
+    /// Any legal AoE PDU round-trips through encode/decode.
+    #[test]
+    fn aoe_pdu_roundtrip(
+        response in any::<bool>(),
+        error in proptest::option::of(0u8..8),
+        shelf in 0u16..100,
+        slot in 0u8..16,
+        req_id in 0u32..Tag::MAX_REQUEST_ID,
+        frag in 0u32..Tag::MAX_FRAGMENT,
+        lba in 0u64..(1 << 48),
+        sectors in 1u32..64,
+        write in any::<bool>(),
+        payload_seed in any::<u64>(),
+    ) {
+        let data = (write || response).then(|| {
+            (0..sectors as u64).map(|i| SectorData(payload_seed ^ i)).collect::<Vec<_>>()
+        });
+        let pdu = AoePdu {
+            response,
+            error,
+            shelf,
+            slot,
+            tag: Tag::new(req_id, frag),
+            write,
+            range: BlockRange::new(Lba(lba), sectors),
+            data,
+        };
+        let decoded = AoePdu::decode(&pdu.encode()).unwrap();
+        prop_assert_eq!(decoded, pdu);
+    }
+
+    /// Reassembly is order- and duplication-insensitive: any permutation
+    /// of response fragments (with random duplicates) completes a read
+    /// with the right data.
+    #[test]
+    fn aoe_reassembly_tolerates_reorder_and_duplicates(
+        sectors in 1u32..200,
+        order_seed in any::<u64>(),
+        dup_every in 1usize..5,
+    ) {
+        let mut client = AoeClient::new(ClientConfig::default());
+        let range = BlockRange::new(Lba(1000), sectors);
+        let (_, frames) = client.read(SimTime::ZERO, range);
+        let req = AoePdu::decode(&frames[0]).unwrap();
+
+        // Build the server's fragments.
+        let spf = bmcast_repro::aoe::wire::sectors_per_frame(9000);
+        let mut responses = Vec::new();
+        let mut offset = 0u32;
+        let mut frag = 0u32;
+        while offset < sectors {
+            let n = spf.min(sectors - offset);
+            let sub = BlockRange::new(range.lba + offset as u64, n);
+            let mut pdu = AoePdu::read_request(req.shelf, req.slot,
+                Tag::new(req.tag.request_id(), frag), sub);
+            pdu.response = true;
+            pdu.data = Some(sub.iter().map(|l| SectorData(l.0 * 7 + 1)).collect());
+            responses.push(pdu.encode());
+            offset += n;
+            frag += 1;
+        }
+        // Shuffle deterministically and duplicate some frames.
+        let mut prng = bmcast_repro::simkit::Prng::new(order_seed);
+        prng.shuffle(&mut responses);
+        let with_dups: Vec<Vec<u8>> = responses
+            .iter()
+            .enumerate()
+            .flat_map(|(i, f)| {
+                if i % dup_every == 0 {
+                    vec![f.clone(), f.clone()]
+                } else {
+                    vec![f.clone()]
+                }
+            })
+            .collect();
+
+        let mut completion = None;
+        for f in &with_dups {
+            if let Some(done) = client.on_frame(f) {
+                prop_assert!(completion.is_none(), "must complete exactly once");
+                completion = Some(done);
+            }
+        }
+        let done = completion.expect("all fragments delivered");
+        prop_assert_eq!(done.range, range);
+        let expect: Vec<SectorData> = range.iter().map(|l| SectorData(l.0 * 7 + 1)).collect();
+        prop_assert_eq!(done.data, expect);
+    }
+
+    /// Bitmap accounting never drifts and claims are atomic.
+    #[test]
+    fn bitmap_claims_are_atomic(
+        ops in proptest::collection::vec((0u64..960, 1u32..32, any::<bool>()), 1..60),
+    ) {
+        let mut bm = BlockBitmap::new(1024);
+        let mut model = vec![false; 1024];
+        for (lba, sectors, claim) in ops {
+            let range = BlockRange::new(Lba(lba), sectors.min((1024 - lba) as u32).max(1));
+            if claim {
+                let any_filled = range.iter().any(|l| model[l.0 as usize]);
+                let ok = bm.try_claim(range);
+                prop_assert_eq!(ok, !any_filled, "claim iff all empty");
+                if ok {
+                    for l in range.iter() { model[l.0 as usize] = true; }
+                }
+            } else {
+                bm.mark_filled(range);
+                for l in range.iter() { model[l.0 as usize] = true; }
+            }
+            let filled = model.iter().filter(|&&f| f).count() as u64;
+            prop_assert_eq!(bm.filled_sectors(), filled, "count never drifts");
+            for l in 0..1024u64 {
+                prop_assert_eq!(bm.is_filled(Lba(l)), model[l as usize]);
+            }
+        }
+    }
+
+    /// A mirror-optimized store is observationally identical to a plain
+    /// one under arbitrary write sequences.
+    #[test]
+    fn mirror_store_equals_plain_store(
+        writes in proptest::collection::vec((0u64..512, any::<u64>(), any::<bool>()), 0..80),
+        seed in any::<u64>(),
+    ) {
+        let mut plain = BlockStore::zeroed(512);
+        let mut mirror = BlockStore::zeroed_with_mirror(512, seed);
+        for (lba, value, use_image_content) in writes {
+            let data = if use_image_content {
+                BlockStore::image_content(seed, Lba(lba))
+            } else {
+                SectorData(value)
+            };
+            plain.write(Lba(lba), data);
+            mirror.write(Lba(lba), data);
+        }
+        for lba in 0..512u64 {
+            prop_assert_eq!(plain.read(Lba(lba)), mirror.read(Lba(lba)));
+        }
+    }
+
+    /// Disk service times are positive and deterministic given the same
+    /// access sequence.
+    #[test]
+    fn disk_model_is_deterministic(
+        accesses in proptest::collection::vec((0u64..60_000, 1u32..64, any::<bool>()), 1..40),
+    ) {
+        let params = DiskParams { capacity_sectors: 1 << 16, ..DiskParams::default() };
+        let mk = || DiskModel::new(params.clone(), BlockStore::zeroed(params.capacity_sectors));
+        let (mut a, mut b) = (mk(), mk());
+        for (lba, sectors, write) in &accesses {
+            let range = BlockRange::new(Lba(*lba), *sectors);
+            let op = if *write { DiskOp::Write } else { DiskOp::Read };
+            let ta = a.access_time(op, range);
+            let tb = b.access_time(op, range);
+            prop_assert_eq!(ta, tb);
+            prop_assert!(ta > SimDuration::ZERO);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 8, ..ProptestConfig::default() })]
+
+    /// The golden end-to-end invariant: after any deployment with a
+    /// concurrent guest write stream, the local disk equals the server
+    /// image overlaid with the guest's writes — regardless of moderation
+    /// parameters or controller.
+    #[test]
+    fn deployed_disk_is_image_overlaid_with_guest_writes(
+        write_lba in 100u64..6_000,
+        // Whole 64-sector blocks so the stream's wrap point is block-aligned.
+        write_span in (2u32..16).prop_map(|k| k * 64),
+        interval_us in prop_oneof![Just(0u64), Just(500), Just(5_000)],
+        ahci in any::<bool>(),
+    ) {
+        let spec = MachineSpec {
+            capacity_sectors: 1 << 13,
+            image_sectors: 1 << 13,
+            image_seed: 0x90_D,
+            cpus: 2,
+            mem_bytes: 1 << 30,
+            controller: if ahci { ControllerKind::Ahci } else { ControllerKind::Ide },
+        };
+        let cfg = BmcastConfig {
+            controller: spec.controller,
+            moderation: Moderation {
+                guest_io_threshold_per_sec: f64::INFINITY,
+                vmm_write_interval: SimDuration::from_micros(interval_us),
+                vmm_write_suspend_interval: SimDuration::from_micros(interval_us),
+            },
+            ..BmcastConfig::default()
+        };
+        let mut runner = Runner::bmcast(&spec, cfg);
+        let region = BlockRange::new(Lba(write_lba), write_span);
+        runner.start_program(Box::new(StreamProgram::sequential(
+            region, true, 64, SimTime::from_millis(400), write_lba,
+        )));
+        let done = runner.run_to_bare_metal(SimTime::from_secs(1_200));
+        prop_assert!(done.is_some(), "deployment must complete");
+
+        let m = runner.machine();
+        let bitmap_region = m.vmm.as_ref().unwrap().bitmap_region;
+        let wrote = m.guest.bytes_completed / 512;
+        let guest_end = region.lba.0 + wrote.min(region.sectors as u64);
+        for lba in (0..spec.image_sectors).step_by(13) {
+            let lba = Lba(lba);
+            if bitmap_region.contains(lba) {
+                continue;
+            }
+            let got = m.hw.disk.store().read(lba);
+            if lba.0 >= region.lba.0 && lba.0 < guest_end {
+                prop_assert_eq!(got, SectorData(0x5EA1), "guest sector {} intact", lba);
+            } else if !region.contains(lba) {
+                prop_assert_eq!(
+                    got,
+                    BlockStore::image_content(0x90_D, lba),
+                    "image sector {} deployed", lba
+                );
+            }
+        }
+    }
+}
