@@ -9,7 +9,7 @@
 
 use crate::wire::{sectors_per_frame, AoePdu, Tag};
 use hwsim::block::{BlockRange, SectorData};
-use simkit::{SimDuration, SimTime};
+use simkit::{Metrics, SimDuration, SimTime, Tracer};
 use std::collections::HashMap;
 
 /// Client configuration.
@@ -95,6 +95,8 @@ pub struct AoeClient {
     retransmits: u64,
     completions: u64,
     failures: Vec<u32>,
+    metrics: Metrics,
+    tracer: Tracer,
 }
 
 impl AoeClient {
@@ -107,7 +109,16 @@ impl AoeClient {
             retransmits: 0,
             completions: 0,
             failures: Vec::new(),
+            metrics: Metrics::disabled(),
+            tracer: Tracer::disabled(),
         }
+    }
+
+    /// Attaches observability handles. All `aoe.client.*` counters land in
+    /// `metrics`; retransmissions and failures are traced.
+    pub fn set_telemetry(&mut self, metrics: Metrics, tracer: Tracer) {
+        self.metrics = metrics;
+        self.tracer = tracer;
     }
 
     /// The configuration.
@@ -148,6 +159,7 @@ impl AoeClient {
     /// Issues a read of `range`. Returns the request id and the encoded
     /// request frame(s) to transmit (always exactly one for reads).
     pub fn read(&mut self, now: SimTime, range: BlockRange) -> (u32, Vec<Vec<u8>>) {
+        self.metrics.inc("aoe.client.reads");
         let id = self.alloc_id();
         let pdu = AoePdu::read_request(self.cfg.shelf, self.cfg.slot, Tag::new(id, 0), range);
         let frames = vec![pdu.encode()];
@@ -180,6 +192,7 @@ impl AoeClient {
         data: &[SectorData],
     ) -> (u32, Vec<Vec<u8>>) {
         assert_eq!(data.len(), range.sectors as usize, "payload/range mismatch");
+        self.metrics.inc("aoe.client.writes");
         let id = self.alloc_id();
         let spf = sectors_per_frame(self.cfg.mtu);
         let mut frames = Vec::new();
@@ -228,6 +241,7 @@ impl AoeClient {
         let frag = pdu.tag.fragment() as usize;
         let pending = self.pending.get_mut(&id)?;
         if frag >= pending.frags.len() || pending.frags[frag].is_some() {
+            self.metrics.inc("aoe.client.dup_frags");
             return None;
         }
         pending.frags[frag] = Some(if pending.is_write {
@@ -240,6 +254,7 @@ impl AoeClient {
         }
         let pending = self.pending.remove(&id).expect("just present");
         self.completions += 1;
+        self.metrics.inc("aoe.client.completions");
         let mut data = Vec::with_capacity(pending.range.sectors as usize);
         if !pending.is_write {
             for f in pending.frags {
@@ -261,6 +276,8 @@ impl AoeClient {
         let rto = self.cfg.rto;
         let max = self.cfg.max_retries;
         let mut dead = Vec::new();
+        let metrics = self.metrics.clone();
+        let tracer = self.tracer.clone();
         for (&id, p) in self.pending.iter_mut() {
             if now.saturating_duration_since(p.last_sent) < rto {
                 continue;
@@ -271,13 +288,15 @@ impl AoeClient {
             }
             p.retries += 1;
             p.last_sent = now;
+            let before = out.len();
             if p.is_write {
                 // Writes are already one request frame per fragment:
                 // resend only the unacknowledged ones.
                 for (i, frame) in p.request_frames.iter().enumerate() {
-                    if p.frags.get(i).map_or(true, |f| f.is_none()) {
+                    if p.frags.get(i).is_none_or(|f| f.is_none()) {
                         out.push(frame.clone());
                         self.retransmits += 1;
+                        metrics.inc("aoe.client.retransmits");
                     }
                 }
             } else {
@@ -299,12 +318,22 @@ impl AoeClient {
                         AoePdu::read_request(shelf, slot, Tag::new(id, i as u32), sub);
                     out.push(pdu.encode());
                     self.retransmits += 1;
+                    metrics.inc("aoe.client.retransmits");
                 }
             }
+            let resent = out.len() - before;
+            let (range, retry) = (p.range, p.retries);
+            tracer.emit(now, "aoe.client", "retransmit", || {
+                format!("req {id} range {range:?} retry {retry} frames {resent}")
+            });
         }
         for id in dead {
             self.pending.remove(&id);
             self.failures.push(id);
+            metrics.inc("aoe.client.failures");
+            tracer.emit(now, "aoe.client", "request_failed", || {
+                format!("req {id} exhausted retry budget")
+            });
         }
         out
     }
@@ -434,7 +463,7 @@ mod tests {
         let (id, _) = c.read(SimTime::ZERO, BlockRange::new(Lba(0), 1));
         let mut t = SimTime::ZERO;
         for _ in 0..4 {
-            t = t + SimDuration::from_millis(2);
+            t += SimDuration::from_millis(2);
             c.poll_retransmit(t);
         }
         assert_eq!(c.outstanding(), 0);

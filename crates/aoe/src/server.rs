@@ -13,7 +13,7 @@
 use crate::wire::{sectors_per_frame, AoePdu, DecodeError, Tag};
 use hwsim::block::BlockRange;
 use hwsim::disk::{DiskModel, DiskOp};
-use simkit::{SimDuration, SimTime};
+use simkit::{Metrics, SimDuration, SimTime};
 
 /// Server configuration.
 #[derive(Debug, Clone)]
@@ -79,6 +79,7 @@ pub struct AoeServer {
     requests: u64,
     sectors_read: u64,
     sectors_written: u64,
+    metrics: Metrics,
 }
 
 impl AoeServer {
@@ -97,7 +98,14 @@ impl AoeServer {
             requests: 0,
             sectors_read: 0,
             sectors_written: 0,
+            metrics: Metrics::disabled(),
         }
+    }
+
+    /// Attaches a metrics handle; `aoe.server.*` counters and the
+    /// busy-worker gauge land there.
+    pub fn set_telemetry(&mut self, metrics: Metrics) {
+        self.metrics = metrics;
     }
 
     /// The configuration.
@@ -135,6 +143,15 @@ impl AoeServer {
         let start = now.max(self.workers[idx]);
         let done = start + service;
         self.workers[idx] = done;
+        if self.metrics.is_enabled() {
+            let busy = self.workers.iter().filter(|&&t| t > now).count();
+            self.metrics.gauge_set("aoe.server.busy_workers", busy as i64);
+            self.metrics
+                .observe("aoe.server.service_us", service.as_micros());
+            let queued = start.saturating_duration_since(now);
+            self.metrics
+                .observe("aoe.server.queue_wait_us", queued.as_micros());
+        }
         done
     }
 
@@ -151,6 +168,7 @@ impl AoeServer {
             return Ok(None);
         }
         self.requests += 1;
+        self.metrics.inc("aoe.server.requests");
         if pdu.write {
             Ok(Some(self.handle_write(now, pdu)))
         } else {
@@ -163,6 +181,8 @@ impl AoeServer {
         let ready_at = self.assign_worker(now, self.cfg.per_request_cpu + disk_time);
         let data = self.disk.store().read_range(pdu.range);
         self.sectors_read += pdu.range.sectors as u64;
+        self.metrics
+            .add("aoe.server.sectors_read", pdu.range.sectors as u64);
 
         let spf = sectors_per_frame(self.cfg.mtu);
         let mut frames = Vec::new();
@@ -196,6 +216,8 @@ impl AoeServer {
         if let Some(data) = &pdu.data {
             self.disk.store_mut().write_range(pdu.range, data);
             self.sectors_written += pdu.range.sectors as u64;
+            self.metrics
+                .add("aoe.server.sectors_written", pdu.range.sectors as u64);
         }
         let mut ack = pdu.clone();
         ack.response = true;

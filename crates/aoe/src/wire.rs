@@ -222,7 +222,7 @@ impl AoePdu {
         let data = if payload.is_empty() {
             None
         } else {
-            if payload.len() % SECTOR_SIZE as usize != 0 {
+            if !payload.len().is_multiple_of(SECTOR_SIZE as usize) {
                 return Err(DecodeError::RaggedPayload(payload.len()));
             }
             Some(

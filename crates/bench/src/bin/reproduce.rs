@@ -2,8 +2,12 @@
 //! comparison tables.
 //!
 //! ```text
-//! reproduce [--quick] [fig04 fig05 ... | all]
+//! reproduce [--quick] [--metrics] [fig04 fig05 ... | all]
 //! ```
+//!
+//! `--metrics` runs one instrumented deployment first and prints the
+//! observability report (per-phase timings, redirect/fill/discard/
+//! retransmit counters, FIFO depth, guest I/O latency percentiles).
 //!
 //! `--quick` shrinks image sizes and run lengths (same mechanisms, same
 //! shape); the default is the paper's parameters — expect the full run to
@@ -23,10 +27,20 @@ fn main() {
         .filter(|a| !a.starts_with("--"))
         .map(|a| a.as_str())
         .collect();
-    let all = wanted.is_empty() || wanted.contains(&"all");
-    let want = |id: &str| all || wanted.iter().any(|w| *w == id);
 
-    let figures: Vec<(&str, fn(Scale) -> Figure)> = vec![
+    if args.iter().any(|a| a == "--metrics") {
+        eprintln!("[reproduce] running instrumented deployment at {scale:?} scale ...");
+        print!("{}", telemetry::report(scale));
+        if wanted.is_empty() {
+            return;
+        }
+    }
+
+    let all = wanted.is_empty() || wanted.contains(&"all");
+    let want = |id: &str| all || wanted.contains(&id);
+
+    type FigureFn = fn(Scale) -> Figure;
+    let figures: Vec<(&str, FigureFn)> = vec![
         ("fig04", fig04_startup::run),
         ("fig05", fig05_database::run),
         ("fig06", fig06_mpi::run),

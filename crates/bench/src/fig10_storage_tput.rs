@@ -91,10 +91,15 @@ pub fn measure(scale: Scale) -> StorageTputResults {
     let dep_w = mbps_of(&mut deploying, job(scale, true, file));
     let dep_r = mbps_of(&mut deploying, job(scale, false, file));
 
+    // Devirt: the paper's Figure 10 machine keeps the VMM resident after
+    // deployment (§4.3) — VMX stays on with EPT/traps disabled, so IRQ
+    // delivery pays the small resident-shim latency and reads land ~1.7%
+    // below bare metal instead of bit-identical.
     let mut devirted = Runner::bmcast(
         &spec,
         BmcastConfig {
             moderation: Moderation::full_speed(),
+            vmxoff_after_deploy: false,
             ..BmcastConfig::default()
         },
     );

@@ -1,0 +1,118 @@
+//! `reproduce --metrics`: an instrumented deployment that prints the
+//! observability layer's view of the lifecycle — per-phase wall-clock
+//! timings plus the counters that explain *why* it took that long
+//! (copy-on-read redirects, background fills and discards, AoE
+//! retransmits, FIFO pressure).
+
+use crate::Scale;
+use bmcast::config::{BmcastConfig, Moderation};
+use bmcast::deploy::Runner;
+use bmcast::machine::MachineSpec;
+use bmcast::programs::FioProgram;
+use guestsim::workload::fio::FioJob;
+use hwsim::block::Lba;
+use simkit::{SimDuration, SimTime};
+
+/// Runs one instrumented deployment and renders the telemetry report.
+pub fn report(scale: Scale) -> String {
+    let spec = match scale {
+        Scale::Paper => MachineSpec::default(),
+        Scale::Quick => MachineSpec {
+            capacity_sectors: (1u64 << 30) / 512,
+            image_sectors: (512u64 << 20) / 512,
+            ..MachineSpec::default()
+        },
+    };
+    // A little fabric loss exercises the AoE retransmission path so the
+    // retransmit counters carry signal.
+    let cfg = BmcastConfig {
+        moderation: Moderation::full_speed(),
+        fabric_loss_rate: 0.002,
+        ..BmcastConfig::default()
+    };
+    let mut runner = Runner::bmcast_instrumented(&spec, cfg);
+
+    // Guest reads ahead of the background copy force copy-on-read
+    // redirects; the copier then discards the now guest-owned blocks.
+    let read_bytes = match scale {
+        Scale::Paper => 64u64 << 20,
+        Scale::Quick => 16 << 20,
+    };
+    runner.start_program(Box::new(FioProgram::new(FioJob {
+        write: false,
+        total_bytes: read_bytes,
+        block_bytes: 1 << 20,
+        start: Lba(1 << 16),
+    })));
+    runner.run_to_finish(runner.now() + SimDuration::from_secs(600));
+    runner
+        .run_to_bare_metal(SimTime::from_secs(4 * 3600))
+        .expect("deployment completes");
+
+    let timings = runner.phase_timings();
+    let snap = runner
+        .metrics_snapshot()
+        .expect("telemetry was enabled above");
+
+    let mut out = String::new();
+    use std::fmt::Write as _;
+    let _ = writeln!(out, "== deployment telemetry ({scale:?} scale) ==");
+    let _ = writeln!(out, "phase timings:");
+    let _ = writeln!(out, "{timings}");
+    let _ = writeln!(out, "key counters:");
+    let key = [
+        ("redirected guest reads", "machine.redirected_ios"),
+        ("background fills", "bg.fills"),
+        ("blocks discarded (guest won)", "bg.blocks_discarded"),
+        ("blocks written", "bg.blocks_written"),
+        ("AoE retransmits", "aoe.client.retransmits"),
+    ];
+    for (label, name) in key {
+        let _ = writeln!(out, "  {label:<30} {}", snap.counter(name));
+    }
+    let _ = writeln!(
+        out,
+        "  {:<30} {}",
+        "FIFO depth (final gauge)",
+        snap.gauge("bg.fifo_depth")
+    );
+    if let Some(h) = snap.histogram("guest.io_latency_us") {
+        let _ = writeln!(
+            out,
+            "  {:<30} p50 {} us, p99 {} us",
+            "guest I/O latency",
+            h.quantile(0.5),
+            h.quantile(0.99)
+        );
+    }
+    let _ = writeln!(out, "full snapshot:");
+    let _ = write!(out, "{snap}");
+
+    let events = runner.tracer().events();
+    let tail = 16.min(events.len());
+    let _ = writeln!(
+        out,
+        "trace: {} events emitted, {} dropped; last {tail}:",
+        runner.tracer().emitted(),
+        runner.tracer().dropped()
+    );
+    for ev in &events[events.len() - tail..] {
+        let _ = writeln!(out, "  {ev}");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_report_carries_signal() {
+        let s = report(Scale::Quick);
+        assert!(s.contains("phase timings"), "{s}");
+        assert!(s.contains("deployment"), "{s}");
+        assert!(s.contains("machine.redirected_ios"), "{s}");
+        assert!(s.contains("bg.fills"), "{s}");
+        assert!(s.contains("phase.bare_metal"), "{s}");
+    }
+}

@@ -5,7 +5,7 @@ use bmcast::machine::MachineSpec;
 use bmcast::programs::FioProgram;
 use guestsim::workload::fio::FioJob;
 use hwsim::block::Lba;
-use simkit::{SimDuration, SimTime};
+use simkit::SimDuration;
 
 fn main() {
     let spec = MachineSpec::default();

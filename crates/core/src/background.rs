@@ -13,7 +13,7 @@
 
 use crate::bitmap::BlockBitmap;
 use hwsim::block::{BlockRange, Lba, SectorData};
-use simkit::SimTime;
+use simkit::{Metrics, SimTime};
 use std::collections::VecDeque;
 
 /// A fetched block waiting for the writer.
@@ -54,6 +54,7 @@ pub struct BackgroundCopy {
     blocks_written: u64,
     blocks_discarded: u64,
     bytes_fetched: u64,
+    metrics: Metrics,
 }
 
 impl BackgroundCopy {
@@ -85,6 +86,21 @@ impl BackgroundCopy {
             blocks_written: 0,
             blocks_discarded: 0,
             bytes_fetched: 0,
+            metrics: Metrics::disabled(),
+        }
+    }
+
+    /// Attaches a metrics handle; `bg.*` counters and the FIFO/in-flight
+    /// depth gauges land there.
+    pub fn set_telemetry(&mut self, metrics: Metrics) {
+        self.metrics = metrics;
+    }
+
+    /// Publishes the FIFO and pipeline depths as gauges.
+    fn update_depth_gauges(&self) {
+        if self.metrics.is_enabled() {
+            self.metrics.gauge_set("bg.fifo_depth", self.fifo.len() as i64);
+            self.metrics.gauge_set("bg.inflight", self.inflight as i64);
         }
     }
 
@@ -163,6 +179,8 @@ impl BackgroundCopy {
                 continue;
             }
             self.inflight += 1;
+            self.metrics.inc("bg.fetches");
+            self.update_depth_gauges();
             return Some(range);
         }
     }
@@ -172,6 +190,8 @@ impl BackgroundCopy {
     pub fn fetch_failed(&mut self, range: BlockRange) {
         assert!(self.inflight > 0, "failure without a fetch in flight");
         self.inflight -= 1;
+        self.metrics.inc("bg.fetch_failures");
+        self.update_depth_gauges();
         self.requested.clear(range);
         if range.lba < self.cursor {
             self.cursor = range.lba;
@@ -187,7 +207,9 @@ impl BackgroundCopy {
         assert!(self.inflight > 0, "deliver without a fetch in flight");
         self.inflight -= 1;
         self.bytes_fetched += block.range.bytes();
+        self.metrics.add("bg.bytes_fetched", block.range.bytes());
         self.fifo.push_back(block);
+        self.update_depth_gauges();
     }
 
     /// Pushes a copy-on-read fill: data already fetched for a redirected
@@ -196,6 +218,8 @@ impl BackgroundCopy {
     /// want this region) and are exempt from moderation pacing.
     pub fn push_local_fill(&mut self, block: FetchedBlock) {
         self.bytes_fetched += block.range.bytes();
+        self.metrics.add("bg.bytes_fetched", block.range.bytes());
+        self.metrics.inc("bg.fills");
         self.fills.push_back(block);
     }
 
@@ -215,6 +239,7 @@ impl BackgroundCopy {
             let holes = bitmap.empty_subranges(block.range);
             if holes.is_empty() {
                 self.blocks_discarded += 1;
+                self.metrics.inc("bg.blocks_discarded");
                 continue; // guest overwrote everything; try the next block
             }
             let mut pieces = Vec::with_capacity(holes.len());
@@ -228,6 +253,8 @@ impl BackgroundCopy {
                 });
             }
             self.blocks_written += 1;
+            self.metrics.inc("bg.blocks_written");
+            self.update_depth_gauges();
             return Some(pieces);
         }
     }

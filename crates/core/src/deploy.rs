@@ -8,7 +8,7 @@ use crate::machine::{
     start_deployment, start_program, GuestProgram, Machine, MachineSim, MachineSpec,
 };
 use hwsim::firmware::{BootPath, FirmwareModel};
-use simkit::{SimDuration, SimTime};
+use simkit::{Metrics, MetricsSnapshot, SimDuration, SimTime, Tracer};
 
 /// Size of the network-booted VMM payload (kernel + ramdisk).
 pub const VMM_PAYLOAD_BYTES: u64 = 16 << 20;
@@ -68,6 +68,28 @@ impl std::fmt::Display for StartupTimeline {
     }
 }
 
+/// Wall-clock breakdown of the deployment lifecycle, derived from the
+/// timestamps the machine records at each phase transition.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PhaseTimings {
+    /// Start of deployment to bitmap-complete (§3 phases 2–3).
+    pub deployment: Option<SimDuration>,
+    /// Bitmap-complete to every CPU de-virtualized (§3.4).
+    pub devirtualization: Option<SimDuration>,
+}
+
+impl std::fmt::Display for PhaseTimings {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let fmt = |d: Option<SimDuration>| match d {
+            Some(d) if d.as_micros() < 10_000 => format!("{} us", d.as_micros()),
+            Some(d) => format!("{:.3} s", d.as_secs_f64()),
+            None => "—".to_string(),
+        };
+        writeln!(f, "  {:<20} {}", "deployment", fmt(self.deployment))?;
+        write!(f, "  {:<20} {}", "devirtualization", fmt(self.devirtualization))
+    }
+}
+
 /// Owns a [`Machine`] and its simulator; the main entry point for
 /// examples, tests, and benches.
 pub struct Runner {
@@ -89,6 +111,19 @@ impl Runner {
     /// [`Runner::start_program`] or any `run_*` method first runs the clock).
     pub fn bmcast(spec: &MachineSpec, cfg: BmcastConfig) -> Runner {
         let mut machine = Machine::bmcast(spec, cfg);
+        let mut sim = MachineSim::new();
+        start_deployment(&mut machine, &mut sim);
+        Runner { machine, sim }
+    }
+
+    /// Like [`Runner::bmcast`] but with metrics and tracing attached
+    /// *before* deployment is armed, so even the retriever's first fetch
+    /// burst and the `phase.deployment` transition are observed.
+    /// ([`Runner::enable_telemetry`] attaches mid-flight and misses
+    /// whatever already happened.)
+    pub fn bmcast_instrumented(spec: &MachineSpec, cfg: BmcastConfig) -> Runner {
+        let mut machine = Machine::bmcast(spec, cfg);
+        machine.set_telemetry(Metrics::enabled(), Tracer::enabled(4096));
         let mut sim = MachineSim::new();
         start_deployment(&mut machine, &mut sim);
         Runner { machine, sim }
@@ -116,6 +151,45 @@ impl Runner {
     /// Extracts the machine, discarding pending events (a power-off).
     pub fn into_machine(self) -> Machine {
         self.machine
+    }
+
+    /// Turns on metrics and tracing for this machine and everything it
+    /// owns (mediators, background copy, AoE endpoints). Idempotent but
+    /// resets any counts accumulated so far. Costs one branch per
+    /// instrumentation point; disabled is the default.
+    pub fn enable_telemetry(&mut self) {
+        self.machine
+            .set_telemetry(Metrics::enabled(), Tracer::enabled(4096));
+    }
+
+    /// A point-in-time snapshot of every metric (`None` if telemetry is
+    /// off).
+    pub fn metrics_snapshot(&self) -> Option<MetricsSnapshot> {
+        self.machine.metrics.snapshot()
+    }
+
+    /// The machine's tracer handle (disabled unless
+    /// [`Runner::enable_telemetry`] ran).
+    pub fn tracer(&self) -> &Tracer {
+        &self.machine.tracer
+    }
+
+    /// Per-phase wall-clock timings, populated as the lifecycle advances.
+    pub fn phase_timings(&self) -> PhaseTimings {
+        let Some(vmm) = self.machine.vmm.as_ref() else {
+            return PhaseTimings::default();
+        };
+        let deployment = vmm
+            .deployment_done_at
+            .map(|t| t.duration_since(SimTime::ZERO));
+        let devirtualization = match (vmm.deployment_done_at, vmm.bare_metal_at) {
+            (Some(done), Some(bare)) => Some(bare.duration_since(done)),
+            _ => None,
+        };
+        PhaseTimings {
+            deployment,
+            devirtualization,
+        }
     }
 
     /// Installs and starts a guest program.

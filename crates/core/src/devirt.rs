@@ -172,8 +172,8 @@ mod tests {
         // during the phase shift": the whole teardown is microseconds.
         let mut cpus = virt_cpus(24);
         let mut seq = DevirtSequencer::new(24);
-        for i in 0..24 {
-            seq.devirtualize_cpu(i, &mut cpus[i]);
+        for (i, cpu) in cpus.iter_mut().enumerate() {
+            seq.devirtualize_cpu(i, cpu);
         }
         assert!(seq.total_cost() < SimDuration::from_millis(1));
     }

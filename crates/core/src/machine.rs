@@ -37,7 +37,7 @@ use hwsim::ide::{AtaOp, IdeAction, IdeCommandBlock, IdeController, IdeReg, PrdEn
 use hwsim::mem::{DmaBuffer, PhysAddr, PhysMem};
 use hwsim::pci::{Bdf, PciBus, PciClass, PciDevice};
 use hwsim::vtx::{ExitReason, VtxCpu};
-use simkit::{Histogram, Sim, SimDuration, SimTime};
+use simkit::{Histogram, Metrics, Sim, SimDuration, SimTime, Tracer};
 use std::collections::HashMap;
 
 /// The simulator specialized to this world.
@@ -354,6 +354,10 @@ pub struct Machine {
     pub net: Option<Network>,
     /// Counters.
     pub stats: MachineStats,
+    /// Shared metrics handle (disabled unless telemetry is attached).
+    pub metrics: Metrics,
+    /// Shared trace handle (disabled unless telemetry is attached).
+    pub tracer: Tracer,
 }
 
 /// Build-time description of a machine.
@@ -410,6 +414,8 @@ impl Machine {
             guest: Guest::new(spec.controller),
             net: None,
             stats: MachineStats::default(),
+            metrics: Metrics::disabled(),
+            tracer: Tracer::disabled(),
         }
     }
 
@@ -542,7 +548,27 @@ impl Machine {
                 server_port,
             }),
             stats: MachineStats::default(),
+            metrics: Metrics::disabled(),
+            tracer: Tracer::disabled(),
         }
+    }
+
+    /// Attaches observability handles to every instrumented component —
+    /// the device mediators, the background copy, the AoE endpoints, and
+    /// the machine's own counters. All clones share one registry/ring, so
+    /// a single snapshot sees the whole machine.
+    pub fn set_telemetry(&mut self, metrics: Metrics, tracer: Tracer) {
+        if let Some(vmm) = self.vmm.as_mut() {
+            vmm.ide_med.set_telemetry(metrics.clone());
+            vmm.ahci_med.set_telemetry(metrics.clone());
+            vmm.bg.set_telemetry(metrics.clone());
+            vmm.client.set_telemetry(metrics.clone(), tracer.clone());
+        }
+        if let Some(net) = self.net.as_mut() {
+            net.server.set_telemetry(metrics.clone());
+        }
+        self.metrics = metrics;
+        self.tracer = tracer;
     }
 
     /// Installs the guest program (clearing any previous program's
@@ -799,6 +825,7 @@ fn start_ide_media(m: &mut Machine, sim: &mut MachineSim, origin: Origin) {
     };
     if origin == Origin::Guest {
         m.stats.local_ios += 1;
+        m.metrics.inc("machine.local_ios");
     }
     sim.schedule_in(t, move |m: &mut Machine, sim| {
         m.hw.ide.complete_active(&mut m.hw.mem, &mut m.hw.disk);
@@ -820,6 +847,7 @@ fn start_ahci_media(m: &mut Machine, sim: &mut MachineSim, slot: u8, origin: Ori
     };
     if origin == Origin::Guest {
         m.stats.local_ios += 1;
+        m.metrics.inc("machine.local_ios");
     }
     sim.schedule_in(t, move |m: &mut Machine, sim| {
         m.hw
@@ -831,7 +859,19 @@ fn start_ahci_media(m: &mut Machine, sim: &mut MachineSim, slot: u8, origin: Ori
 
 fn finish_media(m: &mut Machine, sim: &mut MachineSim, origin: Origin) {
     match origin {
-        Origin::Guest | Origin::RedirectRestart => deliver_guest_irq(m, sim),
+        Origin::Guest | Origin::RedirectRestart => {
+            // §4.3 resident mode: VMX stays on after deployment (EPT and
+            // traps off), so external interrupts still transit the thin
+            // resident shim before reaching the now-unmediated guest.
+            let resident_delay = m.vmm.as_ref().and_then(|v| {
+                (!v.cfg.vmxoff_after_deploy && v.phase == Phase::BareMetal)
+                    .then_some(v.cfg.resident_irq_delay)
+            });
+            match resident_delay {
+                Some(d) if d > SimDuration::ZERO => sim.schedule_in(d, deliver_guest_irq),
+                _ => deliver_guest_irq(m, sim),
+            }
+        }
         Origin::VmmWrite => {
             // The VMM detects completion by polling: consume the interrupt
             // directly (a status read / IS ack in VMM context) after the
@@ -871,9 +911,9 @@ fn deliver_guest_irq(m: &mut Machine, sim: &mut MachineSim) {
     process_hw_events(m, sim, events);
     for io in completions {
         if let Some(issued) = m.guest.pending_io.remove(&io.id) {
-            m.guest
-                .io_latency
-                .record(sim.now().duration_since(issued).as_secs_f64());
+            let latency = sim.now().duration_since(issued);
+            m.guest.io_latency.record(latency.as_secs_f64());
+            m.metrics.observe("guest.io_latency_us", latency.as_micros());
         }
         m.guest.ios_completed += 1;
         m.guest.bytes_completed += io.range.bytes();
@@ -893,13 +933,12 @@ pub fn run_program(
     run_program_dyn(m, sim, Box::new(f));
 }
 
+/// A type-erased visit of the guest program (see [`run_program_dyn`]).
+type ProgramVisit<'a> = Box<dyn FnOnce(&mut dyn GuestProgram, &mut GuestCtl) + 'a>;
+
 /// Type-erased core of [`run_program`] (keeps the event closures from
 /// instantiating recursively).
-fn run_program_dyn(
-    m: &mut Machine,
-    sim: &mut MachineSim,
-    f: Box<dyn FnOnce(&mut dyn GuestProgram, &mut GuestCtl) + '_>,
-) {
+fn run_program_dyn(m: &mut Machine, sim: &mut MachineSim, f: ProgramVisit<'_>) {
     let Some(mut program) = m.guest.program.take() else {
         return;
     };
@@ -942,6 +981,7 @@ pub fn start_program(m: &mut Machine, sim: &mut MachineSim) {
 
 fn begin_ide_redirect(m: &mut Machine, sim: &mut MachineSim, r: crate::mediator::IdeRedirect) {
     m.stats.redirected_ios += 1;
+    m.metrics.inc("machine.redirected_ios");
     let target = RedirectTarget::Ide { cmd: r.cmd };
     begin_redirect(m, sim, target, r.cmd.range, r.protected);
 }
@@ -950,6 +990,7 @@ fn begin_ahci_redirect(m: &mut Machine, sim: &mut MachineSim, rs: Vec<AhciRedire
     // Serve slots one at a time; our drivers rarely co-issue redirects.
     for r in rs {
         m.stats.redirected_ios += 1;
+        m.metrics.inc("machine.redirected_ios");
         let prdt = m
             .hw
             .mem
@@ -973,6 +1014,14 @@ fn begin_redirect(
     range: BlockRange,
     protected: bool,
 ) {
+    m.tracer.emit(sim.now(), "machine", "redirect", || {
+        format!(
+            "{} sectors at {:?}{}",
+            range.sectors,
+            range.lba,
+            if protected { " (protected)" } else { "" }
+        )
+    });
     let vmm = m.vmm.as_mut().expect("redirect without vmm");
     vmm.cpu_time += VMM_OP_CPU;
     assert!(
@@ -1079,6 +1128,7 @@ fn finish_redirect_now(m: &mut Machine, sim: &mut MachineSim) {
         vmm.bg.push_local_fill(FetchedBlock { range, data });
     }
     m.stats.redirected_bytes += fetched_bytes;
+    m.metrics.add("machine.redirected_bytes", fetched_bytes);
 
     match r.target {
         RedirectTarget::Ide { cmd } => {
@@ -1179,6 +1229,7 @@ fn pump_vmm_tx(m: &mut Machine, sim: &mut MachineSim) {
     };
     while let Some(frame) = vmm.nic.nic_mut().pop_tx() {
         m.stats.frames_tx += 1;
+        m.metrics.inc("machine.frames_tx");
         vmm.cpu_time += SimDuration::from_micros(3);
         match net.switch.forward(sim.now(), frame) {
             Ok(delivery) if delivery.port == net.server_port => {
@@ -1208,15 +1259,13 @@ fn server_rx(m: &mut Machine, sim: &mut MachineSim, payload: Vec<u8>) {
                 payload_bytes: frame_payload.len() as u32,
                 payload: frame_payload.clone(),
             };
-            match net.switch.forward(sim.now(), frame) {
-                Ok(delivery) => {
-                    let at = delivery.at;
-                    let payload = delivery.frame.payload;
-                    sim.schedule_at(at, move |m: &mut Machine, sim| {
-                        vmm_nic_rx(m, sim, payload);
-                    });
-                }
-                Err(_) => {} // dropped; retransmission recovers
+            // On Err the frame is dropped; retransmission recovers.
+            if let Ok(delivery) = net.switch.forward(sim.now(), frame) {
+                let at = delivery.at;
+                let payload = delivery.frame.payload;
+                sim.schedule_at(at, move |m: &mut Machine, sim| {
+                    vmm_nic_rx(m, sim, payload);
+                });
             }
         });
     }
@@ -1248,6 +1297,7 @@ fn vmm_poll(m: &mut Machine, sim: &mut MachineSim) {
     let mut completions = Vec::new();
     for p in payloads {
         m.stats.frames_rx += 1;
+        m.metrics.inc("machine.frames_rx");
         vmm.cpu_time += SimDuration::from_micros(3);
         if let Some(done) = vmm.client.on_frame(&p) {
             completions.push(done);
@@ -1326,6 +1376,8 @@ fn schedule_retransmit_guard(m: &mut Machine, sim: &mut MachineSim) {
 pub fn start_deployment(m: &mut Machine, sim: &mut MachineSim) {
     if let Some(vmm) = m.vmm.as_mut() {
         vmm.phase = Phase::Deployment;
+        m.tracer
+            .emit(sim.now(), "phase", "deployment", || "background copy starts".into());
         // Warm the dummy sector so restarts hit the disk cache.
         let dummy = BlockRange::new(crate::mediator::ide::DUMMY_LBA, 1);
         m.hw.disk.access_time(DiskOp::Read, dummy);
@@ -1339,10 +1391,7 @@ fn retriever_fire(m: &mut Machine, sim: &mut MachineSim) {
         return;
     }
     let mut frames = Vec::new();
-    loop {
-        let Some(range) = vmm.bg.next_fetch(&vmm.bitmap) else {
-            break;
-        };
+    while let Some(range) = vmm.bg.next_fetch(&vmm.bitmap) {
         vmm.cpu_time += VMM_OP_CPU;
         let (id, fs) = vmm.client.read(sim.now(), range);
         vmm.aoe_waiters.insert(id, AoeWaiter::Background(range));
@@ -1576,6 +1625,9 @@ fn maybe_begin_devirt(m: &mut Machine, sim: &mut MachineSim) {
     }
     vmm.devirt_requested = true;
     vmm.deployment_done_at = Some(sim.now());
+    m.tracer.emit(sim.now(), "phase", "deployment_done", || {
+        "bitmap complete, requesting de-virtualization".into()
+    });
     sim.schedule_in(SimDuration::from_micros(10), begin_devirt);
 }
 
@@ -1593,6 +1645,12 @@ fn begin_devirt(m: &mut Machine, sim: &mut MachineSim) {
     vmm.phase = Phase::Devirtualization;
     // Each CPU tears down at its own pace — no TLB-shootdown IPIs needed.
     let vmxoff = vmm.cfg.vmxoff_after_deploy;
+    m.tracer.emit(sim.now(), "phase", "devirtualization", || {
+        format!(
+            "bitmap persisted; tearing down ({})",
+            if vmxoff { "vmxoff" } else { "resident" }
+        )
+    });
     for i in 0..m.hw.cpus.len() {
         let jitter = SimDuration::from_micros(7 * (i as u64 + 1));
         sim.schedule_in(jitter, move |m: &mut Machine, sim| {
@@ -1615,6 +1673,9 @@ fn begin_devirt(m: &mut Machine, sim: &mut MachineSim) {
                 if !vmxoff {
                     m.hw.pci.hide(MGMT_NIC_BDF);
                 }
+                m.tracer.emit(sim.now(), "phase", "bare_metal", || {
+                    format!("all {} cpus de-virtualized", i + 1)
+                });
             }
         });
     }

@@ -18,6 +18,7 @@ use hwsim::ahci::{preg, AhciCmdList, AhciCmdTable, H2dFis, PORT_BASE, PORT_STRID
 use hwsim::block::BlockRange;
 use hwsim::ide::{AtaOp, PrdEntry, PrdTable};
 use hwsim::mem::{PhysAddr, PhysMem};
+use simkit::Metrics;
 
 /// The mediator's decision for one guest MMIO access.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -68,6 +69,7 @@ pub struct AhciMediator {
     vmm_slot: Option<u8>,
     protected_region: Option<BlockRange>,
     stats: MediatorStats,
+    metrics: Metrics,
 }
 
 impl AhciMediator {
@@ -87,6 +89,11 @@ impl AhciMediator {
     /// Mediation statistics.
     pub fn stats(&self) -> MediatorStats {
         self.stats
+    }
+
+    /// Attaches a metrics handle; `mediator.ahci.*` counters land there.
+    pub fn set_telemetry(&mut self, metrics: Metrics) {
+        self.metrics = metrics;
     }
 
     /// The shadowed command-list base, once interpreted.
@@ -131,6 +138,7 @@ impl AhciMediator {
                 preg::CI => {
                     self.queued_ci |= val as u32;
                     self.stats.queued_accesses += 1;
+                    self.metrics.inc("mediator.ahci.queued_accesses");
                     return MmioVerdict::Swallow;
                 }
                 // Structural writes (command-list repointing, port
@@ -138,6 +146,7 @@ impl AhciMediator {
                 preg::CLB | preg::CMD => {
                     self.queued_mmio.push((offset, val));
                     self.stats.queued_accesses += 1;
+                    self.metrics.inc("mediator.ahci.queued_accesses");
                     return MmioVerdict::Swallow;
                 }
                 _ => {}
@@ -174,6 +183,7 @@ impl AhciMediator {
                 continue;
             };
             self.stats.interpreted_commands += 1;
+            self.metrics.inc("mediator.ahci.interpreted_commands");
             let protected = self.touches_protected(fis.range);
             let needs_redirect = match fis.op {
                 AtaOp::ReadDma => protected || bitmap.any_empty(fis.range),
@@ -183,8 +193,10 @@ impl AhciMediator {
             if needs_redirect {
                 if protected {
                     self.stats.protected_conversions += 1;
+                    self.metrics.inc("mediator.ahci.protected_conversions");
                 } else {
                     self.stats.redirects += 1;
+                    self.metrics.inc("mediator.ahci.redirects");
                 }
                 self.held_slots |= 1 << slot;
                 redirects.push(AhciRedirect {
@@ -223,6 +235,7 @@ impl AhciMediator {
                 let v = (raw as u32 | self.held_slots) & !self.vmm_mask();
                 if v as u64 != raw {
                     self.stats.emulated_reads += 1;
+                    self.metrics.inc("mediator.ahci.emulated_reads");
                 }
                 v as u64
             }
@@ -230,16 +243,19 @@ impl AhciMediator {
                 let v = raw as u32 & !self.vmm_mask();
                 if v as u64 != raw {
                     self.stats.emulated_reads += 1;
+                    self.metrics.inc("mediator.ahci.emulated_reads");
                 }
                 v as u64
             }
             preg::TFD => match self.mode {
                 MediatorMode::Redirecting => {
                     self.stats.emulated_reads += 1;
+                    self.metrics.inc("mediator.ahci.emulated_reads");
                     0x80 // busy
                 }
                 MediatorMode::Multiplexing => {
                     self.stats.emulated_reads += 1;
+                    self.metrics.inc("mediator.ahci.emulated_reads");
                     0x40 // idle, despite the VMM's command running
                 }
                 MediatorMode::Normal => raw,
@@ -296,6 +312,7 @@ impl AhciMediator {
         self.mode = MediatorMode::Multiplexing;
         self.vmm_slot = Some(slot);
         self.stats.multiplexes += 1;
+        self.metrics.inc("mediator.ahci.multiplexes");
     }
 
     /// Leaves multiplexing mode; returns guest CI bits queued meanwhile
@@ -459,7 +476,7 @@ mod tests {
 
     #[test]
     fn is_ack_masks_vmm_bit() {
-        let mut mem = PhysMem::new(1 << 30);
+        let mem = PhysMem::new(1 << 30);
         let mut med = AhciMediator::new(None);
         let mut bm = BlockBitmap::new(1 << 16);
         med.begin_multiplex(31);
@@ -494,6 +511,56 @@ mod tests {
         let t = mem.get::<AhciCmdTable>(table).unwrap();
         assert_eq!(t.cfis.range.sectors, 1);
         assert_eq!(t.prdt.entries[0].buf, dummy);
+    }
+
+    /// §3.3 consistency, the interior case: a guest NCQ write strictly
+    /// inside one in-flight copy block must split that block into two
+    /// surviving pieces; the guest's sectors in the middle are never
+    /// overwritten by the stale fetch.
+    #[test]
+    fn partial_block_guest_write_splits_racing_background_block() {
+        use crate::background::{BackgroundCopy, FetchedBlock};
+        use hwsim::block::BlockStore;
+
+        let mut mem = PhysMem::new(1 << 30);
+        let mut med = AhciMediator::new(None);
+        let mut bm = BlockBitmap::new(1 << 16);
+        let mut bg = BackgroundCopy::new(64, 8, 4, 1 << 16);
+
+        let r0 = bg.next_fetch(&bm).unwrap();
+        let r1 = bg.next_fetch(&bm).unwrap();
+        assert_eq!(r1, BlockRange::new(Lba(64), 64));
+
+        // Guest writes 10 sectors strictly inside the in-flight block
+        // [64,128) while its fetch is on the wire.
+        let clb = setup(&mut mem, &mut med);
+        fill_slot(&mut mem, clb, 0, AtaOp::WriteDma, 100, 10);
+        let v = med.on_guest_write(PORT_BASE + preg::CI, 1, &mem, &mut bm);
+        assert!(matches!(v, MmioVerdict::Ci { forward_mask: 1, .. }));
+        assert!(bm.all_filled(BlockRange::new(Lba(100), 10)));
+
+        for r in [r0, r1] {
+            bg.deliver(FetchedBlock {
+                data: r.iter().map(|lba| BlockStore::image_content(7, lba)).collect(),
+                range: r,
+            });
+        }
+
+        // [0,64) lands whole; [64,128) splits around the guest's
+        // [100,110).
+        let p0 = bg.pop_for_write(&mut bm).unwrap();
+        assert_eq!(p0.len(), 1);
+        assert_eq!(p0[0].range, BlockRange::new(Lba(0), 64));
+        let p1 = bg.pop_for_write(&mut bm).unwrap();
+        assert_eq!(
+            p1.iter().map(|p| p.range).collect::<Vec<_>>(),
+            vec![BlockRange::new(Lba(64), 36), BlockRange::new(Lba(110), 18)]
+        );
+        // Each piece's data is the server's, offset correctly into the
+        // original block.
+        assert_eq!(p1[0].data[0], BlockStore::image_content(7, Lba(64)));
+        assert_eq!(p1[1].data[0], BlockStore::image_content(7, Lba(110)));
+        assert!(bg.pop_for_write(&mut bm).is_none());
     }
 
     #[test]

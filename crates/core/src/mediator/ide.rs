@@ -10,6 +10,7 @@ use crate::mediator::{MediatorMode, MediatorStats};
 use hwsim::block::{BlockRange, Lba};
 use hwsim::ide::{status, AtaOp, IdeCommandBlock, IdeReg};
 use hwsim::mem::PhysAddr;
+use simkit::Metrics;
 
 /// The mediator's decision for one guest PIO access.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -104,6 +105,7 @@ pub struct IdeMediator {
     queued: Vec<(IdeReg, u32)>,
     protected_region: Option<BlockRange>,
     stats: MediatorStats,
+    metrics: Metrics,
 }
 
 impl IdeMediator {
@@ -124,6 +126,11 @@ impl IdeMediator {
     /// Mediation statistics.
     pub fn stats(&self) -> MediatorStats {
         self.stats
+    }
+
+    /// Attaches a metrics handle; `mediator.ide.*` counters land there.
+    pub fn set_telemetry(&mut self, metrics: Metrics) {
+        self.metrics = metrics;
     }
 
     /// Decodes the shadow taskfile exactly as the device will.
@@ -172,8 +179,10 @@ impl IdeMediator {
             let protected = self.touches_protected(cmd.range);
             if protected {
                 self.stats.protected_conversions += 1;
+                self.metrics.inc("mediator.ide.protected_conversions");
             } else {
                 self.stats.redirects += 1;
+                self.metrics.inc("mediator.ide.redirects");
             }
             self.mode = MediatorMode::Redirecting;
             return PioVerdict::StartRedirect(IdeRedirect { cmd, protected });
@@ -196,6 +205,7 @@ impl IdeMediator {
         if self.mode != MediatorMode::Normal {
             self.queued.push((reg, val));
             self.stats.queued_accesses += 1;
+            self.metrics.inc("mediator.ide.queued_accesses");
             return PioVerdict::Swallow;
         }
         match reg {
@@ -209,6 +219,7 @@ impl IdeMediator {
                 self.last_cmd_ext = matches!(val as u8, 0x25 | 0x35);
                 if let Some(op) = AtaOp::from_byte(val as u8) {
                     self.stats.interpreted_commands += 1;
+                    self.metrics.inc("mediator.ide.interpreted_commands");
                     let cmd = IdeCommandBlock {
                         op,
                         range: if op.is_dma() {
@@ -245,6 +256,14 @@ impl IdeMediator {
 
     /// Processes a trapped guest port read.
     pub fn on_guest_read(&mut self, reg: IdeReg) -> PioVerdict {
+        let verdict = self.filter_guest_read(reg);
+        if matches!(verdict, PioVerdict::Emulate(_)) {
+            self.metrics.inc("mediator.ide.emulated_reads");
+        }
+        verdict
+    }
+
+    fn filter_guest_read(&mut self, reg: IdeReg) -> PioVerdict {
         match self.mode {
             MediatorMode::Normal => PioVerdict::Forward,
             MediatorMode::Redirecting => match reg {
@@ -290,6 +309,7 @@ impl IdeMediator {
         assert!(self.can_multiplex(), "device not idle for multiplexing");
         self.mode = MediatorMode::Multiplexing;
         self.stats.multiplexes += 1;
+        self.metrics.inc("mediator.ide.multiplexes");
     }
 
     /// Leaves multiplexing mode, returning the queued guest accesses for
@@ -399,9 +419,8 @@ mod tests {
         let mut bm = BlockBitmap::new(1 << 16);
         med.on_guest_write(IdeReg::SectorCount, 0, &mut bm);
         med.on_guest_write(IdeReg::SectorCount, 4, &mut bm);
-        for reg in [IdeReg::LbaLow, IdeReg::LbaLow] {
-            med.on_guest_write(reg, if reg == IdeReg::LbaLow { 0 } else { 0 }, &mut bm);
-        }
+        med.on_guest_write(IdeReg::LbaLow, 0, &mut bm);
+        med.on_guest_write(IdeReg::LbaLow, 0, &mut bm);
         med.on_guest_write(IdeReg::LbaLow, 0, &mut bm);
         med.on_guest_write(IdeReg::LbaLow, 50, &mut bm);
         med.on_guest_write(IdeReg::LbaMid, 0, &mut bm);
@@ -521,5 +540,79 @@ mod tests {
         let mut med = IdeMediator::new(None);
         med.begin_multiplex();
         med.begin_multiplex();
+    }
+
+    /// Programs an EXT DMA write the way the guest driver does.
+    fn program_write(med: &mut IdeMediator, bitmap: &mut BlockBitmap, lba: u64, sectors: u32)
+        -> PioVerdict {
+        let writes = [
+            (IdeReg::BmPrdAddr, 0x2000u32),
+            (IdeReg::SectorCount, (sectors >> 8) & 0xFF),
+            (IdeReg::SectorCount, sectors & 0xFF),
+            (IdeReg::LbaLow, ((lba >> 24) & 0xFF) as u32),
+            (IdeReg::LbaLow, (lba & 0xFF) as u32),
+            (IdeReg::LbaMid, ((lba >> 32) & 0xFF) as u32),
+            (IdeReg::LbaMid, ((lba >> 8) & 0xFF) as u32),
+            (IdeReg::LbaHigh, ((lba >> 40) & 0xFF) as u32),
+            (IdeReg::LbaHigh, ((lba >> 16) & 0xFF) as u32),
+            (IdeReg::Device, 0x40),
+            (IdeReg::Command, 0x35),
+        ];
+        for (reg, val) in writes {
+            assert_eq!(med.on_guest_write(reg, val, bitmap), PioVerdict::Forward);
+        }
+        med.on_guest_write(IdeReg::BmCommand, 0x01, bitmap)
+    }
+
+    /// §3.3 consistency, the unaligned case: a guest DMA write that is
+    /// aligned to neither copy-block edge must clip every racing
+    /// background block around it — the head of the block it starts in
+    /// and the tail of the block it ends in still get the server's data,
+    /// the guest's sectors never get overwritten.
+    #[test]
+    fn unaligned_guest_write_beats_racing_background_blocks() {
+        use crate::background::{BackgroundCopy, FetchedBlock};
+        use hwsim::block::BlockStore;
+
+        let mut med = IdeMediator::new(None);
+        let mut bm = BlockBitmap::new(1 << 16);
+        let mut bg = BackgroundCopy::new(64, 8, 4, 1 << 16);
+
+        // Three copy blocks go on the wire before the guest touches
+        // anything.
+        let fetches: Vec<BlockRange> = (0..3).map(|_| bg.next_fetch(&bm).unwrap()).collect();
+        assert_eq!(fetches[1], BlockRange::new(Lba(64), 64));
+
+        // While they are in flight, the guest writes 70 sectors at LBA
+        // 100 — straddling the [64,128)/[128,192) boundary, aligned to
+        // neither edge.
+        let v = program_write(&mut med, &mut bm, 100, 70);
+        assert_eq!(v, PioVerdict::Forward);
+        assert!(bm.all_filled(BlockRange::new(Lba(100), 70)));
+
+        // The stale fetches land afterwards.
+        for r in &fetches {
+            bg.deliver(FetchedBlock {
+                data: r.iter().map(|lba| BlockStore::image_content(7, lba)).collect(),
+                range: *r,
+            });
+        }
+
+        // The writer clips each block around the guest's sectors:
+        // [0,64) untouched, [64,128) keeps only its head, [128,192)
+        // only its tail.
+        let ranges = |pieces: &[FetchedBlock]| pieces.iter().map(|p| p.range).collect::<Vec<_>>();
+        let p0 = bg.pop_for_write(&mut bm).unwrap();
+        assert_eq!(ranges(&p0), vec![BlockRange::new(Lba(0), 64)]);
+        let p1 = bg.pop_for_write(&mut bm).unwrap();
+        assert_eq!(ranges(&p1), vec![BlockRange::new(Lba(64), 36)]);
+        let p2 = bg.pop_for_write(&mut bm).unwrap();
+        assert_eq!(ranges(&p2), vec![BlockRange::new(Lba(170), 22)]);
+        assert!(bg.pop_for_write(&mut bm).is_none());
+
+        // The surviving pieces carry the server's bytes for exactly
+        // those holes.
+        assert_eq!(p1[0].data[0], BlockStore::image_content(7, Lba(64)));
+        assert_eq!(p2[0].data[0], BlockStore::image_content(7, Lba(170)));
     }
 }

@@ -19,6 +19,7 @@ use crate::mediator::{MediatorMode, MediatorStats};
 use hwsim::block::BlockRange;
 use hwsim::megasas::{reg, MfiFrame, MfiOp};
 use hwsim::mem::{PhysAddr, PhysMem};
+use simkit::Metrics;
 
 /// Verdict on a guest MMIO access to the controller.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -51,6 +52,7 @@ pub struct MegasasMediator {
     /// VMM-owned frames whose completions must be hidden from the guest.
     vmm_frames: Vec<PhysAddr>,
     stats: MediatorStats,
+    metrics: Metrics,
 }
 
 impl MegasasMediator {
@@ -69,6 +71,11 @@ impl MegasasMediator {
         self.stats
     }
 
+    /// Attaches a metrics handle; `mediator.megasas.*` counters land there.
+    pub fn set_telemetry(&mut self, metrics: Metrics) {
+        self.metrics = metrics;
+    }
+
     /// Processes a trapped guest MMIO write.
     pub fn on_guest_write(
         &mut self,
@@ -83,6 +90,7 @@ impl MegasasMediator {
         if self.mode != MediatorMode::Normal {
             self.queued_posts.push(PhysAddr(val));
             self.stats.queued_accesses += 1;
+            self.metrics.inc("mediator.megasas.queued_accesses");
             return MegasasVerdict::Swallow;
         }
         let frame_addr = PhysAddr(val);
@@ -90,6 +98,7 @@ impl MegasasMediator {
             return MegasasVerdict::Forward; // uninterpretable: hardware's problem
         };
         self.stats.interpreted_commands += 1;
+        self.metrics.inc("mediator.megasas.interpreted_commands");
         match frame.op {
             MfiOp::LdWrite => {
                 bitmap.mark_filled(frame.range);
@@ -97,6 +106,7 @@ impl MegasasMediator {
             }
             MfiOp::LdRead if bitmap.any_empty(frame.range) => {
                 self.stats.redirects += 1;
+                self.metrics.inc("mediator.megasas.redirects");
                 self.mode = MediatorMode::Redirecting;
                 MegasasVerdict::StartRedirect(MegasasRedirect {
                     frame: frame_addr,
@@ -117,6 +127,7 @@ impl MegasasMediator {
         if let Some(pos) = self.vmm_frames.iter().position(|f| f.0 == popped) {
             self.vmm_frames.remove(pos);
             self.stats.emulated_reads += 1;
+            self.metrics.inc("mediator.megasas.emulated_reads");
             0 // the guest sees an empty queue slot
         } else {
             popped
@@ -166,6 +177,7 @@ impl MegasasMediator {
         self.mode = MediatorMode::Multiplexing;
         self.vmm_frames.push(vmm_frame);
         self.stats.multiplexes += 1;
+        self.metrics.inc("mediator.megasas.multiplexes");
     }
 
     /// Leaves multiplexing, returning queued guest posts for replay.

@@ -25,6 +25,7 @@ use crate::mediator::MediatorStats;
 use hwsim::e1000::{icr, reg, DescRing, FrameBuf, E1000};
 use hwsim::eth::MacAddr;
 use hwsim::mem::{PhysAddr, PhysMem};
+use simkit::Metrics;
 use std::collections::VecDeque;
 
 /// Size of the VMM's shadow rings.
@@ -58,6 +59,7 @@ pub struct NicMediator {
     vmm_tx_frames: u64,
     guest_rx_frames: u64,
     vmm_rx_frames: u64,
+    metrics: Metrics,
 }
 
 impl NicMediator {
@@ -93,12 +95,18 @@ impl NicMediator {
             vmm_tx_frames: 0,
             guest_rx_frames: 0,
             vmm_rx_frames: 0,
+            metrics: Metrics::disabled(),
         }
     }
 
     /// Mediation statistics.
     pub fn stats(&self) -> MediatorStats {
         self.stats
+    }
+
+    /// Attaches a metrics handle; `mediator.nic.*` counters land there.
+    pub fn set_telemetry(&mut self, metrics: Metrics) {
+        self.metrics = metrics;
     }
 
     /// Guest frames transmitted through the shadow rings.
@@ -170,6 +178,7 @@ impl NicMediator {
                 self.vmm_tx_frames += 1;
                 self.push_shadow_tx(mem, phys, vf);
                 self.stats.multiplexes += 1;
+                self.metrics.inc("mediator.nic.vmm_tx_frames");
             }
             let idx = self.guest_tdh as usize;
             let frame = mem
@@ -179,6 +188,7 @@ impl NicMediator {
             if let Some(frame) = frame {
                 self.guest_tx_frames += 1;
                 self.push_shadow_tx(mem, phys, frame);
+                self.metrics.inc("mediator.nic.guest_tx_frames");
             }
             if let Some(ring) = mem.get_mut::<DescRing>(self.guest_tdbal) {
                 if let Some(d) = ring.slots.get_mut(idx) {
@@ -197,6 +207,7 @@ impl NicMediator {
             self.vmm_tx_frames += 1;
             self.push_shadow_tx(mem, phys, frame);
             self.stats.multiplexes += 1;
+            self.metrics.inc("mediator.nic.vmm_tx_frames");
         } else {
             self.vmm_tx.push_back(frame);
         }
@@ -241,6 +252,7 @@ impl NicMediator {
                 if frame.dst == self.vmm_peer || frame.payload.first() == Some(&0x10) {
                     // Heuristic AoE classification (version nibble 1).
                     self.vmm_rx_frames += 1;
+                    self.metrics.inc("mediator.nic.vmm_rx_frames");
                     vmm_frames.push(frame);
                 } else {
                     self.deliver_to_guest(mem, frame);
@@ -278,6 +290,7 @@ impl NicMediator {
             }
             self.guest_rdh = next;
             self.guest_rx_frames += 1;
+            self.metrics.inc("mediator.nic.guest_rx_frames");
             self.guest_icr |= icr::RXT0;
         }
     }

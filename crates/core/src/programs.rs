@@ -368,10 +368,14 @@ impl StreamProgram {
                 cursor,
                 ..
             } => {
-                if cursor.0 + *block_sectors as u64 > region.end().0 {
+                if cursor.0 >= region.end().0 {
                     *cursor = region.lba;
                 }
-                let range = BlockRange::new(*cursor, *block_sectors);
+                // Clamp to the region tail: an unaligned region ends with a
+                // short request rather than skipping the tail sectors or
+                // spilling past the region end.
+                let remaining = (region.end().0 - cursor.0).min(*block_sectors as u64) as u32;
+                let range = BlockRange::new(*cursor, remaining);
                 *cursor = range.end();
                 let write = *write;
                 let id = self.alloc_id();

@@ -210,7 +210,7 @@ impl CommitLogStream {
             out.push(IoRequest::write(RequestId(self.next_id), range, data));
             self.batches_done += 1;
             // Periodic memtable flush: a larger sequential write burst.
-            if self.batches_done % self.flush_every_batches == 0 {
+            if self.batches_done.is_multiple_of(self.flush_every_batches) {
                 let flush = self.alloc(4096); // 2 MB
                 let data: Vec<SectorData> = (0..flush.sectors)
                     .map(|_| SectorData(prng.next_u64() | 1))

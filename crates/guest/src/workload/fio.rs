@@ -54,7 +54,7 @@ impl FioJob {
     /// Panics if the block size is not sector-aligned or zero.
     pub fn requests(&self) -> Vec<IoRequest> {
         assert!(
-            self.block_bytes > 0 && self.block_bytes % 512 == 0,
+            self.block_bytes > 0 && self.block_bytes.is_multiple_of(512),
             "block size must be a positive multiple of 512"
         );
         let sectors = (self.block_bytes / 512) as u32;

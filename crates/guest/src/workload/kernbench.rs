@@ -59,7 +59,7 @@ impl KernbenchJob {
                 // Jitter unit cost 0.5x..1.5x around the mean.
                 let cpu = cpu_per_unit.mul_f64(0.5 + prng.next_f64());
                 let io = match prng.below(6) {
-                    0 | 1 | 2 => {
+                    0..=2 => {
                         // Read a source file: 8..64 KB somewhere in the tree.
                         let sectors = 16 + prng.below(112) as u32;
                         let lba = self.tree + prng.below(1 << 20);

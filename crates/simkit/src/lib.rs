@@ -2,8 +2,11 @@
 //!
 //! `simkit` is the foundation of the BMcast reproduction: a virtual-time
 //! event loop ([`Sim`]), time types ([`SimTime`], [`SimDuration`]), a
-//! deterministic PRNG ([`rng::Prng`]), and statistics collectors
-//! ([`stats::Histogram`], [`stats::TimeSeries`]).
+//! deterministic PRNG ([`rng::Prng`]), statistics collectors
+//! ([`stats::Histogram`], [`stats::TimeSeries`]), and the observability
+//! layer — a sim-timestamped trace ring ([`trace::Tracer`]) and a
+//! counter/gauge/histogram registry ([`metrics::Metrics`]), both zero-cost
+//! when disabled.
 //!
 //! The engine is single-threaded and fully deterministic: events scheduled
 //! at the same instant fire in scheduling order. The paper's "threads"
@@ -28,13 +31,17 @@
 //! assert_eq!(sim.now().as_millis(), 5);
 //! ```
 
+pub mod metrics;
 pub mod rng;
 pub mod stats;
 pub mod time;
+pub mod trace;
 
+pub use metrics::{LogHistogram, Metrics, MetricsSnapshot};
 pub use rng::Prng;
 pub use stats::{Counter, Histogram, TimeSeries};
 pub use time::{SimDuration, SimTime};
+pub use trace::{TraceEvent, Tracer};
 
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;

@@ -157,7 +157,7 @@ impl TimeSeries {
     /// order; this is asserted in debug builds.
     pub fn push(&mut self, t: SimTime, v: f64) {
         debug_assert!(
-            self.points.last().map_or(true, |&(lt, _)| lt <= t),
+            self.points.last().is_none_or(|&(lt, _)| lt <= t),
             "time series points must be pushed in order"
         );
         self.points.push((t, v));

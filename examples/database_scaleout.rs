@@ -71,7 +71,7 @@ fn main() {
             model.latency_us(&env),
             m.deployment_progress() * 100.0
         );
-        if phase == Phase::BareMetal && t.as_secs() % 60 == 0 {
+        if phase == Phase::BareMetal && t.as_secs().is_multiple_of(60) {
             break;
         }
         if t > SimTime::from_secs(3000) {

@@ -375,3 +375,104 @@ fn deployment_resumes_after_reboot() {
         remainder
     );
 }
+
+/// The §3.3 consistency rule generalizes to the third mediator (§4.3):
+/// guest LdWrites posted through the MegaRAID MFI queue while background
+/// blocks are in flight always win — the VMM's multiplexed writes are
+/// clipped around them, including the unaligned head/tail case. The
+/// `Machine` only wires IDE/AHCI, so this drives the megasas rig
+/// (controller + mediator + background copy) directly.
+#[test]
+fn megasas_guest_writes_always_win_over_background_copy() {
+    use bmcast_repro::bmcast::background::{BackgroundCopy, FetchedBlock};
+    use bmcast_repro::bmcast::bitmap::BlockBitmap;
+    use bmcast_repro::bmcast::mediator::megasas::{MegasasMediator, MegasasVerdict};
+    use bmcast_repro::hwsim::block::BlockStore;
+    use bmcast_repro::hwsim::disk::{DiskModel, DiskParams};
+    use bmcast_repro::hwsim::megasas::{reg, Megasas, MfiFrame, MfiOp, MfiStatus};
+    use bmcast_repro::hwsim::mem::{DmaBuffer, PhysMem};
+
+    const CAP: u64 = 1 << 16;
+    let params = DiskParams {
+        capacity_sectors: CAP,
+        ..DiskParams::default()
+    };
+    let mut disk = DiskModel::new(params, BlockStore::zeroed_with_mirror(CAP, 0xE5));
+    let mut ctl = Megasas::new();
+    let mut med = MegasasMediator::new();
+    let mut mem = PhysMem::new(1 << 30);
+    let mut bitmap = BlockBitmap::new(CAP);
+    let mut bg = BackgroundCopy::new(64, 8, 4, CAP);
+    let server = BlockStore::image(CAP, SEED);
+
+    // Four copy blocks go on the wire: [0,64) .. [192,256).
+    let fetches: Vec<BlockRange> = (0..4).map(|_| bg.next_fetch(&bitmap).unwrap()).collect();
+    assert_eq!(fetches[3], BlockRange::new(Lba(192), 64));
+
+    // While they are in flight, the guest posts an unaligned 70-sector
+    // write at LBA 100 (straddles [64,128) and [128,192), aligned to
+    // neither edge). The mediator marks the bitmap and forwards.
+    let guest_data = SectorData(0x5EA1);
+    let buffer = mem.alloc(DmaBuffer {
+        sectors: vec![guest_data; 70],
+    });
+    let frame = mem.alloc(MfiFrame {
+        op: MfiOp::LdWrite,
+        range: BlockRange::new(Lba(100), 70),
+        buffer,
+        status: MfiStatus::Pending,
+    });
+    assert_eq!(
+        med.on_guest_write(reg::IQP, frame.0, &mem, &mut bitmap),
+        MegasasVerdict::Forward
+    );
+    assert!(bitmap.all_filled(BlockRange::new(Lba(100), 70)));
+    ctl.mmio_write(reg::IQP, frame.0);
+    ctl.start_next().unwrap();
+    ctl.complete_active(&mut mem, &mut disk);
+    let popped = ctl.mmio_read(reg::OQP);
+    assert_eq!(med.filter_oqp_pop(popped), frame.0, "guest sees its own completion");
+
+    // The stale fetches land afterwards; the writer multiplexes the
+    // surviving pieces onto the disk through the controller.
+    for r in &fetches {
+        bg.deliver(FetchedBlock {
+            data: server.read_range(*r),
+            range: *r,
+        });
+    }
+    while let Some(pieces) = bg.pop_for_write(&mut bitmap) {
+        for piece in pieces {
+            assert!(med.can_multiplex(ctl.is_busy()));
+            let vmm_buf = mem.alloc(DmaBuffer {
+                sectors: piece.data.clone(),
+            });
+            let vmm_frame = mem.alloc(MfiFrame {
+                op: MfiOp::LdWrite,
+                range: piece.range,
+                buffer: vmm_buf,
+                status: MfiStatus::Pending,
+            });
+            med.begin_multiplex(vmm_frame);
+            ctl.mmio_write(reg::IQP, vmm_frame.0);
+            ctl.start_next().unwrap();
+            ctl.complete_active(&mut mem, &mut disk);
+            let popped = ctl.mmio_read(reg::OQP);
+            assert_eq!(med.filter_oqp_pop(popped), 0, "hidden from the guest");
+            assert!(med.finish_multiplex().is_empty());
+        }
+    }
+
+    // Every guest-written sector still holds the guest's data; the
+    // clipped head and tail hold the server's.
+    for lba in 100..170u64 {
+        assert_eq!(disk.store().read(Lba(lba)), guest_data, "guest sector {lba}");
+    }
+    for lba in (64..100u64).chain(170..256) {
+        assert_eq!(
+            disk.store().read(Lba(lba)),
+            BlockStore::image_content(SEED, Lba(lba)),
+            "background sector {lba}"
+        );
+    }
+}

@@ -183,15 +183,14 @@ proptest! {
     #[test]
     fn deployed_disk_is_image_overlaid_with_guest_writes(
         write_lba in 100u64..6_000,
-        // Whole 64-sector blocks so the stream's wrap point is block-aligned.
-        write_span in (2u32..16).prop_map(|k| k * 64),
+        write_span in 2u32..1000,
         interval_us in prop_oneof![Just(0u64), Just(500), Just(5_000)],
         ahci in any::<bool>(),
     ) {
         let spec = MachineSpec {
             capacity_sectors: 1 << 13,
             image_sectors: 1 << 13,
-            image_seed: 0x90_D,
+            image_seed: 0x90D,
             cpus: 2,
             mem_bytes: 1 << 30,
             controller: if ahci { ControllerKind::Ahci } else { ControllerKind::Ide },
@@ -228,7 +227,7 @@ proptest! {
             } else if !region.contains(lba) {
                 prop_assert_eq!(
                     got,
-                    BlockStore::image_content(0x90_D, lba),
+                    BlockStore::image_content(0x90D, lba),
                     "image sector {} deployed", lba
                 );
             }

@@ -1,0 +1,608 @@
+//! Offline shim for the subset of [proptest](https://docs.rs/proptest)
+//! this workspace uses.
+//!
+//! The build environment has no network access to a crates.io registry, so
+//! the real crate cannot be resolved; this shim keeps the property tests
+//! runnable with the same source text. It provides:
+//!
+//! - the [`Strategy`] trait with `prop_map`, integer-range / tuple /
+//!   [`Just`] / `any::<T>()` strategies, [`option::of`] and
+//!   [`collection::vec`];
+//! - the [`proptest!`], [`prop_oneof!`], [`prop_assert!`] and
+//!   [`prop_assert_eq!`] macros;
+//! - [`ProptestConfig`] with a `cases` knob;
+//! - replay of checked-in `*.proptest-regressions` seeds: every
+//!   `# shrinks to name = value, ...` comment whose parameter names match a
+//!   test's parameters is parsed and run *before* the random cases, so
+//!   known-failing inputs stay pinned.
+//!
+//! Generation is deterministic: the RNG is seeded from the test name and
+//! case index, so failures reproduce across runs. There is no shrinking —
+//! the failing case is printed verbatim instead.
+
+use std::fmt::Debug;
+use std::path::PathBuf;
+
+/// Deterministic splitmix64 RNG driving value generation.
+#[derive(Debug, Clone)]
+pub struct TestRng(u64);
+
+impl TestRng {
+    /// An RNG with the given seed.
+    pub fn new(seed: u64) -> TestRng {
+        TestRng(seed ^ 0x9E37_79B9_7F4A_7C15)
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `[0, n)`; returns 0 when `n == 0`.
+    pub fn below(&mut self, n: u64) -> u64 {
+        if n == 0 {
+            0
+        } else {
+            self.next_u64() % n
+        }
+    }
+}
+
+/// FNV-1a over a string, for deriving per-test seeds.
+pub fn seed_from_name(name: &str) -> u64 {
+    let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// Run-count and related knobs, mirroring proptest's `ProptestConfig`.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases to run per test.
+    pub cases: u32,
+    /// Unused by the shim (no shrinking); kept for source compatibility.
+    pub max_shrink_iters: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig {
+            cases: 256,
+            max_shrink_iters: 1024,
+        }
+    }
+}
+
+pub mod strategy {
+    //! Value-generation strategies.
+
+    use super::TestRng;
+    use std::fmt::Debug;
+    use std::marker::PhantomData;
+
+    /// A recipe for generating values of one type.
+    pub trait Strategy {
+        /// The generated value type.
+        type Value: Debug + Clone;
+
+        /// Generates one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            O: Debug + Clone,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { source: self, f }
+        }
+    }
+
+    macro_rules! int_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    debug_assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end - self.start) as u64;
+                    self.start + rng.below(span) as $t
+                }
+            }
+            impl Strategy for std::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    let span = (*self.end() - *self.start()) as u64;
+                    *self.start() + rng.below(span.saturating_add(1)) as $t
+                }
+            }
+        )*};
+    }
+    int_range_strategy!(u8, u16, u32, u64, usize);
+
+    /// Types with a canonical "any value" strategy (`any::<T>()`).
+    pub trait Arbitrary: Debug + Clone + Sized {
+        /// Generates an arbitrary value.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+    macro_rules! int_arbitrary {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+    int_arbitrary!(u8, u16, u32, u64, usize);
+
+    /// Strategy produced by [`any`](crate::any).
+    #[derive(Debug, Clone)]
+    pub struct Any<T>(pub(crate) PhantomData<T>);
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    /// Always yields a clone of its payload.
+    #[derive(Debug, Clone)]
+    pub struct Just<T>(pub T);
+
+    impl<T: Debug + Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// Strategy adapter from [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        pub(crate) source: S,
+        pub(crate) f: F,
+    }
+
+    impl<S, O, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        O: Debug + Clone,
+        F: Fn(S::Value) -> O,
+    {
+        type Value = O;
+        fn generate(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.source.generate(rng))
+        }
+    }
+
+    /// Uniform choice between boxed alternatives ([`prop_oneof!`](crate::prop_oneof)).
+    pub struct Union<V> {
+        options: Vec<Box<dyn Fn(&mut TestRng) -> V>>,
+    }
+
+    impl<V> Union<V> {
+        /// An empty union; panics on generation until an arm is pushed.
+        pub fn empty() -> Union<V> {
+            Union {
+                options: Vec::new(),
+            }
+        }
+
+        /// Adds one alternative. All arms must yield the same value type,
+        /// which lets integer-literal arms unify instead of defaulting.
+        pub fn push_strategy<S>(&mut self, s: S)
+        where
+            S: Strategy<Value = V> + 'static,
+        {
+            self.options.push(Box::new(move |rng| s.generate(rng)));
+        }
+    }
+
+    impl<V: Debug + Clone> Strategy for Union<V> {
+        type Value = V;
+        fn generate(&self, rng: &mut TestRng) -> V {
+            assert!(!self.options.is_empty(), "prop_oneof! needs at least one arm");
+            let i = rng.below(self.options.len() as u64) as usize;
+            (self.options[i])(rng)
+        }
+    }
+
+    macro_rules! tuple_strategy {
+        ($($S:ident . $idx:tt),+) => {
+            impl<$($S: Strategy),+> Strategy for ($($S,)+) {
+                type Value = ($($S::Value,)+);
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.generate(rng),)+)
+                }
+            }
+        };
+    }
+    tuple_strategy!(A.0);
+    tuple_strategy!(A.0, B.1);
+    tuple_strategy!(A.0, B.1, C.2);
+    tuple_strategy!(A.0, B.1, C.2, D.3);
+    tuple_strategy!(A.0, B.1, C.2, D.3, E.4);
+    tuple_strategy!(A.0, B.1, C.2, D.3, E.4, F.5);
+    tuple_strategy!(A.0, B.1, C.2, D.3, E.4, F.5, G.6);
+    tuple_strategy!(A.0, B.1, C.2, D.3, E.4, F.5, G.6, H.7);
+    tuple_strategy!(A.0, B.1, C.2, D.3, E.4, F.5, G.6, H.7, I.8);
+    tuple_strategy!(A.0, B.1, C.2, D.3, E.4, F.5, G.6, H.7, I.8, J.9);
+}
+
+pub use strategy::{Arbitrary, Just, Strategy};
+
+/// The canonical strategy for `T`.
+pub fn any<T: Arbitrary>() -> strategy::Any<T> {
+    strategy::Any(std::marker::PhantomData)
+}
+
+pub mod option {
+    //! Strategies over `Option`.
+
+    use super::strategy::Strategy;
+    use super::TestRng;
+
+    /// Strategy from [`of`].
+    pub struct OptionStrategy<S>(S);
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+            // Match proptest's default: None with probability 1/4.
+            if rng.below(4) == 0 {
+                None
+            } else {
+                Some(self.0.generate(rng))
+            }
+        }
+    }
+
+    /// `Some` of the inner strategy, or `None`.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy(inner)
+    }
+}
+
+pub mod collection {
+    //! Strategies over collections.
+
+    use super::strategy::Strategy;
+    use super::TestRng;
+
+    /// Strategy from [`vec`].
+    pub struct VecStrategy<S> {
+        elem: S,
+        len: std::ops::Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.len.end - self.len.start) as u64;
+            let n = self.len.start + rng.below(span) as usize;
+            (0..n).map(|_| self.elem.generate(rng)).collect()
+        }
+    }
+
+    /// A vector of `len` elements drawn from `elem`.
+    pub fn vec<S: Strategy>(elem: S, len: std::ops::Range<usize>) -> VecStrategy<S> {
+        VecStrategy { elem, len }
+    }
+}
+
+/// One `# shrinks to ...` entry from a `*.proptest-regressions` file.
+#[derive(Debug, Clone)]
+pub struct RegressionCase {
+    pairs: Vec<(String, String)>,
+}
+
+impl RegressionCase {
+    /// The recorded value text for a parameter, if present.
+    pub fn get(&self, name: &str) -> Option<&str> {
+        self.pairs
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// Splits `a = 1, b = [2, 3]` on top-level commas only.
+fn split_top_level(s: &str) -> Vec<&str> {
+    let mut parts = Vec::new();
+    let mut depth = 0i32;
+    let mut start = 0usize;
+    for (i, c) in s.char_indices() {
+        match c {
+            '(' | '[' | '{' => depth += 1,
+            ')' | ']' | '}' => depth -= 1,
+            ',' if depth == 0 => {
+                parts.push(&s[start..i]);
+                start = i + 1;
+            }
+            _ => {}
+        }
+    }
+    parts.push(&s[start..]);
+    parts
+}
+
+/// Loads the regression cases recorded next to `source_file`
+/// (`foo.rs` → `foo.proptest-regressions`). Returns an empty vec when the
+/// file does not exist or has no parsable entries.
+pub fn load_regressions(manifest_dir: &str, source_file: &str) -> Vec<RegressionCase> {
+    let mut path = PathBuf::from(manifest_dir).join(source_file);
+    if !path.exists() {
+        path = PathBuf::from(source_file);
+    }
+    path.set_extension("proptest-regressions");
+    let Ok(text) = std::fs::read_to_string(&path) else {
+        return Vec::new();
+    };
+    let mut cases = Vec::new();
+    for line in text.lines() {
+        let line = line.trim();
+        if !line.starts_with("cc ") {
+            continue;
+        }
+        let Some((_, assigns)) = line.split_once("# shrinks to ") else {
+            continue;
+        };
+        let mut pairs = Vec::new();
+        for part in split_top_level(assigns) {
+            if let Some((name, value)) = part.split_once('=') {
+                pairs.push((name.trim().to_string(), value.trim().to_string()));
+            }
+        }
+        if !pairs.is_empty() {
+            cases.push(RegressionCase { pairs });
+        }
+    }
+    cases
+}
+
+/// Types reconstructible from regression-file value text. Types without a
+/// textual form (collections, tuples) decline, which skips replay for
+/// tests using them.
+pub trait RegressionArg: Sized {
+    /// Parses the recorded text, or `None` if unsupported/malformed.
+    fn parse_regression(text: &str) -> Option<Self>;
+}
+
+macro_rules! regression_from_str {
+    ($($t:ty),*) => {$(
+        impl RegressionArg for $t {
+            fn parse_regression(text: &str) -> Option<Self> {
+                text.trim().replace('_', "").parse().ok()
+            }
+        }
+    )*};
+}
+regression_from_str!(u8, u16, u32, u64, usize, i8, i16, i32, i64);
+
+impl RegressionArg for bool {
+    fn parse_regression(text: &str) -> Option<bool> {
+        text.trim().parse().ok()
+    }
+}
+
+impl<T> RegressionArg for Option<T> {
+    fn parse_regression(_text: &str) -> Option<Self> {
+        None
+    }
+}
+impl<T> RegressionArg for Vec<T> {
+    fn parse_regression(_text: &str) -> Option<Self> {
+        None
+    }
+}
+macro_rules! regression_unsupported_tuple {
+    ($($T:ident),+) => {
+        impl<$($T),+> RegressionArg for ($($T,)+) {
+            fn parse_regression(_text: &str) -> Option<Self> {
+                None
+            }
+        }
+    };
+}
+regression_unsupported_tuple!(A);
+regression_unsupported_tuple!(A, B);
+regression_unsupported_tuple!(A, B, C);
+regression_unsupported_tuple!(A, B, C, D);
+regression_unsupported_tuple!(A, B, C, D, E);
+regression_unsupported_tuple!(A, B, C, D, E, F);
+
+/// Parses regression text as the value type of `_strategy` (used by the
+/// `proptest!` expansion to drive type inference).
+pub fn parse_for<S: Strategy>(_strategy: &S, text: &str) -> Option<S::Value>
+where
+    S::Value: RegressionArg,
+{
+    S::Value::parse_regression(text)
+}
+
+/// Declares property tests. Supports an optional leading
+/// `#![proptest_config(...)]` and any number of
+/// `fn name(arg in strategy, ...) { body }` items.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { config = $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { config = $crate::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+#[macro_export]
+#[doc(hidden)]
+macro_rules! __proptest_impl {
+    (config = $cfg:expr; $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $cfg;
+            // Replay checked-in regression seeds first: a known-failing
+            // input must keep failing until genuinely fixed.
+            let regressions =
+                $crate::load_regressions(env!("CARGO_MANIFEST_DIR"), file!());
+            for case in &regressions {
+                let replayed = (|| -> Option<String> {
+                    $(let $arg =
+                        $crate::parse_for(&($strat), case.get(stringify!($arg))?)?;)+
+                    let desc = format!(
+                        concat!($(stringify!($arg), " = {:?} "),+),
+                        $(&$arg),+
+                    );
+                    $body
+                    Some(desc)
+                })();
+                if let Some(desc) = replayed {
+                    eprintln!(
+                        "[proptest] {}: regression case passed: {}",
+                        stringify!($name),
+                        desc
+                    );
+                }
+            }
+            // Then the deterministic random cases.
+            let seed = $crate::seed_from_name(concat!(module_path!(), "::", stringify!($name)));
+            for case_index in 0..config.cases as u64 {
+                let mut rng = $crate::TestRng::new(seed ^ case_index.wrapping_mul(0x9E37_79B9));
+                $(let $arg = $crate::Strategy::generate(&($strat), &mut rng);)+
+                let outcome = ::std::panic::catch_unwind(::std::panic::AssertUnwindSafe(|| {
+                    $(let $arg = $arg.clone();)+
+                    $body
+                }));
+                if let Err(panic) = outcome {
+                    eprintln!(
+                        concat!(
+                            "[proptest] {} failed at case {} with input: ",
+                            $(stringify!($arg), " = {:?} "),+
+                        ),
+                        stringify!($name),
+                        case_index,
+                        $(&$arg),+
+                    );
+                    ::std::panic::resume_unwind(panic);
+                }
+            }
+        }
+    )*};
+}
+
+/// Uniform choice between strategies yielding the same type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($s:expr),+ $(,)?) => {{
+        let mut union = $crate::strategy::Union::empty();
+        $(union.push_strategy($s);)+
+        union
+    }};
+}
+
+/// Asserts a condition inside a property test.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)+) => { assert!($cond, $($fmt)+) };
+}
+
+/// Asserts equality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_eq!($a, $b, $($fmt)+) };
+}
+
+pub mod prelude {
+    //! The usual imports, mirroring `proptest::prelude`.
+    pub use crate::strategy::{Arbitrary, Just, Strategy};
+    pub use crate::{any, prop_assert, prop_assert_eq, prop_oneof, proptest, ProptestConfig};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::*;
+
+    #[test]
+    fn rng_is_deterministic() {
+        let (mut a, mut b) = (TestRng::new(7), TestRng::new(7));
+        for _ in 0..32 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = TestRng::new(1);
+        for _ in 0..1000 {
+            let v = Strategy::generate(&(10u32..20), &mut rng);
+            assert!((10..20).contains(&v));
+        }
+    }
+
+    #[test]
+    fn map_union_and_tuples_compose() {
+        let mut rng = TestRng::new(2);
+        let s = (2u32..16).prop_map(|k| k * 64);
+        for _ in 0..100 {
+            let v = s.generate(&mut rng);
+            assert_eq!(v % 64, 0);
+            assert!((128..1024).contains(&v));
+        }
+        let u = prop_oneof![Just(0u64), Just(500), Just(5_000)];
+        for _ in 0..100 {
+            assert!([0, 500, 5_000].contains(&u.generate(&mut rng)));
+        }
+        let t = (0u64..4, any::<bool>());
+        let (x, _) = t.generate(&mut rng);
+        assert!(x < 4);
+    }
+
+    #[test]
+    fn collection_vec_respects_length() {
+        let mut rng = TestRng::new(3);
+        let s = collection::vec((0u64..8, any::<bool>()), 1..5);
+        for _ in 0..100 {
+            let v = s.generate(&mut rng);
+            assert!((1..5).contains(&v.len()));
+        }
+    }
+
+    #[test]
+    fn regression_line_parses() {
+        let parts = split_top_level("write_lba = 100, write_span = 70, ahci = false");
+        assert_eq!(parts.len(), 3);
+        assert_eq!(u64::parse_regression(" 100 "), Some(100));
+        assert_eq!(u64::parse_regression("6_000"), Some(6000));
+        assert_eq!(bool::parse_regression("false"), Some(false));
+        assert_eq!(<Vec<u8>>::parse_regression("[1, 2]"), None);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 16, ..ProptestConfig::default() })]
+
+        #[test]
+        fn shim_macro_runs_cases(x in 0u64..100, flip in any::<bool>()) {
+            prop_assert!(x < 100);
+            let _ = flip;
+        }
+    }
+}
