@@ -7,10 +7,10 @@
 //! re-serves them — reads are idempotent and writes here are
 //! last-writer-wins on whole sectors), up to a retry budget.
 
-use crate::wire::{sectors_per_frame, AoePdu, Tag};
+use crate::wire::{sectors_per_frame, AoePdu, FrameBytes, Tag};
 use hwsim::block::{BlockRange, SectorData};
 use simkit::{Metrics, SimDuration, SimTime, Tracer};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Client configuration.
 #[derive(Debug, Clone)]
@@ -56,7 +56,11 @@ struct Pending {
     is_write: bool,
     /// Per-fragment reassembly slots (reads) or ack flags (writes).
     frags: Vec<Option<Vec<SectorData>>>,
-    request_frames: Vec<Vec<u8>>,
+    /// Write fragments kept for retransmission, shared with the frames
+    /// handed to the wire (a retransmit is a reference-count bump).
+    /// Empty for reads: missing read fragments are re-encoded as
+    /// subrange requests, so nothing is retained.
+    request_frames: Vec<FrameBytes>,
     last_sent: SimTime,
     retries: u32,
 }
@@ -91,7 +95,10 @@ impl Pending {
 pub struct AoeClient {
     cfg: ClientConfig,
     next_id: u32,
-    pending: HashMap<u32, Pending>,
+    /// Outstanding requests by id. Ordered map: `poll_retransmit` walks
+    /// it, and iteration order decides retransmit order under loss — a
+    /// hash map's per-process seed would make lossy runs nondeterministic.
+    pending: BTreeMap<u32, Pending>,
     retransmits: u64,
     completions: u64,
     failures: Vec<u32>,
@@ -105,7 +112,7 @@ impl AoeClient {
         AoeClient {
             cfg,
             next_id: 1,
-            pending: HashMap::new(),
+            pending: BTreeMap::new(),
             retransmits: 0,
             completions: 0,
             failures: Vec::new(),
@@ -158,11 +165,11 @@ impl AoeClient {
 
     /// Issues a read of `range`. Returns the request id and the encoded
     /// request frame(s) to transmit (always exactly one for reads).
-    pub fn read(&mut self, now: SimTime, range: BlockRange) -> (u32, Vec<Vec<u8>>) {
+    pub fn read(&mut self, now: SimTime, range: BlockRange) -> (u32, Vec<FrameBytes>) {
         self.metrics.inc("aoe.client.reads");
         let id = self.alloc_id();
         let pdu = AoePdu::read_request(self.cfg.shelf, self.cfg.slot, Tag::new(id, 0), range);
-        let frames = vec![pdu.encode()];
+        let frames = vec![pdu.encode_frame()];
         let nfrags = self.fragment_count(range.sectors);
         self.pending.insert(
             id,
@@ -170,7 +177,9 @@ impl AoeClient {
                 range,
                 is_write: false,
                 frags: vec![None; nfrags as usize],
-                request_frames: frames.clone(),
+                // Reads keep nothing: retransmission re-encodes exactly
+                // the missing subranges (see `poll_retransmit`).
+                request_frames: Vec::new(),
                 last_sent: now,
                 retries: 0,
             },
@@ -190,7 +199,7 @@ impl AoeClient {
         now: SimTime,
         range: BlockRange,
         data: &[SectorData],
-    ) -> (u32, Vec<Vec<u8>>) {
+    ) -> (u32, Vec<FrameBytes>) {
         assert_eq!(data.len(), range.sectors as usize, "payload/range mismatch");
         self.metrics.inc("aoe.client.writes");
         let id = self.alloc_id();
@@ -210,7 +219,7 @@ impl AoeClient {
                     sub,
                     payload,
                 )
-                .encode(),
+                .encode_frame(),
             );
             offset += n;
             frag += 1;
@@ -221,6 +230,7 @@ impl AoeClient {
                 range,
                 is_write: true,
                 frags: vec![None; frag as usize],
+                // Shares the allocations just handed to the wire.
                 request_frames: frames.clone(),
                 last_sent: now,
                 retries: 0,
@@ -271,14 +281,23 @@ impl AoeClient {
     /// Returns encoded frames due for retransmission at `now`. Requests
     /// that exhaust their retry budget are failed (see
     /// [`AoeClient::take_failures`]).
-    pub fn poll_retransmit(&mut self, now: SimTime) -> Vec<Vec<u8>> {
+    pub fn poll_retransmit(&mut self, now: SimTime) -> Vec<FrameBytes> {
         let mut out = Vec::new();
         let rto = self.cfg.rto;
         let max = self.cfg.max_retries;
         let mut dead = Vec::new();
-        let metrics = self.metrics.clone();
-        let tracer = self.tracer.clone();
-        for (&id, p) in self.pending.iter_mut() {
+        // Split the borrows so the telemetry handles are used in place:
+        // this runs once per simulated tick, and cloning them every call
+        // would churn two reference counts per poll for nothing.
+        let Self {
+            cfg,
+            pending,
+            retransmits,
+            metrics,
+            tracer,
+            ..
+        } = self;
+        for (&id, p) in pending.iter_mut() {
             if now.saturating_duration_since(p.last_sent) < rto {
                 continue;
             }
@@ -291,11 +310,12 @@ impl AoeClient {
             let before = out.len();
             if p.is_write {
                 // Writes are already one request frame per fragment:
-                // resend only the unacknowledged ones.
+                // resend only the unacknowledged ones (shared bytes, so
+                // each resend is a reference-count bump).
                 for (i, frame) in p.request_frames.iter().enumerate() {
                     if p.frags.get(i).is_none_or(|f| f.is_none()) {
                         out.push(frame.clone());
-                        self.retransmits += 1;
+                        *retransmits += 1;
                         metrics.inc("aoe.client.retransmits");
                     }
                 }
@@ -304,9 +324,7 @@ impl AoeClient {
                 // missing fragments, each as a subrange read whose tag
                 // carries the fragment index (the server replies with
                 // that index as the fragment base).
-                let spf = sectors_per_frame(self.cfg.mtu);
-                let shelf = self.cfg.shelf;
-                let slot = self.cfg.slot;
+                let spf = sectors_per_frame(cfg.mtu);
                 for (i, f) in p.frags.iter().enumerate() {
                     if f.is_some() {
                         continue;
@@ -315,9 +333,9 @@ impl AoeClient {
                     let sectors = spf.min(p.range.sectors - offset);
                     let sub = BlockRange::new(p.range.lba + offset as u64, sectors);
                     let pdu =
-                        AoePdu::read_request(shelf, slot, Tag::new(id, i as u32), sub);
-                    out.push(pdu.encode());
-                    self.retransmits += 1;
+                        AoePdu::read_request(cfg.shelf, cfg.slot, Tag::new(id, i as u32), sub);
+                    out.push(pdu.encode_frame());
+                    *retransmits += 1;
                     metrics.inc("aoe.client.retransmits");
                 }
             }
@@ -330,8 +348,8 @@ impl AoeClient {
         for id in dead {
             self.pending.remove(&id);
             self.failures.push(id);
-            metrics.inc("aoe.client.failures");
-            tracer.emit(now, "aoe.client", "request_failed", || {
+            self.metrics.inc("aoe.client.failures");
+            self.tracer.emit(now, "aoe.client", "request_failed", || {
                 format!("req {id} exhausted retry budget")
             });
         }

@@ -10,7 +10,7 @@
 //! With `workers = 1` the server serializes (original vblade); with a pool
 //! it overlaps disk time across requests.
 
-use crate::wire::{sectors_per_frame, AoePdu, DecodeError, Tag};
+use crate::wire::{sectors_per_frame, AoePdu, DecodeError, FrameBytes, Tag};
 use hwsim::block::BlockRange;
 use hwsim::disk::{DiskModel, DiskOp};
 use simkit::{Metrics, SimDuration, SimTime};
@@ -47,8 +47,9 @@ impl Default for ServerConfig {
 pub struct ServerReply {
     /// Time the assigned worker finishes the request.
     pub ready_at: SimTime,
-    /// Encoded reply frames (fragments for reads, one ack for writes).
-    pub frames: Vec<Vec<u8>>,
+    /// Encoded reply frames (fragments for reads, one ack for writes),
+    /// as shared bytes the fabric can fan out without copying.
+    pub frames: Vec<FrameBytes>,
 }
 
 /// The AoE storage server.
@@ -179,7 +180,6 @@ impl AoeServer {
     fn handle_read(&mut self, now: SimTime, pdu: AoePdu) -> ServerReply {
         let disk_time = self.disk.access_time(DiskOp::Read, pdu.range);
         let ready_at = self.assign_worker(now, self.cfg.per_request_cpu + disk_time);
-        let data = self.disk.store().read_range(pdu.range);
         self.sectors_read += pdu.range.sectors as u64;
         self.metrics
             .add("aoe.server.sectors_read", pdu.range.sectors as u64);
@@ -202,8 +202,11 @@ impl AoeServer {
                 sub,
             );
             reply.response = true;
-            reply.data = Some(data[offset as usize..(offset + n) as usize].to_vec());
-            frames.push(reply.encode());
+            // Each fragment is read straight from the store into its own
+            // payload: no whole-request staging buffer, no re-slicing
+            // copy per fragment.
+            reply.data = Some(self.disk.store().read_range(sub));
+            frames.push(reply.encode_frame());
             offset += n;
             frag += 1;
         }
@@ -224,7 +227,7 @@ impl AoeServer {
         ack.data = None;
         ServerReply {
             ready_at,
-            frames: vec![ack.encode()],
+            frames: vec![ack.encode_frame()],
         }
     }
 }

@@ -10,6 +10,15 @@
 
 use hwsim::block::{BlockRange, Lba, SectorData, SECTOR_SIZE};
 use std::fmt;
+use std::sync::Arc;
+
+/// An encoded frame as shared immutable bytes.
+///
+/// Frames fan out along the data path — kept pending for
+/// retransmission, queued on NIC rings, scheduled across the fabric —
+/// and `Arc<[u8]>` makes every one of those hand-offs a reference-count
+/// bump instead of a payload copy.
+pub type FrameBytes = Arc<[u8]>;
 
 /// AoE + ATA-argument header size in bytes (excludes the Ethernet header).
 pub const AOE_HEADER_BYTES: u32 = 24;
@@ -185,6 +194,12 @@ impl AoePdu {
         }
         debug_assert_eq!(out.len() as u32, self.encoded_len());
         out
+    }
+
+    /// Encodes to shared immutable bytes, ready to be held pending and
+    /// put on the wire without further copies.
+    pub fn encode_frame(&self) -> FrameBytes {
+        self.encode().into()
     }
 
     /// Decodes a PDU from bytes.

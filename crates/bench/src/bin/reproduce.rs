@@ -2,7 +2,7 @@
 //! comparison tables.
 //!
 //! ```text
-//! reproduce [--quick] [--metrics] [fig04 fig05 ... | all]
+//! reproduce [--quick] [--metrics] [--jobs N] [fig04 fig05 ... | all]
 //! ```
 //!
 //! `--metrics` runs one instrumented deployment first and prints the
@@ -10,10 +10,92 @@
 //! retransmit counters, FIFO depth, guest I/O latency percentiles).
 //!
 //! `--quick` shrinks image sizes and run lengths (same mechanisms, same
-//! shape); the default is the paper's parameters — expect the full run to
-//! take tens of minutes of wall-clock time for the 32-GB deployments.
+//! shape); the default is the paper's parameters.
+//!
+//! Independent figures run concurrently on a bounded thread pool (each
+//! figure owns its whole simulated world, so there is no shared state).
+//! Output stays deterministic: tables are printed in figure order after
+//! all selected figures complete, and `BENCH_reproduce.json` records the
+//! per-figure wall-clock so the perf trajectory is tracked over time.
 
 use bmcast_bench::*;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+type FigureFn = fn(Scale) -> Figure;
+
+/// One completed figure: the table plus how long it took on the wall.
+struct FigureRun {
+    id: &'static str,
+    fig: Figure,
+    wall_s: f64,
+}
+
+/// Runs the selected figures on at most `jobs` worker threads and returns
+/// the results in the original figure order regardless of completion
+/// order (work-stealing via a shared index; slot-addressed results).
+fn run_figures(jobs: usize, scale: Scale, selected: &[(&'static str, FigureFn)]) -> Vec<FigureRun> {
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<FigureRun>>> =
+        selected.iter().map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..jobs.min(selected.len()).max(1) {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                let Some(&(id, f)) = selected.get(i) else {
+                    break;
+                };
+                eprintln!("[reproduce] running {id} at {scale:?} scale ...");
+                let started = Instant::now();
+                let fig = f(scale);
+                let wall_s = started.elapsed().as_secs_f64();
+                eprintln!("[reproduce] {id} done in {wall_s:.1}s");
+                *slots[i].lock().unwrap() = Some(FigureRun { id, fig, wall_s });
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|s| s.into_inner().unwrap().expect("figure slot filled"))
+        .collect()
+}
+
+/// Hand-rolled JSON (the workspace deliberately carries no serde): the
+/// schema is flat enough that string assembly is clearer than a codec.
+fn write_bench_json(
+    path: &str,
+    scale: Scale,
+    jobs: usize,
+    total_wall_s: f64,
+    runs: &[FigureRun],
+) -> std::io::Result<()> {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str(&format!("  \"scale\": \"{scale:?}\",\n"));
+    out.push_str(&format!("  \"parallelism\": {jobs},\n"));
+    out.push_str(&format!("  \"total_wall_s\": {total_wall_s:.3},\n"));
+    out.push_str("  \"figures\": [\n");
+    for (i, r) in runs.iter().enumerate() {
+        let checks = r.fig.checks.len();
+        let within = r
+            .fig
+            .checks
+            .iter()
+            .filter(|c| c.deviation() <= 0.10)
+            .count();
+        out.push_str(&format!(
+            "    {{\"id\": \"{}\", \"wall_s\": {:.3}, \"checks\": {}, \"within_10pct\": {}}}{}\n",
+            r.id,
+            r.wall_s,
+            checks,
+            within,
+            if i + 1 < runs.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    std::fs::write(path, out)
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -22,11 +104,24 @@ fn main() {
     } else {
         Scale::Paper
     };
-    let wanted: Vec<&str> = args
-        .iter()
-        .filter(|a| !a.starts_with("--"))
-        .map(|a| a.as_str())
-        .collect();
+    let mut jobs = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let mut wanted: Vec<&str> = Vec::new();
+    let mut take_jobs = false;
+    for a in &args {
+        if take_jobs {
+            jobs = a.parse().expect("--jobs takes a positive integer");
+            take_jobs = false;
+        } else if a == "--jobs" {
+            take_jobs = true;
+        } else if let Some(n) = a.strip_prefix("--jobs=") {
+            jobs = n.parse().expect("--jobs takes a positive integer");
+        } else if !a.starts_with("--") {
+            wanted.push(a.as_str());
+        }
+    }
+    assert!(jobs >= 1, "--jobs takes a positive integer");
 
     if args.iter().any(|a| a == "--metrics") {
         eprintln!("[reproduce] running instrumented deployment at {scale:?} scale ...");
@@ -39,8 +134,7 @@ fn main() {
     let all = wanted.is_empty() || wanted.contains(&"all");
     let want = |id: &str| all || wanted.contains(&id);
 
-    type FigureFn = fn(Scale) -> Figure;
-    let figures: Vec<(&str, FigureFn)> = vec![
+    let figures: Vec<(&'static str, FigureFn)> = vec![
         ("fig04", fig04_startup::run),
         ("fig05", fig05_database::run),
         ("fig06", fig06_mpi::run),
@@ -55,31 +149,27 @@ fn main() {
         ("ext01", ext_ablation::run),
         ("ext02", ext_scaleout::run),
     ];
+    let selected: Vec<(&'static str, FigureFn)> = figures
+        .into_iter()
+        .filter(|(id, _)| want(id))
+        .collect();
 
-    let mut results = Vec::new();
-    for (id, f) in figures {
-        if !want(id) {
-            continue;
-        }
-        eprintln!("[reproduce] running {id} at {scale:?} scale ...");
-        let started = std::time::Instant::now();
-        let fig = f(scale);
-        eprintln!(
-            "[reproduce] {id} done in {:.1}s",
-            started.elapsed().as_secs_f64()
-        );
-        println!("{fig}");
-        results.push(fig);
+    let started = Instant::now();
+    let runs = run_figures(jobs, scale, &selected);
+    let total_wall_s = started.elapsed().as_secs_f64();
+
+    for r in &runs {
+        println!("{}", r.fig);
     }
 
     // Summary table across all checks.
-    if results.len() > 1 {
+    if runs.len() > 1 {
         println!("== summary: paper vs measured across all figures ==");
         let mut worst: Option<&Check> = None;
         let mut total = 0usize;
         let mut within_10 = 0usize;
-        for fig in &results {
-            for c in &fig.checks {
+        for r in &runs {
+            for c in &r.fig.checks {
                 total += 1;
                 if c.deviation() <= 0.10 {
                     within_10 += 1;
@@ -97,5 +187,14 @@ fn main() {
                 w.deviation() * 100.0
             );
         }
+    }
+
+    let json_path = "BENCH_reproduce.json";
+    match write_bench_json(json_path, scale, jobs, total_wall_s, &runs) {
+        Ok(()) => eprintln!(
+            "[reproduce] {} figures in {total_wall_s:.1}s wall ({jobs} jobs); wrote {json_path}",
+            runs.len()
+        ),
+        Err(e) => eprintln!("[reproduce] failed to write {json_path}: {e}"),
     }
 }

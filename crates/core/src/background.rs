@@ -12,7 +12,7 @@
 //! unit-testable in isolation.
 
 use crate::bitmap::BlockBitmap;
-use hwsim::block::{BlockRange, Lba, SectorData};
+use hwsim::block::{BlockRange, Lba, SectorBuf};
 use simkit::{Metrics, SimTime};
 use std::collections::VecDeque;
 
@@ -22,8 +22,10 @@ pub struct FetchedBlock {
     /// Target sectors on the local disk (identical address space to the
     /// server image).
     pub range: BlockRange,
-    /// The data, one fingerprint per sector.
-    pub data: Vec<SectorData>,
+    /// The data, one fingerprint per sector. Shared: splitting a block
+    /// into per-hole write pieces re-slices this buffer instead of
+    /// copying it.
+    pub data: SectorBuf,
 }
 
 /// Shared state of the background-copy machinery.
@@ -249,7 +251,8 @@ impl BackgroundCopy {
                 let offset = (hole.lba.0 - block.range.lba.0) as usize;
                 pieces.push(FetchedBlock {
                     range: hole,
-                    data: block.data[offset..offset + hole.sectors as usize].to_vec(),
+                    // A view into the block's buffer — no per-hole copy.
+                    data: block.data.slice(offset, hole.sectors as usize),
                 });
             }
             self.blocks_written += 1;
@@ -275,7 +278,8 @@ mod tests {
             data: range
                 .iter()
                 .map(|lba| BlockStore::image_content(seed, lba))
-                .collect(),
+                .collect::<Vec<_>>()
+                .into(),
             range,
         }
     }
@@ -358,6 +362,35 @@ mod tests {
         bg.deliver(fetched(r, 7));
         assert!(bg.pop_for_write(&mut bitmap).is_none());
         assert_eq!(bg.blocks_discarded(), 1);
+    }
+
+    #[test]
+    fn failed_fetch_rerequested_exactly_once() {
+        // Three fetches in flight; the middle one fails. The rewound
+        // cursor re-walks `requested` marks left by the *other* in-flight
+        // fetches — only the failed block may be reissued, exactly once.
+        let mut bg = BackgroundCopy::new(64, 8, 8, 1 << 16);
+        let bitmap = BlockBitmap::new(4096);
+        let a = bg.next_fetch(&bitmap).unwrap();
+        let b = bg.next_fetch(&bitmap).unwrap();
+        let c = bg.next_fetch(&bitmap).unwrap();
+        assert_eq!(a, BlockRange::new(Lba(0), 64));
+        assert_eq!(b, BlockRange::new(Lba(64), 64));
+        assert_eq!(c, BlockRange::new(Lba(128), 64));
+
+        bg.fetch_failed(b);
+        assert_eq!(bg.inflight(), 2);
+
+        // The retry walks past `a` and `c` (still requested, still in
+        // flight) and lands exactly on the failed block.
+        let retry = bg.next_fetch(&bitmap).unwrap();
+        assert_eq!(retry, b, "failed block is re-requested");
+        assert_eq!(bg.inflight(), 3);
+
+        // No duplicate: the next pick resumes after the in-flight tail.
+        let next = bg.next_fetch(&bitmap).unwrap();
+        assert_eq!(next, BlockRange::new(Lba(192), 64), "no block fetched twice");
+        assert_eq!(bg.inflight(), 4);
     }
 
     #[test]

@@ -25,7 +25,7 @@ use crate::config::{BmcastConfig, ControllerKind};
 use crate::devirt::{DevirtSequencer, Phase};
 use crate::mediator::{AhciMediator, AhciRedirect, IdeMediator, MmioVerdict, PioVerdict};
 use crate::netdrv::PolledNic;
-use aoe::{AoeClient, AoeServer, ClientConfig, ServerConfig};
+use aoe::{AoeClient, AoeServer, ClientConfig, FrameBytes, ServerConfig};
 use guestsim::bus::GuestBus;
 use guestsim::driver::{ahci::AhciDriver, ide::IdeDriver, BlockDriver};
 use guestsim::io::{CompletedIo, IoRequest, RequestId};
@@ -102,7 +102,7 @@ fn standard_pci_bus() -> PciBus {
 #[derive(Debug)]
 pub struct Network {
     /// The Ethernet switch.
-    pub switch: Switch<Vec<u8>>,
+    pub switch: Switch<FrameBytes>,
     /// The AoE storage server.
     pub server: AoeServer,
     server_port: usize,
@@ -1125,7 +1125,10 @@ fn finish_redirect_now(m: &mut Machine, sim: &mut MachineSim) {
     let mut fetched_bytes = 0u64;
     for (range, data) in fetched {
         fetched_bytes += range.bytes();
-        vmm.bg.push_local_fill(FetchedBlock { range, data });
+        vmm.bg.push_local_fill(FetchedBlock {
+            range,
+            data: data.into(),
+        });
     }
     m.stats.redirected_bytes += fetched_bytes;
     m.metrics.add("machine.redirected_bytes", fetched_bytes);
@@ -1215,7 +1218,7 @@ fn replay_ide_writes(m: &mut Machine, sim: &mut MachineSim, queued: Vec<(IdeReg,
 // ------------------------------ fabric --------------------------------
 
 /// Drains the VMM NIC's TX ring onto the switch, scheduling deliveries.
-fn send_vmm_frames(m: &mut Machine, sim: &mut MachineSim, frames: Vec<Vec<u8>>) {
+fn send_vmm_frames(m: &mut Machine, sim: &mut MachineSim, frames: Vec<FrameBytes>) {
     let Some(vmm) = m.vmm.as_mut() else { return };
     for f in frames {
         vmm.nic.send(SERVER_MAC, f);
@@ -1244,7 +1247,7 @@ fn pump_vmm_tx(m: &mut Machine, sim: &mut MachineSim) {
     }
 }
 
-fn server_rx(m: &mut Machine, sim: &mut MachineSim, payload: Vec<u8>) {
+fn server_rx(m: &mut Machine, sim: &mut MachineSim, payload: FrameBytes) {
     let Some(net) = m.net.as_mut() else { return };
     let Ok(Some(reply)) = net.server.handle(sim.now(), &payload) else {
         return;
@@ -1271,7 +1274,7 @@ fn server_rx(m: &mut Machine, sim: &mut MachineSim, payload: Vec<u8>) {
     }
 }
 
-fn vmm_nic_rx(m: &mut Machine, sim: &mut MachineSim, payload: Vec<u8>) {
+fn vmm_nic_rx(m: &mut Machine, sim: &mut MachineSim, payload: FrameBytes) {
     let Some(vmm) = m.vmm.as_mut() else { return };
     vmm.nic.nic_mut().deliver(Frame {
         src: SERVER_MAC,
@@ -1317,7 +1320,7 @@ fn vmm_poll(m: &mut Machine, sim: &mut MachineSim) {
             Some(AoeWaiter::Background(_)) => {
                 vmm.bg.deliver(FetchedBlock {
                     range: done.range,
-                    data: done.data,
+                    data: done.data.into(),
                 });
                 kick_writer(m, sim);
                 retriever_fire(m, sim);
@@ -1486,7 +1489,7 @@ fn multiplex_next_piece(m: &mut Machine, sim: &mut MachineSim) {
     let piece = mx.pieces[mx.next].clone();
     mx.next += 1;
     let buf = m.hw.mem.alloc(DmaBuffer {
-        sectors: piece.data.clone(),
+        sectors: piece.data.to_vec(),
     });
     let prd = m.hw.mem.alloc(PrdTable {
         entries: vec![PrdEntry {

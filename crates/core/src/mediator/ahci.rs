@@ -541,7 +541,11 @@ mod tests {
 
         for r in [r0, r1] {
             bg.deliver(FetchedBlock {
-                data: r.iter().map(|lba| BlockStore::image_content(7, lba)).collect(),
+                data: r
+                    .iter()
+                    .map(|lba| BlockStore::image_content(7, lba))
+                    .collect::<Vec<_>>()
+                    .into(),
                 range: r,
             });
         }

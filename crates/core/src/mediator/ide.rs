@@ -593,7 +593,11 @@ mod tests {
         // The stale fetches land afterwards.
         for r in &fetches {
             bg.deliver(FetchedBlock {
-                data: r.iter().map(|lba| BlockStore::image_content(7, lba)).collect(),
+                data: r
+                    .iter()
+                    .map(|lba| BlockStore::image_content(7, lba))
+                    .collect::<Vec<_>>()
+                    .into(),
                 range: *r,
             });
         }

@@ -7,6 +7,7 @@
 //! send/receive core parameterized by the hardware model, with per-model
 //! initialization quirks.
 
+use aoe::FrameBytes;
 use hwsim::eth::{Frame, MacAddr};
 use hwsim::nic::{Nic, NicModel};
 
@@ -21,12 +22,12 @@ use hwsim::nic::{Nic, NicModel};
 ///
 /// let mut drv = PolledNic::new(NicModel::IntelPro1000, MacAddr::host(1));
 /// assert!(drv.is_initialized());
-/// drv.send(MacAddr::host(2), vec![1, 2, 3]);
-/// assert_eq!(drv.nic_mut().pop_tx().unwrap().payload, vec![1, 2, 3]);
+/// drv.send(MacAddr::host(2), vec![1, 2, 3].into());
+/// assert_eq!(&drv.nic_mut().pop_tx().unwrap().payload[..], &[1, 2, 3]);
 /// ```
 #[derive(Debug)]
 pub struct PolledNic {
-    nic: Nic<Vec<u8>>,
+    nic: Nic<FrameBytes>,
     initialized: bool,
     polls: u64,
 }
@@ -63,17 +64,18 @@ impl PolledNic {
     }
 
     /// The underlying NIC (the system layer wires it to the switch).
-    pub fn nic_mut(&mut self) -> &mut Nic<Vec<u8>> {
+    pub fn nic_mut(&mut self) -> &mut Nic<FrameBytes> {
         &mut self.nic
     }
 
     /// Immutable view of the NIC.
-    pub fn nic(&self) -> &Nic<Vec<u8>> {
+    pub fn nic(&self) -> &Nic<FrameBytes> {
         &self.nic
     }
 
-    /// Queues an encoded PDU for transmission.
-    pub fn send(&mut self, dst: MacAddr, payload: Vec<u8>) {
+    /// Queues an encoded PDU for transmission (shared bytes: queuing
+    /// never copies the payload).
+    pub fn send(&mut self, dst: MacAddr, payload: FrameBytes) {
         let frame = Frame {
             src: self.nic.mac(),
             dst,
@@ -84,13 +86,13 @@ impl PolledNic {
     }
 
     /// Polls the receive ring once; returns the oldest pending payload.
-    pub fn poll(&mut self) -> Option<Vec<u8>> {
+    pub fn poll(&mut self) -> Option<FrameBytes> {
         self.polls += 1;
         self.nic.poll_rx().map(|f| f.payload)
     }
 
     /// Drains every pending received payload.
-    pub fn drain(&mut self) -> Vec<Vec<u8>> {
+    pub fn drain(&mut self) -> Vec<FrameBytes> {
         let mut out = Vec::new();
         while let Some(p) = self.poll() {
             out.push(p);
@@ -111,7 +113,7 @@ mod tests {
     #[test]
     fn send_frames_carry_src_and_dst() {
         let mut drv = PolledNic::new(NicModel::IntelX540, MacAddr::host(7));
-        drv.send(MacAddr::host(9), vec![0xAA]);
+        drv.send(MacAddr::host(9), vec![0xAA].into());
         let f = drv.nic_mut().pop_tx().unwrap();
         assert_eq!(f.src, MacAddr::host(7));
         assert_eq!(f.dst, MacAddr::host(9));
@@ -126,10 +128,11 @@ mod tests {
                 src: MacAddr::host(2),
                 dst: MacAddr::host(1),
                 payload_bytes: 1,
-                payload: vec![i],
+                payload: vec![i].into(),
             });
         }
-        assert_eq!(drv.drain(), vec![vec![0], vec![1], vec![2]]);
+        let drained: Vec<Vec<u8>> = drv.drain().iter().map(|p| p.to_vec()).collect();
+        assert_eq!(drained, vec![vec![0], vec![1], vec![2]]);
         assert!(drv.poll().is_none());
         assert_eq!(drv.polls(), 5, "3 hits + miss inside drain + final miss");
     }
@@ -142,7 +145,7 @@ mod tests {
                 src: MacAddr::host(2),
                 dst: MacAddr::host(1),
                 payload_bytes: 1,
-                payload: vec![i],
+                payload: vec![i].into(),
             });
         }
         assert_eq!(rtl.nic().rx_overflow(), 36, "64-deep ring overflows");

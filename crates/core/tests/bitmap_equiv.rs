@@ -1,0 +1,200 @@
+//! Operation-for-operation equivalence of the word-parallel
+//! [`BlockBitmap`] against the original per-sector reference
+//! implementation, on randomized operation sequences.
+//!
+//! The reference below is the seed implementation verbatim (per-sector
+//! bit loops, linear `next_empty` scan). Every public observation the
+//! word-parallel rewrite can make — claim outcomes, filled counts,
+//! point queries, coalesced holes, wrap-around scans, persistence
+//! fingerprints — must match it exactly.
+
+use bmcast::bitmap::BlockBitmap;
+use hwsim::block::{BlockRange, Lba, SectorData};
+use proptest::prelude::*;
+
+/// The seed's per-sector bitmap, kept as the semantic oracle.
+struct ReferenceBitmap {
+    words: Vec<u64>,
+    sectors: u64,
+    filled: u64,
+}
+
+impl ReferenceBitmap {
+    fn new(sectors: u64) -> ReferenceBitmap {
+        ReferenceBitmap {
+            words: vec![0; sectors.div_ceil(64) as usize],
+            sectors,
+            filled: 0,
+        }
+    }
+
+    fn is_filled(&self, lba: Lba) -> bool {
+        assert!(lba.0 < self.sectors, "bitmap query out of range: {lba}");
+        self.words[(lba.0 / 64) as usize] & (1 << (lba.0 % 64)) != 0
+    }
+
+    fn all_filled(&self, range: BlockRange) -> bool {
+        range.iter().all(|lba| self.is_filled(lba))
+    }
+
+    fn mark_filled(&mut self, range: BlockRange) {
+        for lba in range.iter() {
+            let (w, b) = ((lba.0 / 64) as usize, 1u64 << (lba.0 % 64));
+            if self.words[w] & b == 0 {
+                self.words[w] |= b;
+                self.filled += 1;
+            }
+        }
+    }
+
+    fn clear(&mut self, range: BlockRange) {
+        for lba in range.iter() {
+            let (w, b) = ((lba.0 / 64) as usize, 1u64 << (lba.0 % 64));
+            if self.words[w] & b != 0 {
+                self.words[w] &= !b;
+                self.filled -= 1;
+            }
+        }
+    }
+
+    fn try_claim(&mut self, range: BlockRange) -> bool {
+        if range.iter().any(|lba| self.is_filled(lba)) {
+            return false;
+        }
+        self.mark_filled(range);
+        true
+    }
+
+    fn empty_subranges(&self, range: BlockRange) -> Vec<BlockRange> {
+        let mut out = Vec::new();
+        let mut run_start: Option<Lba> = None;
+        for lba in range.iter() {
+            if !self.is_filled(lba) {
+                run_start.get_or_insert(lba);
+            } else if let Some(start) = run_start.take() {
+                out.push(BlockRange::new(start, (lba.0 - start.0) as u32));
+            }
+        }
+        if let Some(start) = run_start {
+            out.push(BlockRange::new(start, (range.end().0 - start.0) as u32));
+        }
+        out
+    }
+
+    fn next_empty(&self, from: Lba) -> Option<Lba> {
+        if self.filled == self.sectors {
+            return None;
+        }
+        let start = from.0.min(self.sectors.saturating_sub(1));
+        (start..self.sectors)
+            .chain(0..start)
+            .map(Lba)
+            .find(|&lba| !self.is_filled(lba))
+    }
+
+    fn to_sectors(&self) -> Vec<SectorData> {
+        self.words
+            .chunks(64)
+            .map(|chunk| {
+                let mut h = 0xCBF2_9CE4_8422_2325u64;
+                for &w in chunk {
+                    h = (h ^ w).wrapping_mul(0x100_0000_01B3);
+                }
+                SectorData(h | 1)
+            })
+            .collect()
+    }
+}
+
+/// Clamps an arbitrary `(lba, sectors)` pair into a legal in-capacity
+/// range, exercising word-boundary and tail-word geometry.
+fn clamp_range(capacity: u64, lba: u64, sectors: u32) -> BlockRange {
+    let lba = lba % capacity;
+    let max = (capacity - lba) as u32;
+    BlockRange::new(Lba(lba), sectors.clamp(1, max))
+}
+
+fn run_sequence(capacity: u64, ops: &[(u8, u64, u32)]) {
+    let mut new = BlockBitmap::new(capacity);
+    let mut oracle = ReferenceBitmap::new(capacity);
+    for &(op, lba, sectors) in ops {
+        let range = clamp_range(capacity, lba, sectors);
+        match op % 6 {
+            0 => {
+                new.mark_filled(range);
+                oracle.mark_filled(range);
+            }
+            1 => {
+                new.clear(range);
+                oracle.clear(range);
+            }
+            2 => {
+                // Claim atomicity: outcome AND resulting state must match
+                // (a failed claim marks nothing).
+                prop_assert_eq!(new.try_claim(range), oracle.try_claim(range));
+            }
+            3 => {
+                prop_assert_eq!(new.all_filled(range), oracle.all_filled(range));
+                prop_assert_eq!(new.any_empty(range), !oracle.all_filled(range));
+            }
+            4 => {
+                prop_assert_eq!(new.empty_subranges(range), oracle.empty_subranges(range));
+            }
+            _ => {
+                // Probe beyond capacity too: `from` is only a hint and is
+                // clamped, and the scan must wrap below it.
+                let from = Lba(lba % (capacity + 7));
+                prop_assert_eq!(new.next_empty(from), oracle.next_empty(from));
+            }
+        }
+        prop_assert_eq!(new.filled_sectors(), oracle.filled);
+        prop_assert_eq!(new.is_complete(), oracle.filled == oracle.sectors);
+    }
+    // Point queries and persistence fingerprints agree bit-for-bit.
+    for lba in 0..capacity {
+        prop_assert_eq!(new.is_filled(Lba(lba)), oracle.is_filled(Lba(lba)));
+    }
+    prop_assert_eq!(new.to_sectors(), oracle.to_sectors());
+}
+
+proptest! {
+    /// Word-parallel bitmap == per-sector reference on random operation
+    /// sequences over a capacity that ends mid-word.
+    #[test]
+    fn equivalent_on_partial_word_capacity(
+        ops in proptest::collection::vec((0u8..6, 0u64..2048, 1u32..200), 1..120),
+    ) {
+        run_sequence(1200, &ops);
+    }
+
+    /// Same, over an exact multiple of the word and summary geometry.
+    #[test]
+    fn equivalent_on_word_aligned_capacity(
+        ops in proptest::collection::vec((0u8..6, 0u64..8192, 1u32..300), 1..120),
+    ) {
+        run_sequence(64 * 64, &ops);
+    }
+
+    /// `next_empty` wrap-around against a nearly-full bitmap: fill
+    /// everything, punch random holes, and compare scans from every
+    /// interesting origin.
+    #[test]
+    fn next_empty_wraps_like_reference(
+        holes in proptest::collection::vec((0u64..900, 1u32..40), 0..12),
+        probes in proptest::collection::vec(0u64..1024, 1..30),
+    ) {
+        let capacity = 900u64;
+        let mut new = BlockBitmap::new(capacity);
+        let mut oracle = ReferenceBitmap::new(capacity);
+        new.mark_filled(BlockRange::new(Lba(0), capacity as u32));
+        oracle.mark_filled(BlockRange::new(Lba(0), capacity as u32));
+        for &(lba, sectors) in &holes {
+            let range = clamp_range(capacity, lba, sectors);
+            new.clear(range);
+            oracle.clear(range);
+        }
+        for &p in &probes {
+            prop_assert_eq!(new.next_empty(Lba(p)), oracle.next_empty(Lba(p)));
+        }
+    }
+}

@@ -9,7 +9,8 @@
 
 use std::collections::HashMap;
 use std::fmt;
-use std::ops::Add;
+use std::ops::{Add, Deref};
+use std::sync::Arc;
 
 /// Bytes per sector. BMcast, like ATA, uses 512-byte logical sectors.
 pub const SECTOR_SIZE: u64 = 512;
@@ -131,6 +132,73 @@ impl fmt::Display for SectorData {
         write!(f, "sector:{:016x}", self.0)
     }
 }
+
+/// A cheaply cloneable, shareable run of sector contents.
+///
+/// Fetched blocks travel from the AoE client through the background
+/// copy's FIFO to the writer, and may be split into per-hole pieces on
+/// the way; `SectorBuf` lets every stage share one allocation instead of
+/// re-copying the payload. Cloning and [`SectorBuf::slice`] are
+/// reference-count bumps; the contents are reachable through `Deref` as
+/// an ordinary `&[SectorData]`.
+///
+/// # Examples
+///
+/// ```
+/// use hwsim::block::{SectorBuf, SectorData};
+/// let buf: SectorBuf = (0..8).map(SectorData).collect::<Vec<_>>().into();
+/// let tail = buf.slice(6, 2);
+/// assert_eq!(&tail[..], &[SectorData(6), SectorData(7)]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct SectorBuf {
+    buf: Arc<[SectorData]>,
+    start: usize,
+    len: usize,
+}
+
+impl SectorBuf {
+    /// A view of `len` sectors starting `start` sectors into this view,
+    /// sharing the same allocation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `start + len` exceeds this view's length.
+    pub fn slice(&self, start: usize, len: usize) -> SectorBuf {
+        assert!(start + len <= self.len, "slice out of bounds");
+        SectorBuf {
+            buf: Arc::clone(&self.buf),
+            start: self.start + start,
+            len,
+        }
+    }
+}
+
+impl Deref for SectorBuf {
+    type Target = [SectorData];
+    fn deref(&self) -> &[SectorData] {
+        &self.buf[self.start..self.start + self.len]
+    }
+}
+
+impl From<Vec<SectorData>> for SectorBuf {
+    fn from(v: Vec<SectorData>) -> SectorBuf {
+        let len = v.len();
+        SectorBuf {
+            buf: v.into(),
+            start: 0,
+            len,
+        }
+    }
+}
+
+impl PartialEq for SectorBuf {
+    fn eq(&self, other: &SectorBuf) -> bool {
+        self[..] == other[..]
+    }
+}
+
+impl Eq for SectorBuf {}
 
 /// Content generator for not-yet-written sectors of a store.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -258,7 +326,17 @@ impl BlockStore {
 
     /// Reads a whole range into a vector.
     pub fn read_range(&self, range: BlockRange) -> Vec<SectorData> {
-        range.iter().map(|lba| self.read(lba)).collect()
+        let mut out = Vec::new();
+        self.read_range_into(range, &mut out);
+        out
+    }
+
+    /// Appends a whole range to `out`, reusing its allocation — the
+    /// copy-light path for callers that recycle buffers or fill one
+    /// buffer from several ranges.
+    pub fn read_range_into(&self, range: BlockRange, out: &mut Vec<SectorData>) {
+        out.reserve(range.sectors as usize);
+        out.extend(range.iter().map(|lba| self.read(lba)));
     }
 
     /// Writes one sector.

@@ -437,7 +437,7 @@ fn megasas_guest_writes_always_win_over_background_copy() {
     // surviving pieces onto the disk through the controller.
     for r in &fetches {
         bg.deliver(FetchedBlock {
-            data: server.read_range(*r),
+            data: server.read_range(*r).into(),
             range: *r,
         });
     }
@@ -445,7 +445,7 @@ fn megasas_guest_writes_always_win_over_background_copy() {
         for piece in pieces {
             assert!(med.can_multiplex(ctl.is_busy()));
             let vmm_buf = mem.alloc(DmaBuffer {
-                sectors: piece.data.clone(),
+                sectors: piece.data.to_vec(),
             });
             let vmm_frame = mem.alloc(MfiFrame {
                 op: MfiOp::LdWrite,
