@@ -3,14 +3,24 @@
 //! The VMM-side endpoint of the extended protocol. A read of N sectors is
 //! one request frame; the server answers with `ceil(N / sectors_per_frame)`
 //! fragments which the client reassembles by tag. Requests unanswered
-//! within the retransmission timeout are re-sent whole (the server simply
+//! within the retransmission timeout are re-sent (the server simply
 //! re-serves them — reads are idempotent and writes here are
-//! last-writer-wins on whole sectors), up to a retry budget.
+//! last-writer-wins on whole sectors), up to a retry budget. The timeout
+//! backs off exponentially per attempt, capped at
+//! [`ClientConfig::max_rto`], with deterministic jitter so a burst of
+//! simultaneous requests doesn't retransmit in lockstep against a stalled
+//! server. Replies to requests that already completed or failed are
+//! suppressed by request id (the fabric may deliver a reply long after a
+//! retransmit already finished the request).
 
 use crate::wire::{sectors_per_frame, AoePdu, FrameBytes, Tag};
 use hwsim::block::{BlockRange, SectorData};
-use simkit::{Metrics, SimDuration, SimTime, Tracer};
-use std::collections::BTreeMap;
+use simkit::{Metrics, Prng, SimDuration, SimTime, Tracer};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+/// How many completed/failed request ids are remembered for stale-reply
+/// suppression before the oldest is forgotten.
+const RETIRED_CAPACITY: usize = 4096;
 
 /// Client configuration.
 #[derive(Debug, Clone)]
@@ -21,8 +31,10 @@ pub struct ClientConfig {
     pub slot: u8,
     /// Fabric MTU in payload bytes; determines fragment size.
     pub mtu: u32,
-    /// Retransmission timeout.
+    /// Initial retransmission timeout; doubles per attempt.
     pub rto: SimDuration,
+    /// Ceiling on the backed-off retransmission timeout.
+    pub max_rto: SimDuration,
     /// Retransmissions before a request is failed.
     pub max_retries: u32,
 }
@@ -34,9 +46,26 @@ impl Default for ClientConfig {
             slot: 0,
             mtu: 9000,
             rto: SimDuration::from_millis(20),
+            max_rto: SimDuration::from_millis(500),
             max_retries: 8,
         }
     }
+}
+
+impl ClientConfig {
+    /// The retransmission interval before attempt `retries + 1`:
+    /// `min(rto · 2^retries, max_rto)`.
+    fn backoff(&self, retries: u32) -> SimDuration {
+        let mult = 1u64 << retries.min(16);
+        let backed = SimDuration::from_nanos(self.rto.as_nanos().saturating_mul(mult));
+        backed.min(self.max_rto.max(self.rto))
+    }
+}
+
+/// Deterministic jitter in `[0, interval/4]`, drawn from the client's
+/// own PRNG stream so retransmit schedules desynchronize reproducibly.
+fn jitter(prng: &mut Prng, interval: SimDuration) -> SimDuration {
+    SimDuration::from_nanos(prng.below(interval.as_nanos() / 4 + 1))
 }
 
 /// A finished request.
@@ -61,7 +90,8 @@ struct Pending {
     /// Empty for reads: missing read fragments are re-encoded as
     /// subrange requests, so nothing is retained.
     request_frames: Vec<FrameBytes>,
-    last_sent: SimTime,
+    /// Next retransmission instant (backed-off RTO + jitter).
+    deadline: SimTime,
     retries: u32,
 }
 
@@ -99,8 +129,17 @@ pub struct AoeClient {
     /// it, and iteration order decides retransmit order under loss — a
     /// hash map's per-process seed would make lossy runs nondeterministic.
     pending: BTreeMap<u32, Pending>,
+    /// Recently completed/failed ids, for stale-reply suppression. The
+    /// set answers membership; the queue evicts FIFO at capacity.
+    retired: BTreeSet<u32>,
+    retired_order: VecDeque<u32>,
+    /// Jitter stream; seeded from the client's address so two clients on
+    /// one fabric desynchronize while each run stays reproducible.
+    prng: Prng,
     retransmits: u64,
     completions: u64,
+    stale_replies: u64,
+    decode_errors: u64,
     failures: Vec<u32>,
     metrics: Metrics,
     tracer: Tracer,
@@ -109,12 +148,18 @@ pub struct AoeClient {
 impl AoeClient {
     /// Creates a client.
     pub fn new(cfg: ClientConfig) -> AoeClient {
+        let seed = 0xA0EC_11E7_u64 ^ ((cfg.shelf as u64) << 8) ^ cfg.slot as u64;
         AoeClient {
             cfg,
             next_id: 1,
             pending: BTreeMap::new(),
+            retired: BTreeSet::new(),
+            retired_order: VecDeque::new(),
+            prng: Prng::new(seed),
             retransmits: 0,
             completions: 0,
+            stale_replies: 0,
+            decode_errors: 0,
             failures: Vec::new(),
             metrics: Metrics::disabled(),
             tracer: Tracer::disabled(),
@@ -148,6 +193,24 @@ impl AoeClient {
         self.completions
     }
 
+    /// Replies dropped because their request already completed or failed.
+    pub fn stale_replies(&self) -> u64 {
+        self.stale_replies
+    }
+
+    /// Frames dropped because they failed to decode (truncation, bad
+    /// version, checksum mismatch — i.e. corruption caught on the wire).
+    pub fn decode_errors(&self) -> u64 {
+        self.decode_errors
+    }
+
+    /// Earliest pending retransmission deadline, if any request is
+    /// outstanding. Exposes the backoff schedule for tests and for
+    /// callers that want to poll exactly when something is due.
+    pub fn next_retransmit_at(&self) -> Option<SimTime> {
+        self.pending.values().map(|p| p.deadline).min()
+    }
+
     fn alloc_id(&mut self) -> u32 {
         let id = self.next_id;
         self.next_id = if self.next_id >= Tag::MAX_REQUEST_ID {
@@ -155,7 +218,21 @@ impl AoeClient {
         } else {
             self.next_id + 1
         };
+        // A reused id is a live request again: stop suppressing it.
+        if self.retired.remove(&id) {
+            self.retired_order.retain(|&r| r != id);
+        }
         id
+    }
+
+    fn retire_id(&mut self, id: u32) {
+        if self.retired.insert(id) {
+            self.retired_order.push_back(id);
+            if self.retired_order.len() > RETIRED_CAPACITY {
+                let evict = self.retired_order.pop_front().expect("non-empty");
+                self.retired.remove(&evict);
+            }
+        }
     }
 
     fn fragment_count(&self, sectors: u32) -> u32 {
@@ -171,6 +248,7 @@ impl AoeClient {
         let pdu = AoePdu::read_request(self.cfg.shelf, self.cfg.slot, Tag::new(id, 0), range);
         let frames = vec![pdu.encode_frame()];
         let nfrags = self.fragment_count(range.sectors);
+        let deadline = now + self.cfg.backoff(0) + jitter(&mut self.prng, self.cfg.rto);
         self.pending.insert(
             id,
             Pending {
@@ -180,7 +258,7 @@ impl AoeClient {
                 // Reads keep nothing: retransmission re-encodes exactly
                 // the missing subranges (see `poll_retransmit`).
                 request_frames: Vec::new(),
-                last_sent: now,
+                deadline,
                 retries: 0,
             },
         );
@@ -224,6 +302,7 @@ impl AoeClient {
             offset += n;
             frag += 1;
         }
+        let deadline = now + self.cfg.backoff(0) + jitter(&mut self.prng, self.cfg.rto);
         self.pending.insert(
             id,
             Pending {
@@ -232,7 +311,7 @@ impl AoeClient {
                 frags: vec![None; frag as usize],
                 // Shares the allocations just handed to the wire.
                 request_frames: frames.clone(),
-                last_sent: now,
+                deadline,
                 retries: 0,
             },
         );
@@ -243,13 +322,30 @@ impl AoeClient {
     /// finished a request. Unknown, duplicate, and non-response frames are
     /// ignored (the fabric may duplicate after a spurious retransmit).
     pub fn on_frame(&mut self, bytes: &[u8]) -> Option<Completion> {
-        let pdu = AoePdu::decode(bytes).ok()?;
+        let pdu = match AoePdu::decode(bytes) {
+            Ok(pdu) => pdu,
+            Err(_) => {
+                // Truncated, old-version, or corrupted frame: drop it and
+                // let retransmission recover.
+                self.decode_errors += 1;
+                self.metrics.inc("aoe.client.decode_errors");
+                return None;
+            }
+        };
         if !pdu.response || pdu.error.is_some() {
             return None;
         }
         let id = pdu.tag.request_id();
         let frag = pdu.tag.fragment() as usize;
-        let pending = self.pending.get_mut(&id)?;
+        let Some(pending) = self.pending.get_mut(&id) else {
+            if self.retired.contains(&id) {
+                // Reply to a request that already finished (a duplicate,
+                // or a late reply racing a retransmit).
+                self.stale_replies += 1;
+                self.metrics.inc("aoe.client.stale_replies");
+            }
+            return None;
+        };
         if frag >= pending.frags.len() || pending.frags[frag].is_some() {
             self.metrics.inc("aoe.client.dup_frags");
             return None;
@@ -263,6 +359,7 @@ impl AoeClient {
             return None;
         }
         let pending = self.pending.remove(&id).expect("just present");
+        self.retire_id(id);
         self.completions += 1;
         self.metrics.inc("aoe.client.completions");
         let mut data = Vec::with_capacity(pending.range.sectors as usize);
@@ -283,7 +380,6 @@ impl AoeClient {
     /// [`AoeClient::take_failures`]).
     pub fn poll_retransmit(&mut self, now: SimTime) -> Vec<FrameBytes> {
         let mut out = Vec::new();
-        let rto = self.cfg.rto;
         let max = self.cfg.max_retries;
         let mut dead = Vec::new();
         // Split the borrows so the telemetry handles are used in place:
@@ -292,13 +388,14 @@ impl AoeClient {
         let Self {
             cfg,
             pending,
+            prng,
             retransmits,
             metrics,
             tracer,
             ..
         } = self;
         for (&id, p) in pending.iter_mut() {
-            if now.saturating_duration_since(p.last_sent) < rto {
+            if now < p.deadline {
                 continue;
             }
             if p.retries >= max {
@@ -306,7 +403,8 @@ impl AoeClient {
                 continue;
             }
             p.retries += 1;
-            p.last_sent = now;
+            let interval = cfg.backoff(p.retries);
+            p.deadline = now + interval + jitter(prng, interval);
             let before = out.len();
             if p.is_write {
                 // Writes are already one request frame per fragment:
@@ -347,6 +445,7 @@ impl AoeClient {
         }
         for id in dead {
             self.pending.remove(&id);
+            self.retire_id(id);
             self.failures.push(id);
             self.metrics.inc("aoe.client.failures");
             self.tracer.emit(now, "aoe.client", "request_failed", || {
@@ -463,12 +562,63 @@ mod tests {
             ..ClientConfig::default()
         });
         c.read(SimTime::ZERO, BlockRange::new(Lba(0), 1));
+        // Before the first deadline (≥ rto) nothing is due.
         assert!(c.poll_retransmit(SimTime::from_millis(5)).is_empty());
-        let resent = c.poll_retransmit(SimTime::from_millis(11));
+        let due = c.next_retransmit_at().unwrap();
+        assert!(due >= SimTime::from_millis(10), "deadline before rto");
+        let resent = c.poll_retransmit(due);
         assert_eq!(resent.len(), 1);
         assert_eq!(c.retransmits(), 1);
-        // Clock hasn't advanced past the new deadline: nothing more.
-        assert!(c.poll_retransmit(SimTime::from_millis(12)).is_empty());
+        // Clock hasn't reached the backed-off deadline: nothing more.
+        assert!(c.poll_retransmit(due + SimDuration::from_millis(1)).is_empty());
+    }
+
+    #[test]
+    fn retransmit_schedule_backs_off_exponentially_and_caps() {
+        let mut c = AoeClient::new(ClientConfig {
+            rto: SimDuration::from_millis(10),
+            max_rto: SimDuration::from_millis(40),
+            max_retries: 20,
+            ..ClientConfig::default()
+        });
+        c.read(SimTime::ZERO, BlockRange::new(Lba(0), 1));
+        // Intervals between consecutive deadlines: 10, 20, 40, 40, ... ms,
+        // each stretched by at most interval/4 of jitter.
+        let mut prev = SimTime::ZERO;
+        for want_ms in [10u64, 20, 40, 40, 40] {
+            let due = c.next_retransmit_at().unwrap();
+            let gap = due.saturating_duration_since(prev);
+            let want = SimDuration::from_millis(want_ms);
+            assert!(gap >= want, "gap {gap} below base interval {want}");
+            assert!(
+                gap <= want + want / 4,
+                "gap {gap} exceeds interval {want} plus max jitter"
+            );
+            assert_eq!(c.poll_retransmit(due).len(), 1);
+            prev = due;
+        }
+    }
+
+    #[test]
+    fn jitter_desynchronizes_equal_requests() {
+        let mut c = AoeClient::new(ClientConfig::default());
+        let deadlines: Vec<SimTime> = (0..8)
+            .map(|_| {
+                c.read(SimTime::ZERO, BlockRange::new(Lba(0), 1));
+                c.pending.values().last().unwrap().deadline
+            })
+            .collect();
+        let unique: std::collections::BTreeSet<_> = deadlines.iter().collect();
+        assert!(unique.len() > 1, "all deadlines identical: no jitter");
+        // And the schedule is reproducible: a fresh client draws the same.
+        let mut c2 = AoeClient::new(ClientConfig::default());
+        let again: Vec<SimTime> = (0..8)
+            .map(|_| {
+                c2.read(SimTime::ZERO, BlockRange::new(Lba(0), 1));
+                c2.pending.values().last().unwrap().deadline
+            })
+            .collect();
+        assert_eq!(deadlines, again);
     }
 
     #[test]
@@ -479,14 +629,46 @@ mod tests {
             ..ClientConfig::default()
         });
         let (id, _) = c.read(SimTime::ZERO, BlockRange::new(Lba(0), 1));
-        let mut t = SimTime::ZERO;
-        for _ in 0..4 {
-            t += SimDuration::from_millis(2);
-            c.poll_retransmit(t);
+        let mut polls = 0;
+        while c.outstanding() > 0 {
+            let due = c.next_retransmit_at().unwrap();
+            c.poll_retransmit(due);
+            polls += 1;
+            assert!(polls < 10, "request never failed");
         }
-        assert_eq!(c.outstanding(), 0);
+        assert_eq!(c.retransmits(), 2);
         assert_eq!(c.take_failures(), vec![id]);
         assert!(c.take_failures().is_empty(), "failures drain once");
+    }
+
+    #[test]
+    fn stale_replies_are_suppressed_and_counted() {
+        let mut c = AoeClient::new(ClientConfig::default());
+        let range = BlockRange::new(Lba(0), 1);
+        let (_, frames) = c.read(SimTime::ZERO, range);
+        let rs = mk_response(&frames[0], &[(0, range, vec![SectorData(1)])]);
+        assert!(c.on_frame(&rs[0]).is_some());
+        // The same reply again: the request is gone, so this is stale.
+        assert!(c.on_frame(&rs[0]).is_none());
+        assert_eq!(c.stale_replies(), 1);
+        // Replies for ids never issued are not counted as stale.
+        let mut stray = AoePdu::read_request(0, 0, Tag::new(999, 0), range);
+        stray.response = true;
+        stray.data = Some(vec![SectorData(1)]);
+        assert!(c.on_frame(&stray.encode()).is_none());
+        assert_eq!(c.stale_replies(), 1);
+    }
+
+    #[test]
+    fn corrupted_frames_count_as_decode_errors() {
+        let mut c = AoeClient::new(ClientConfig::default());
+        let range = BlockRange::new(Lba(0), 1);
+        let (_, frames) = c.read(SimTime::ZERO, range);
+        let mut reply = mk_response(&frames[0], &[(0, range, vec![SectorData(1)])]).remove(0);
+        reply[30] ^= 0xFF; // corrupt the payload: checksum must catch it
+        assert!(c.on_frame(&reply).is_none());
+        assert_eq!(c.decode_errors(), 1);
+        assert_eq!(c.outstanding(), 1, "request still pending for retransmit");
     }
 
     #[test]

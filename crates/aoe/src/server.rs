@@ -80,8 +80,14 @@ pub struct AoeServer {
     requests: u64,
     sectors_read: u64,
     sectors_written: u64,
+    write_errors: u64,
+    restarts: u64,
     metrics: Metrics,
 }
+
+/// AoE error code for a device that cannot service the request (write
+/// failure injected on the server disk).
+pub const AOE_ERR_DEVICE_UNAVAILABLE: u8 = 3;
 
 impl AoeServer {
     /// Creates a server exporting `disk` (which holds the OS image).
@@ -99,8 +105,20 @@ impl AoeServer {
             requests: 0,
             sectors_read: 0,
             sectors_written: 0,
+            write_errors: 0,
+            restarts: 0,
             metrics: Metrics::disabled(),
         }
+    }
+
+    /// Restarts the server after a crash: all in-flight worker state is
+    /// lost (requests being serviced simply never answer — the client's
+    /// retransmission recovers them). The disk contents survive, as a
+    /// real storage server's would.
+    pub fn restart(&mut self) {
+        self.workers = vec![SimTime::ZERO; self.cfg.workers];
+        self.restarts += 1;
+        self.metrics.inc("aoe.server.restarts");
     }
 
     /// Attaches a metrics handle; `aoe.server.*` counters and the
@@ -119,6 +137,11 @@ impl AoeServer {
         &self.disk
     }
 
+    /// Mutable access to the exported disk (fault injection hooks).
+    pub fn disk_mut(&mut self) -> &mut DiskModel {
+        &mut self.disk
+    }
+
     /// Requests served so far.
     pub fn requests(&self) -> u64 {
         self.requests
@@ -132,6 +155,16 @@ impl AoeServer {
     /// Sectors written by clients so far.
     pub fn sectors_written(&self) -> u64 {
         self.sectors_written
+    }
+
+    /// Writes refused with a device error (injected write faults).
+    pub fn write_errors(&self) -> u64 {
+        self.write_errors
+    }
+
+    /// Crash restarts so far.
+    pub fn restarts(&self) -> u64 {
+        self.restarts
     }
 
     fn assign_worker(&mut self, now: SimTime, service: SimDuration) -> SimTime {
@@ -216,15 +249,22 @@ impl AoeServer {
     fn handle_write(&mut self, now: SimTime, pdu: AoePdu) -> ServerReply {
         let disk_time = self.disk.access_time(DiskOp::Write, pdu.range);
         let ready_at = self.assign_worker(now, self.cfg.per_request_cpu + disk_time);
-        if let Some(data) = &pdu.data {
+        let mut ack = pdu.clone();
+        ack.response = true;
+        ack.data = None;
+        if self.disk.write_faulted() {
+            // Injected write fault: the media rejected the write. Nothing
+            // is committed; the error ack tells the client, whose
+            // retransmission retries once the fault clears.
+            self.write_errors += 1;
+            self.metrics.inc("aoe.server.write_errors");
+            ack.error = Some(AOE_ERR_DEVICE_UNAVAILABLE);
+        } else if let Some(data) = &pdu.data {
             self.disk.store_mut().write_range(pdu.range, data);
             self.sectors_written += pdu.range.sectors as u64;
             self.metrics
                 .add("aoe.server.sectors_written", pdu.range.sectors as u64);
         }
-        let mut ack = pdu.clone();
-        ack.response = true;
-        ack.data = None;
         ServerReply {
             ready_at,
             frames: vec![ack.encode_frame()],
@@ -341,6 +381,45 @@ mod tests {
         // waits for the other's full service time.
         let both_by = a.ready_at.max(b.ready_at);
         assert!(both_by < a.ready_at + (b.ready_at - SimTime::ZERO));
+    }
+
+    #[test]
+    fn faulted_write_errors_and_commits_nothing() {
+        let mut s = server(4);
+        s.disk_mut().set_fault_write_errors(true);
+        let before = s.disk().store().read(Lba(7));
+        let data = vec![SectorData(999)];
+        let req = AoePdu::write_request(0, 0, Tag::new(3, 0), BlockRange::new(Lba(7), 1), data);
+        let reply = s.handle(SimTime::ZERO, &req.encode()).unwrap().unwrap();
+        let ack = AoePdu::decode(&reply.frames[0]).unwrap();
+        assert_eq!(ack.error, Some(AOE_ERR_DEVICE_UNAVAILABLE));
+        assert_eq!(s.disk().store().read(Lba(7)), before, "nothing committed");
+        assert_eq!(s.write_errors(), 1);
+        assert_eq!(s.sectors_written(), 0);
+        // Fault clears: the retried write goes through.
+        s.disk_mut().set_fault_write_errors(false);
+        let data = vec![SectorData(999)];
+        let req = AoePdu::write_request(0, 0, Tag::new(4, 0), BlockRange::new(Lba(7), 1), data);
+        let reply = s.handle(SimTime::ZERO, &req.encode()).unwrap().unwrap();
+        assert!(AoePdu::decode(&reply.frames[0]).unwrap().error.is_none());
+        assert_eq!(s.disk().store().read(Lba(7)), SectorData(999));
+    }
+
+    #[test]
+    fn restart_resets_workers_but_keeps_disk() {
+        let mut s = server(2);
+        // Load both workers.
+        s.handle(SimTime::ZERO, &read_req(1, 0, 32)).unwrap();
+        s.handle(SimTime::ZERO, &read_req(2, 50_000, 32)).unwrap();
+        let data = vec![SectorData(7)];
+        let req = AoePdu::write_request(0, 0, Tag::new(3, 0), BlockRange::new(Lba(1), 1), data);
+        s.handle(SimTime::ZERO, &req.encode()).unwrap();
+        s.restart();
+        assert_eq!(s.restarts(), 1);
+        assert_eq!(s.disk().store().read(Lba(1)), SectorData(7), "disk survives");
+        // Workers are idle again: a request at t=0 starts immediately.
+        let reply = s.handle(SimTime::ZERO, &read_req(4, 0, 1)).unwrap().unwrap();
+        assert!(reply.ready_at < SimTime::from_millis(60));
     }
 
     #[test]

@@ -1,12 +1,18 @@
 //! AoE wire format: PDU encode/decode and fragmentation tags.
 //!
-//! The PDU layout follows the AoE specification (version 1): a 10-byte AoE
-//! header (after the Ethernet header, which [`hwsim::eth`] models
-//! separately) followed by a 12-byte ATA argument section and the sector
-//! payload. Sector *contents* in the simulation are 64-bit fingerprints;
-//! on the wire each sector is carried as its fingerprint in the first 8
-//! bytes of a 512-byte unit, so encoded sizes are exactly what real AoE
-//! would put on the fabric.
+//! The PDU layout follows the AoE specification: a 10-byte AoE header
+//! (after the Ethernet header, which [`hwsim::eth`] models separately)
+//! followed by a 12-byte ATA argument section and the sector payload.
+//! Sector *contents* in the simulation are 64-bit fingerprints; on the
+//! wire each sector is carried as its fingerprint in the first 8 bytes of
+//! a 512-byte unit, so encoded sizes are exactly what real AoE would put
+//! on the fabric.
+//!
+//! Extended-AoE version 2 repurposes the two reserved trailer bytes of the
+//! argument section as a 16-bit frame checksum (folded FNV-1a over the
+//! whole PDU with the checksum field zeroed), so in-flight corruption is
+//! detected at decode instead of silently writing garbage sectors.
+//! Version-1 frames (no checksum) are rejected as [`DecodeError::BadVersion`].
 
 use hwsim::block::{BlockRange, Lba, SectorData, SECTOR_SIZE};
 use std::fmt;
@@ -23,8 +29,30 @@ pub type FrameBytes = Arc<[u8]>;
 /// AoE + ATA-argument header size in bytes (excludes the Ethernet header).
 pub const AOE_HEADER_BYTES: u32 = 24;
 
-/// AoE protocol version carried in every PDU.
-pub const AOE_VERSION: u8 = 1;
+/// AoE protocol version carried in every PDU. Version 2 adds the frame
+/// checksum in the former reserved bytes; older frames are rejected.
+pub const AOE_VERSION: u8 = 2;
+
+/// Byte offset of the 16-bit frame checksum within the header.
+const CHECKSUM_OFFSET: usize = 22;
+
+/// The 16-bit frame checksum: FNV-1a 64 over the whole frame with the
+/// checksum field treated as zero, folded to 16 bits. Strong enough to
+/// catch injected bit flips deterministically; cheap enough to run on
+/// every frame.
+pub fn frame_checksum(bytes: &[u8]) -> u16 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for (i, &b) in bytes.iter().enumerate() {
+        let b = if i == CHECKSUM_OFFSET || i == CHECKSUM_OFFSET + 1 {
+            0
+        } else {
+            b
+        };
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    (h ^ (h >> 16) ^ (h >> 32) ^ (h >> 48)) as u16
+}
 
 /// A fragmentation-aware tag: `(request id, fragment index)` packed into
 /// the 32-bit AoE tag field — the paper's extension ("the VMM sets the tag
@@ -183,7 +211,7 @@ impl AoePdu {
         out.extend_from_slice(&self.range.sectors.to_be_bytes());
         let lba = self.range.lba.0.to_be_bytes();
         out.extend_from_slice(&lba[2..8]); // 48-bit LBA
-        out.extend_from_slice(&[0, 0]); // reserved
+        out.extend_from_slice(&[0, 0]); // checksum, patched below
         // Payload: one 512-byte unit per sector, fingerprint in the first
         // 8 bytes, remainder zero.
         if let Some(data) = &self.data {
@@ -192,6 +220,8 @@ impl AoePdu {
                 out.resize(out.len() + (SECTOR_SIZE as usize - 8), 0);
             }
         }
+        let sum = frame_checksum(&out);
+        out[CHECKSUM_OFFSET..CHECKSUM_OFFSET + 2].copy_from_slice(&sum.to_be_bytes());
         debug_assert_eq!(out.len() as u32, self.encoded_len());
         out
     }
@@ -218,6 +248,11 @@ impl AoePdu {
         let ver = bytes[0] >> 4;
         if ver != AOE_VERSION {
             return Err(DecodeError::BadVersion(ver));
+        }
+        let want = u16::from_be_bytes([bytes[CHECKSUM_OFFSET], bytes[CHECKSUM_OFFSET + 1]]);
+        let got = frame_checksum(bytes);
+        if got != want {
+            return Err(DecodeError::BadChecksum { got, want });
         }
         let response = bytes[0] & 0x08 != 0;
         let error = (bytes[0] & 0x04 != 0).then_some(bytes[1]);
@@ -276,6 +311,13 @@ pub enum DecodeError {
     },
     /// Unknown protocol version.
     BadVersion(u8),
+    /// Frame checksum mismatch (corruption in flight).
+    BadChecksum {
+        /// Checksum computed over the received bytes.
+        got: u16,
+        /// Checksum carried in the frame.
+        want: u16,
+    },
     /// Sector count of zero.
     EmptyRange,
     /// Payload not a whole number of sectors.
@@ -289,6 +331,9 @@ impl fmt::Display for DecodeError {
                 write!(f, "truncated pdu: {got} bytes, need {need}")
             }
             DecodeError::BadVersion(v) => write!(f, "unsupported aoe version {v}"),
+            DecodeError::BadChecksum { got, want } => {
+                write!(f, "frame checksum mismatch: got {got:#06x}, want {want:#06x}")
+            }
             DecodeError::EmptyRange => write!(f, "sector count of zero"),
             DecodeError::RaggedPayload(n) => {
                 write!(f, "payload of {n} bytes is not sector-aligned")
@@ -382,8 +427,35 @@ mod tests {
         ));
         let mut bytes = AoePdu::read_request(0, 0, Tag::new(1, 0), BlockRange::new(Lba(1), 1))
             .encode();
-        bytes[0] = 0x20; // version 2
-        assert_eq!(AoePdu::decode(&bytes), Err(DecodeError::BadVersion(2)));
+        bytes[0] = 0x10; // version 1: pre-checksum wire format
+        assert_eq!(AoePdu::decode(&bytes), Err(DecodeError::BadVersion(1)));
+    }
+
+    #[test]
+    fn decode_rejects_corrupted_frames() {
+        let data: Vec<SectorData> = (0..3).map(|i| SectorData(7000 + i)).collect();
+        let pdu = AoePdu::write_request(0, 0, Tag::new(2, 0), BlockRange::new(Lba(9), 3), data);
+        let clean = pdu.encode();
+        assert_eq!(AoePdu::decode(&clean).unwrap(), pdu);
+        // Flip one bit anywhere — header field or payload — and the
+        // checksum catches it.
+        for &idx in &[1usize, 5, 13, 30, clean.len() - 1] {
+            let mut bytes = clean.clone();
+            bytes[idx] ^= 0x40;
+            assert!(
+                matches!(AoePdu::decode(&bytes), Err(DecodeError::BadChecksum { .. })),
+                "flip at byte {idx} not caught"
+            );
+        }
+    }
+
+    #[test]
+    fn checksum_occupies_reserved_bytes() {
+        let bytes =
+            AoePdu::read_request(0, 0, Tag::new(1, 0), BlockRange::new(Lba(1), 1)).encode();
+        let carried = u16::from_be_bytes([bytes[22], bytes[23]]);
+        assert_eq!(carried, frame_checksum(&bytes));
+        assert_ne!(carried, 0, "this frame's checksum happens to be nonzero");
     }
 
     #[test]
@@ -391,6 +463,8 @@ mod tests {
         let mut bytes =
             AoePdu::read_request(0, 0, Tag::new(1, 0), BlockRange::new(Lba(1), 1)).encode();
         bytes.extend_from_slice(&[0u8; 100]);
+        let sum = frame_checksum(&bytes).to_be_bytes();
+        bytes[22..24].copy_from_slice(&sum); // valid checksum, ragged payload
         assert_eq!(AoePdu::decode(&bytes), Err(DecodeError::RaggedPayload(100)));
     }
 

@@ -2,12 +2,18 @@
 //! comparison tables.
 //!
 //! ```text
-//! reproduce [--quick] [--metrics] [--jobs N] [fig04 fig05 ... | all]
+//! reproduce [--quick] [--metrics] [--jobs N] [--faults PLAN|all]
+//!           [fig04 fig05 ... | all]
 //! ```
 //!
 //! `--metrics` runs one instrumented deployment first and prints the
 //! observability report (per-phase timings, redirect/fill/discard/
 //! retransmit counters, FIFO depth, guest I/O latency percentiles).
+//!
+//! `--faults <plan>` adds the fault-injection scenario figures for the
+//! named preset (`drop`, `stall`, `chaos`, ... — or `all` for the whole
+//! matrix). With no explicit figure ids, *only* the fault figures run,
+//! so `reproduce --quick --faults all` is the CI fault-matrix job.
 //!
 //! `--quick` shrinks image sizes and run lengths (same mechanisms, same
 //! shape); the default is the paper's parameters.
@@ -108,20 +114,30 @@ fn main() {
         .map(|n| n.get())
         .unwrap_or(1);
     let mut wanted: Vec<&str> = Vec::new();
+    let mut faults_sel: Option<&str> = None;
     let mut take_jobs = false;
+    let mut take_faults = false;
     for a in &args {
         if take_jobs {
             jobs = a.parse().expect("--jobs takes a positive integer");
             take_jobs = false;
+        } else if take_faults {
+            faults_sel = Some(a.as_str());
+            take_faults = false;
         } else if a == "--jobs" {
             take_jobs = true;
+        } else if a == "--faults" {
+            take_faults = true;
         } else if let Some(n) = a.strip_prefix("--jobs=") {
             jobs = n.parse().expect("--jobs takes a positive integer");
+        } else if let Some(p) = a.strip_prefix("--faults=") {
+            faults_sel = Some(p);
         } else if !a.starts_with("--") {
             wanted.push(a.as_str());
         }
     }
     assert!(jobs >= 1, "--jobs takes a positive integer");
+    assert!(!take_faults, "--faults takes a plan name or 'all'");
 
     if args.iter().any(|a| a == "--metrics") {
         eprintln!("[reproduce] running instrumented deployment at {scale:?} scale ...");
@@ -149,10 +165,24 @@ fn main() {
         ("ext01", ext_ablation::run),
         ("ext02", ext_scaleout::run),
     ];
-    let selected: Vec<(&'static str, FigureFn)> = figures
-        .into_iter()
-        .filter(|(id, _)| want(id))
-        .collect();
+    let mut selected: Vec<(&'static str, FigureFn)> = if faults_sel.is_some() && wanted.is_empty() {
+        // --faults alone: run only the fault matrix.
+        Vec::new()
+    } else {
+        figures.into_iter().filter(|(id, _)| want(id)).collect()
+    };
+    if let Some(sel) = faults_sel {
+        let matching: Vec<(&'static str, FigureFn)> = faults::registry()
+            .into_iter()
+            .filter(|(id, _)| sel == "all" || id.strip_prefix("faults_") == Some(sel))
+            .collect();
+        assert!(
+            !matching.is_empty(),
+            "--faults takes one of {:?} or 'all'",
+            simkit::fault::FaultPlan::PRESET_NAMES
+        );
+        selected.extend(matching);
+    }
 
     let started = Instant::now();
     let runs = run_figures(jobs, scale, &selected);

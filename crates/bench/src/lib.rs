@@ -11,6 +11,7 @@
 
 pub mod ext_ablation;
 pub mod ext_scaleout;
+pub mod faults;
 pub mod fig04_startup;
 pub mod fig05_database;
 pub mod fig06_mpi;

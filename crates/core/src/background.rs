@@ -13,8 +13,13 @@
 
 use crate::bitmap::BlockBitmap;
 use hwsim::block::{BlockRange, Lba, SectorBuf};
-use simkit::{Metrics, SimTime};
+use simkit::{Metrics, SimDuration, SimTime};
 use std::collections::VecDeque;
+
+/// First retriever back-off step after a fetch failure.
+const FETCH_BACKOFF_BASE: SimDuration = SimDuration::from_millis(10);
+/// Ceiling on the retriever back-off while the server is unreachable.
+const FETCH_BACKOFF_CAP: SimDuration = SimDuration::from_millis(1_000);
 
 /// A fetched block waiting for the writer.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -52,6 +57,12 @@ pub struct BackgroundCopy {
     /// Sliding window of recent guest disk I/O timestamps, for the
     /// moderation rate estimate.
     guest_io_window: VecDeque<SimTime>,
+    /// Consecutive fetch failures (reset on the first success); drives
+    /// the retriever back-off so a stalled server is probed gently while
+    /// copy-on-read keeps being served.
+    consecutive_failures: u32,
+    /// Earliest time the retriever may issue its next fetch.
+    fetch_ready_at: SimTime,
     /// Statistics.
     blocks_written: u64,
     blocks_discarded: u64,
@@ -85,6 +96,8 @@ impl BackgroundCopy {
             max_inflight,
             requested: BlockBitmap::new(capacity_sectors),
             guest_io_window: VecDeque::new(),
+            consecutive_failures: 0,
+            fetch_ready_at: SimTime::ZERO,
             blocks_written: 0,
             blocks_discarded: 0,
             bytes_fetched: 0,
@@ -185,6 +198,38 @@ impl BackgroundCopy {
             self.update_depth_gauges();
             return Some(range);
         }
+    }
+
+    /// Notes a fetch failure for back-off purposes: the retriever waits
+    /// `base · 2^(failures-1)` (capped) before probing the server again,
+    /// so a stalled server is not hammered while copy-on-read continues.
+    pub fn note_fetch_failure(&mut self, now: SimTime) {
+        self.consecutive_failures = self.consecutive_failures.saturating_add(1);
+        let shift = (self.consecutive_failures - 1).min(16);
+        let delay = SimDuration::from_nanos(
+            FETCH_BACKOFF_BASE.as_nanos().saturating_mul(1u64 << shift),
+        )
+        .min(FETCH_BACKOFF_CAP);
+        self.fetch_ready_at = now + delay;
+        self.metrics.inc("bg.fetch_backoffs");
+    }
+
+    /// Clears the failure streak once a fetch completes; the retriever
+    /// resumes at full pace.
+    pub fn note_fetch_success(&mut self) {
+        self.consecutive_failures = 0;
+        self.fetch_ready_at = SimTime::ZERO;
+    }
+
+    /// Earliest time the retriever may issue its next fetch (back-off
+    /// gate; `SimTime::ZERO` when no failures are outstanding).
+    pub fn fetch_ready_at(&self) -> SimTime {
+        self.fetch_ready_at
+    }
+
+    /// Consecutive fetch failures since the last success.
+    pub fn consecutive_failures(&self) -> u32 {
+        self.consecutive_failures
     }
 
     /// Records that a fetch failed (retry budget exhausted): the sectors
@@ -404,6 +449,27 @@ mod tests {
         let later = SimTime::from_millis(5_000);
         bg.note_guest_io(later, Lba(0));
         assert_eq!(bg.guest_io_rate(later), 1.0, "old samples age out");
+    }
+
+    #[test]
+    fn fetch_backoff_doubles_caps_and_resets() {
+        let mut bg = BackgroundCopy::new(64, 4, 4, 1 << 16);
+        let now = SimTime::from_millis(100);
+        bg.note_fetch_failure(now);
+        assert_eq!(bg.fetch_ready_at(), now + SimDuration::from_millis(10));
+        bg.note_fetch_failure(now);
+        assert_eq!(bg.fetch_ready_at(), now + SimDuration::from_millis(20));
+        for _ in 0..20 {
+            bg.note_fetch_failure(now);
+        }
+        assert_eq!(
+            bg.fetch_ready_at(),
+            now + SimDuration::from_millis(1_000),
+            "back-off is capped"
+        );
+        bg.note_fetch_success();
+        assert_eq!(bg.fetch_ready_at(), SimTime::ZERO);
+        assert_eq!(bg.consecutive_failures(), 0);
     }
 
     #[test]

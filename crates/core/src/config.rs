@@ -1,6 +1,7 @@
 //! BMcast configuration.
 
 use hwsim::nic::NicModel;
+use simkit::fault::FaultPlan;
 use simkit::SimDuration;
 
 /// Which storage controller (and therefore which device mediator) the
@@ -111,6 +112,15 @@ pub struct BmcastConfig {
     /// (fio 1 MB direct I/O, ~8.6 ms per request) loses ≈1.7% versus bare
     /// metal, matching the paper's measurement.
     pub resident_irq_delay: SimDuration,
+    /// Deterministic fault-injection plan. `None` runs a clean fabric;
+    /// `Some(plan)` threads a seeded [`simkit::fault::FaultInjector`]
+    /// through the switch, AoE server, and disks so any failure scenario
+    /// replays byte-identically.
+    pub faults: Option<FaultPlan>,
+    /// Consecutive AoE request failures (each one a full client retry
+    /// budget) tolerated before the deployment surfaces a
+    /// `DeployError::RetryBudgetExhausted` instead of wedging.
+    pub deploy_failure_budget: u32,
 }
 
 impl Default for BmcastConfig {
@@ -129,6 +139,8 @@ impl Default for BmcastConfig {
             fabric_loss_rate: 0.0,
             vmxoff_after_deploy: true,
             resident_irq_delay: SimDuration::from_micros(150),
+            faults: None,
+            deploy_failure_budget: 32,
         }
     }
 }

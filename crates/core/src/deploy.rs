@@ -5,7 +5,7 @@
 use crate::config::BmcastConfig;
 use crate::devirt::Phase;
 use crate::machine::{
-    start_deployment, start_program, GuestProgram, Machine, MachineSim, MachineSpec,
+    start_deployment, start_program, DeployError, GuestProgram, Machine, MachineSim, MachineSpec,
 };
 use hwsim::firmware::{BootPath, FirmwareModel};
 use simkit::{Metrics, MetricsSnapshot, SimDuration, SimTime, Tracer};
@@ -235,8 +235,16 @@ impl Runner {
         }
     }
 
+    /// Terminal deployment failure, if the machine's retry budget
+    /// tripped (see [`DeployError`]).
+    pub fn deploy_error(&self) -> Option<DeployError> {
+        self.machine.deploy_error()
+    }
+
     /// Runs until the machine reaches bare metal (deployment +
-    /// de-virtualization complete) or `limit` passes.
+    /// de-virtualization complete) or `limit` passes. Returns `None`
+    /// early if the deployment surfaced a [`DeployError`] — check
+    /// [`Runner::deploy_error`] to distinguish failure from timeout.
     pub fn run_to_bare_metal(&mut self, limit: SimTime) -> Option<SimTime> {
         loop {
             if self.machine.phase() == Phase::BareMetal {
@@ -247,7 +255,10 @@ impl Runner {
                     .and_then(|v| v.bare_metal_at)
                     .or(Some(self.sim.now()));
             }
-            if self.sim.now() >= limit || self.sim.pending_events() == 0 {
+            if self.machine.deploy_error().is_some()
+                || self.sim.now() >= limit
+                || self.sim.pending_events() == 0
+            {
                 return None;
             }
             let next = (self.sim.now() + SimDuration::from_millis(500)).min(limit);

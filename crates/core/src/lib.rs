@@ -56,4 +56,4 @@ pub use bitmap::BlockBitmap;
 pub use config::{BmcastConfig, ControllerKind, Moderation};
 pub use deploy::Runner;
 pub use devirt::Phase;
-pub use machine::{Machine, MachineSpec};
+pub use machine::{DeployError, Machine, MachineSpec};

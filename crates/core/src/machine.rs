@@ -37,6 +37,7 @@ use hwsim::ide::{AtaOp, IdeAction, IdeCommandBlock, IdeController, IdeReg, PrdEn
 use hwsim::mem::{DmaBuffer, PhysAddr, PhysMem};
 use hwsim::pci::{Bdf, PciBus, PciClass, PciDevice};
 use hwsim::vtx::{ExitReason, VtxCpu};
+use simkit::fault::{FaultInjector, LinkVerdict, ServerHealth};
 use simkit::{Histogram, Metrics, Sim, SimDuration, SimTime, Tracer};
 use std::collections::HashMap;
 
@@ -202,6 +203,11 @@ pub struct Vmm {
     writer_idle: bool,
     /// Earliest time the moderation allows the next background write.
     writer_next_allowed: SimTime,
+    /// Consecutive AoE request failures (each one a full client retry
+    /// budget) since the last successful completion.
+    consecutive_failures: u32,
+    /// Terminal deployment failure, set when the failure budget trips.
+    deploy_error: Option<DeployError>,
     devirt_requested: bool,
     /// Set when deployment finished, for reporting.
     pub deployment_done_at: Option<SimTime>,
@@ -209,10 +215,43 @@ pub struct Vmm {
     pub bare_metal_at: Option<SimTime>,
 }
 
+/// A deployment failure the VMM surfaces instead of wedging (§graceful
+/// degradation): the guest keeps running on copy-on-read for as long as
+/// possible, but once the server is unreachable past the failure budget
+/// the deployment reports this instead of retrying forever.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DeployError {
+    /// Too many consecutive AoE requests exhausted their full client
+    /// retry budget without a single server reply.
+    RetryBudgetExhausted {
+        /// Consecutive failed requests when the budget tripped.
+        consecutive: u32,
+    },
+}
+
+impl std::fmt::Display for DeployError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DeployError::RetryBudgetExhausted { consecutive } => write!(
+                f,
+                "deployment retry budget exhausted: \
+                 {consecutive} consecutive AoE request failures"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for DeployError {}
+
 impl Vmm {
     /// Whether the VMM still interposes on anything.
     pub fn is_active(&self) -> bool {
         self.phase != Phase::BareMetal
+    }
+
+    /// Terminal deployment failure, if the retry budget tripped.
+    pub fn deploy_error(&self) -> Option<DeployError> {
+        self.deploy_error
     }
 
     /// Whether the background writer chain is parked (diagnostics).
@@ -354,6 +393,8 @@ pub struct Machine {
     pub net: Option<Network>,
     /// Counters.
     pub stats: MachineStats,
+    /// Deterministic fault injector, when the config carries a plan.
+    pub faults: Option<FaultInjector>,
     /// Shared metrics handle (disabled unless telemetry is attached).
     pub metrics: Metrics,
     /// Shared trace handle (disabled unless telemetry is attached).
@@ -414,6 +455,7 @@ impl Machine {
             guest: Guest::new(spec.controller),
             net: None,
             stats: MachineStats::default(),
+            faults: None,
             metrics: Metrics::disabled(),
             tracer: Tracer::disabled(),
         }
@@ -497,6 +539,8 @@ impl Machine {
         let server_port = switch.attach(SERVER_MAC, Link::gigabit());
         switch.attach(VMM_MAC, Link::gigabit());
 
+        let faults = cfg.faults.clone().map(FaultInjector::new);
+
         let vmm = Vmm {
             ide_med: IdeMediator::new(Some(bitmap_region)),
             ahci_med: AhciMediator::new(Some(bitmap_region)),
@@ -525,6 +569,8 @@ impl Machine {
             vmm_clb: None,
             writer_idle: true,
             writer_next_allowed: SimTime::ZERO,
+            consecutive_failures: 0,
+            deploy_error: None,
             devirt_requested: false,
             deployment_done_at: None,
             bare_metal_at: None,
@@ -548,6 +594,7 @@ impl Machine {
                 server_port,
             }),
             stats: MachineStats::default(),
+            faults,
             metrics: Metrics::disabled(),
             tracer: Tracer::disabled(),
         }
@@ -566,6 +613,9 @@ impl Machine {
         }
         if let Some(net) = self.net.as_mut() {
             net.server.set_telemetry(metrics.clone());
+        }
+        if let Some(inj) = self.faults.as_mut() {
+            inj.set_metrics(metrics.clone());
         }
         self.metrics = metrics;
         self.tracer = tracer;
@@ -589,6 +639,11 @@ impl Machine {
             .as_ref()
             .map(|v| v.phase)
             .unwrap_or(Phase::BareMetal)
+    }
+
+    /// Terminal deployment failure, if the retry budget tripped.
+    pub fn deploy_error(&self) -> Option<DeployError> {
+        self.vmm.as_ref().and_then(|v| v.deploy_error)
     }
 }
 
@@ -812,8 +867,18 @@ fn process_hw_events(m: &mut Machine, sim: &mut MachineSim, events: Vec<HwEvent>
     }
 }
 
+/// Propagates the injector's slow-disk factor onto the local disk before
+/// an access is timed (write errors stay scoped to the server disk).
+fn apply_local_disk_faults(m: &mut Machine, now: SimTime) {
+    if let Some(inj) = m.faults.as_mut() {
+        let factor = inj.disk_latency_factor(now);
+        m.hw.disk.set_fault_latency_factor(factor);
+    }
+}
+
 /// Starts the pending IDE command on the media and schedules completion.
 fn start_ide_media(m: &mut Machine, sim: &mut MachineSim, origin: Origin) {
+    apply_local_disk_faults(m, sim.now());
     let Some(cmd) = m.hw.ide.start_ready() else {
         return;
     };
@@ -835,6 +900,7 @@ fn start_ide_media(m: &mut Machine, sim: &mut MachineSim, origin: Origin) {
 
 /// Starts an issued AHCI slot on the media and schedules completion.
 fn start_ahci_media(m: &mut Machine, sim: &mut MachineSim, slot: u8, origin: Origin) {
+    apply_local_disk_faults(m, sim.now());
     let Some(cmd) = m.hw.ahci.decode_slot(&m.hw.mem, 0, slot) else {
         return;
     };
@@ -1226,28 +1292,67 @@ fn send_vmm_frames(m: &mut Machine, sim: &mut MachineSim, frames: Vec<FrameBytes
     pump_vmm_tx(m, sim);
 }
 
+/// Applies a corruption verdict: flip one payload byte picked by the
+/// injector's entropy (the mask is forced non-zero so the flip is real).
+fn corrupt_frame_bytes(payload: &FrameBytes, entropy: u64) -> FrameBytes {
+    let mut bytes = payload.to_vec();
+    if !bytes.is_empty() {
+        let idx = (entropy as usize) % bytes.len();
+        bytes[idx] ^= ((entropy >> 8) as u8) | 1;
+    }
+    bytes.into()
+}
+
 fn pump_vmm_tx(m: &mut Machine, sim: &mut MachineSim) {
     let (Some(vmm), Some(net)) = (m.vmm.as_mut(), m.net.as_mut()) else {
         return;
     };
-    while let Some(frame) = vmm.nic.nic_mut().pop_tx() {
+    while let Some(mut frame) = vmm.nic.nic_mut().pop_tx() {
         m.stats.frames_tx += 1;
         m.metrics.inc("machine.frames_tx");
         vmm.cpu_time += SimDuration::from_micros(3);
-        match net.switch.forward(sim.now(), frame) {
-            Ok(delivery) if delivery.port == net.server_port => {
-                let at = delivery.at;
-                let payload = delivery.frame.payload;
-                sim.schedule_at(at, move |m: &mut Machine, sim| {
-                    server_rx(m, sim, payload);
-                });
+        let verdict = match m.faults.as_mut() {
+            Some(inj) => inj.link_verdict_tx(sim.now()),
+            None => LinkVerdict::Deliver,
+        };
+        if let LinkVerdict::Corrupt { entropy } = verdict {
+            frame.payload = corrupt_frame_bytes(&frame.payload, entropy);
+        }
+        // On Err the frame is lost (or injector-dropped); the client's
+        // retransmission recovers.
+        let Ok(deliveries) = net.switch.forward_with(sim.now(), frame, verdict) else {
+            continue;
+        };
+        for delivery in deliveries {
+            if delivery.port != net.server_port {
+                continue;
             }
-            Ok(_) | Err(_) => {} // lost or misdelivered; retransmission recovers
+            let at = delivery.at;
+            let payload = delivery.frame.payload;
+            sim.schedule_at(at, move |m: &mut Machine, sim| {
+                server_rx(m, sim, payload);
+            });
         }
     }
 }
 
 fn server_rx(m: &mut Machine, sim: &mut MachineSim, payload: FrameBytes) {
+    let Some(net) = m.net.as_mut() else { return };
+    if let Some(inj) = m.faults.as_mut() {
+        match inj.server_health(sim.now()) {
+            // Stalled or crashed: the frame vanishes; the client's
+            // backoff keeps probing until the server returns.
+            ServerHealth::Down => return,
+            // First frame after a crash window: cold restart, in-flight
+            // worker state gone.
+            ServerHealth::Restarting => net.server.restart(),
+            ServerHealth::Up => {}
+        }
+        let factor = inj.disk_latency_factor(sim.now());
+        net.server.disk_mut().set_fault_latency_factor(factor);
+        let write_faults = inj.disk_write_error(sim.now());
+        net.server.disk_mut().set_fault_write_errors(write_faults);
+    }
     let Some(net) = m.net.as_mut() else { return };
     let Ok(Some(reply)) = net.server.handle(sim.now(), &payload) else {
         return;
@@ -1255,15 +1360,27 @@ fn server_rx(m: &mut Machine, sim: &mut MachineSim, payload: FrameBytes) {
     let ready = reply.ready_at.max(sim.now());
     for frame_payload in reply.frames {
         sim.schedule_at(ready, move |m: &mut Machine, sim| {
+            let verdict = match m.faults.as_mut() {
+                Some(inj) => inj.link_verdict_rx(sim.now()),
+                None => LinkVerdict::Deliver,
+            };
+            let payload = if let LinkVerdict::Corrupt { entropy } = verdict {
+                corrupt_frame_bytes(&frame_payload, entropy)
+            } else {
+                frame_payload.clone()
+            };
             let Some(net) = m.net.as_mut() else { return };
             let frame = Frame {
                 src: SERVER_MAC,
                 dst: VMM_MAC,
-                payload_bytes: frame_payload.len() as u32,
-                payload: frame_payload.clone(),
+                payload_bytes: payload.len() as u32,
+                payload,
             };
             // On Err the frame is dropped; retransmission recovers.
-            if let Ok(delivery) = net.switch.forward(sim.now(), frame) {
+            let Ok(deliveries) = net.switch.forward_with(sim.now(), frame, verdict) else {
+                return;
+            };
+            for delivery in deliveries {
                 let at = delivery.at;
                 let payload = delivery.frame.payload;
                 sim.schedule_at(at, move |m: &mut Machine, sim| {
@@ -1308,6 +1425,8 @@ fn vmm_poll(m: &mut Machine, sim: &mut MachineSim) {
     }
     for done in completions {
         let vmm = m.vmm.as_mut().expect("still polling");
+        // A completed request means the server is reachable again.
+        vmm.consecutive_failures = 0;
         match vmm.aoe_waiters.remove(&done.request_id) {
             Some(AoeWaiter::Redirect(_)) => {
                 if let Some(r) = vmm.redirect.as_mut() {
@@ -1318,6 +1437,7 @@ fn vmm_poll(m: &mut Machine, sim: &mut MachineSim) {
                 try_finish_redirect(m, sim);
             }
             Some(AoeWaiter::Background(_)) => {
+                vmm.bg.note_fetch_success();
                 vmm.bg.deliver(FetchedBlock {
                     range: done.range,
                     data: done.data.into(),
@@ -1339,18 +1459,22 @@ fn schedule_retransmit_guard(m: &mut Machine, sim: &mut MachineSim) {
     let rto = vmm.client.config().rto;
     sim.schedule_in(rto, |m: &mut Machine, sim| {
         let Some(vmm) = m.vmm.as_mut() else { return };
-        if !vmm.is_active() {
+        if !vmm.is_active() || vmm.deploy_error.is_some() {
             return;
         }
         let frames = vmm.client.poll_retransmit(sim.now());
         let failures = vmm.client.take_failures();
+        vmm.consecutive_failures = vmm
+            .consecutive_failures
+            .saturating_add(failures.len() as u32);
         let mut reissue_redirects = Vec::new();
         for id in failures {
             match vmm.aoe_waiters.remove(&id) {
                 Some(AoeWaiter::Background(range)) => {
                     // Make the block requestable again; the retriever will
-                    // reissue it.
+                    // reissue it after its back-off window.
                     vmm.bg.fetch_failed(range);
+                    vmm.bg.note_fetch_failure(sim.now());
                 }
                 Some(AoeWaiter::Redirect(range)) => {
                     // The guest is blocked on this data: reissue at once.
@@ -1358,6 +1482,18 @@ fn schedule_retransmit_guard(m: &mut Machine, sim: &mut MachineSim) {
                 }
                 None => {}
             }
+        }
+        if vmm.consecutive_failures > vmm.cfg.deploy_failure_budget {
+            // Graceful degradation's end: surface the error instead of
+            // retrying forever. Outstanding work drains; the runner sees
+            // the error and stops.
+            let consecutive = vmm.consecutive_failures;
+            vmm.deploy_error = Some(DeployError::RetryBudgetExhausted { consecutive });
+            m.metrics.inc("machine.deploy_errors");
+            m.tracer.emit(sim.now(), "machine", "deploy_error", || {
+                format!("retry budget exhausted after {consecutive} consecutive failures")
+            });
+            return;
         }
         for range in reissue_redirects {
             let vmm = m.vmm.as_mut().expect("still here");
@@ -1390,7 +1526,16 @@ pub fn start_deployment(m: &mut Machine, sim: &mut MachineSim) {
 
 fn retriever_fire(m: &mut Machine, sim: &mut MachineSim) {
     let Some(vmm) = m.vmm.as_mut() else { return };
-    if vmm.phase != Phase::Deployment {
+    if vmm.phase != Phase::Deployment || vmm.deploy_error.is_some() {
+        return;
+    }
+    // Back-off gate after fetch failures: keep serving copy-on-read, but
+    // only probe the server again once the window opens.
+    let ready = vmm.bg.fetch_ready_at();
+    if ready > sim.now() {
+        sim.schedule_at(ready, |m: &mut Machine, sim| {
+            retriever_fire(m, sim);
+        });
         return;
     }
     let mut frames = Vec::new();

@@ -96,6 +96,11 @@ pub struct DiskModel {
     /// Recently serviced sectors retained in the on-disk cache (FIFO).
     cache: VecDeque<u64>,
     total_busy: SimDuration,
+    /// Fault-injection multiplier on every access time (1.0 = healthy).
+    fault_latency_factor: f64,
+    /// Fault injection: when set, writes report a device error and the
+    /// caller must not commit data to the store.
+    fault_write_errors: bool,
 }
 
 impl DiskModel {
@@ -116,7 +121,29 @@ impl DiskModel {
             head: Lba(0),
             cache: VecDeque::new(),
             total_busy: SimDuration::ZERO,
+            fault_latency_factor: 1.0,
+            fault_write_errors: false,
         }
+    }
+
+    /// Sets the fault-injection latency multiplier. `1.0` (the default)
+    /// means a healthy disk; larger values stretch every access.
+    pub fn set_fault_latency_factor(&mut self, factor: f64) {
+        self.fault_latency_factor = if factor.is_finite() && factor > 0.0 {
+            factor
+        } else {
+            1.0
+        };
+    }
+
+    /// Enables or disables injected write errors.
+    pub fn set_fault_write_errors(&mut self, faulted: bool) {
+        self.fault_write_errors = faulted;
+    }
+
+    /// Whether writes currently fail with an injected device error.
+    pub fn write_faulted(&self) -> bool {
+        self.fault_write_errors
     }
 
     /// The disk parameters.
@@ -184,7 +211,10 @@ impl DiskModel {
             range.end().0 <= self.params.capacity_sectors,
             "access past end of disk"
         );
-        let t = self.access_time_inner(op, range);
+        let mut t = self.access_time_inner(op, range);
+        if self.fault_latency_factor != 1.0 {
+            t = t.mul_f64(self.fault_latency_factor);
+        }
         self.total_busy += t;
         t
     }
@@ -351,6 +381,36 @@ mod tests {
         assert_eq!(d.total_busy(), SimDuration::ZERO);
         d.access_time(DiskOp::Read, BlockRange::new(Lba(0), 8));
         assert!(d.total_busy() > SimDuration::ZERO);
+    }
+
+    #[test]
+    fn fault_latency_factor_stretches_accesses() {
+        let mut healthy = small_disk();
+        let mut slow = small_disk();
+        slow.set_fault_latency_factor(4.0);
+        let r = BlockRange::new(Lba(500_000), 64);
+        let base = healthy.access_time(DiskOp::Read, r);
+        let faulted = slow.access_time(DiskOp::Read, r);
+        assert_eq!(faulted, base.mul_f64(4.0));
+        // Resetting to 1.0 restores healthy timing for fresh accesses.
+        slow.set_fault_latency_factor(1.0);
+        let r2 = BlockRange::new(Lba(800_000), 64);
+        let mut healthy2 = small_disk();
+        healthy2.access_time(DiskOp::Read, r); // match head/cache state
+        assert_eq!(
+            slow.access_time(DiskOp::Read, r2),
+            healthy2.access_time(DiskOp::Read, r2)
+        );
+    }
+
+    #[test]
+    fn write_fault_flag_toggles() {
+        let mut d = small_disk();
+        assert!(!d.write_faulted());
+        d.set_fault_write_errors(true);
+        assert!(d.write_faulted());
+        d.set_fault_write_errors(false);
+        assert!(!d.write_faulted());
     }
 
     #[test]

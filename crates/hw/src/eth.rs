@@ -8,6 +8,7 @@
 //! crate, the system crate) can carry typed messages without this crate
 //! depending on them.
 
+use simkit::fault::LinkVerdict;
 use simkit::{Prng, SimDuration, SimTime};
 use std::fmt;
 
@@ -257,6 +258,65 @@ impl<P> Switch<P> {
         self.forwarded += 1;
         Ok(Delivery { port, at, frame })
     }
+
+    /// Forwards a frame under a fault-injection verdict. Returns every
+    /// resulting delivery: one normally, two for [`LinkVerdict::Duplicate`]
+    /// (the copy queues behind the original on the egress link), none —
+    /// as [`SwitchError::Dropped`] — for [`LinkVerdict::Drop`].
+    /// [`LinkVerdict::Delay`] adds its extra latency after serialization,
+    /// reordering the frame past later traffic.
+    /// [`LinkVerdict::Corrupt`] delivers normally: payload mutation is the
+    /// caller's job, since the switch does not inspect payloads.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Switch::forward`], plus [`SwitchError::Dropped`] when the
+    /// verdict says drop.
+    pub fn forward_with(
+        &mut self,
+        now: SimTime,
+        frame: Frame<P>,
+        verdict: LinkVerdict,
+    ) -> Result<Vec<Delivery<P>>, SwitchError>
+    where
+        P: Clone,
+    {
+        match verdict {
+            LinkVerdict::Deliver | LinkVerdict::Corrupt { .. } => {
+                Ok(vec![self.forward(now, frame)?])
+            }
+            LinkVerdict::Drop => {
+                // Validate as usual so misaddressed frames still surface
+                // their real error, then count the injected loss.
+                if frame.payload_bytes > self.mtu {
+                    return Err(SwitchError::FrameTooBig {
+                        payload: frame.payload_bytes,
+                        mtu: self.mtu,
+                    });
+                }
+                if !self.ports.iter().any(|&(mac, _)| mac == frame.dst) {
+                    return Err(SwitchError::UnknownDestination(frame.dst));
+                }
+                self.dropped += 1;
+                Err(SwitchError::Dropped)
+            }
+            LinkVerdict::Duplicate => {
+                let first = self.forward(now, frame.clone())?;
+                let mut out = vec![first];
+                // The copy can itself fall to the switch's own loss
+                // injection; the original already made it through.
+                if let Ok(second) = self.forward(now, frame) {
+                    out.push(second);
+                }
+                Ok(out)
+            }
+            LinkVerdict::Delay(extra) => {
+                let mut d = self.forward(now, frame)?;
+                d.at += extra;
+                Ok(vec![d])
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -358,6 +418,52 @@ mod tests {
             (mbps - 120.0).abs() < 15.0,
             "jumbo gigabit rate was {mbps:.1} MB/s"
         );
+    }
+
+    #[test]
+    fn forward_with_applies_verdicts() {
+        let mut sw: Switch<u32> = Switch::new(9000, 0.0, 1);
+        sw.attach(MacAddr::host(1), Link::gigabit());
+        sw.attach(MacAddr::host(2), Link::gigabit());
+        let mk = || frame(MacAddr::host(2), 512);
+
+        let normal = sw
+            .forward_with(SimTime::ZERO, mk(), LinkVerdict::Deliver)
+            .unwrap();
+        assert_eq!(normal.len(), 1);
+
+        let dropped = sw.forward_with(SimTime::ZERO, mk(), LinkVerdict::Drop);
+        assert_eq!(dropped, Err(SwitchError::Dropped));
+        assert_eq!(sw.dropped(), 1);
+
+        let dup = sw
+            .forward_with(SimTime::ZERO, mk(), LinkVerdict::Duplicate)
+            .unwrap();
+        assert_eq!(dup.len(), 2);
+        assert!(dup[1].at > dup[0].at, "copy queues behind the original");
+
+        let base = sw
+            .forward_with(SimTime::ZERO, mk(), LinkVerdict::Deliver)
+            .unwrap()[0]
+            .at;
+        let delayed = sw
+            .forward_with(
+                SimTime::ZERO,
+                mk(),
+                LinkVerdict::Delay(SimDuration::from_millis(3)),
+            )
+            .unwrap();
+        assert!(delayed[0].at > base + SimDuration::from_millis(2));
+    }
+
+    #[test]
+    fn forward_with_drop_still_reports_real_errors() {
+        let mut sw: Switch<u32> = Switch::new(1500, 0.0, 1);
+        let err = sw
+            .forward_with(SimTime::ZERO, frame(MacAddr::host(9), 100), LinkVerdict::Drop)
+            .unwrap_err();
+        assert_eq!(err, SwitchError::UnknownDestination(MacAddr::host(9)));
+        assert_eq!(sw.dropped(), 0);
     }
 
     #[test]

@@ -31,12 +31,14 @@
 //! assert_eq!(sim.now().as_millis(), 5);
 //! ```
 
+pub mod fault;
 pub mod metrics;
 pub mod rng;
 pub mod stats;
 pub mod time;
 pub mod trace;
 
+pub use fault::{FaultCounters, FaultInjector, FaultPlan, LinkVerdict, ServerHealth};
 pub use metrics::{LogHistogram, Metrics, MetricsSnapshot};
 pub use rng::Prng;
 pub use stats::{Counter, Histogram, TimeSeries};

@@ -8,7 +8,14 @@ committed paper-scale golden output `reproduce_output.txt`. Check
 not — a figure silently dropping comparisons is a regression this
 catches.
 
+With `--faults`, instead validates a fault-matrix run (`reproduce
+--faults all`): every `faults_*` figure must be present with at least
+one check, and every check must hold (`within_10pct == checks` — fault
+checks are pass/fail booleans, so any miss is a failed invariant, not a
+scale effect). No golden file is involved.
+
 Usage: scripts/check_figures.py BENCH_reproduce.json reproduce_output.txt
+       scripts/check_figures.py --faults BENCH_reproduce.json
 """
 
 import json
@@ -52,9 +59,36 @@ def golden_counts(path):
     return counts
 
 
+def check_faults(bench_path):
+    """Validate a fault-matrix run: all fault figures present, all green."""
+    with open(bench_path, encoding="utf-8") as f:
+        bench = json.load(f)
+    figures = [f for f in bench["figures"] if f["id"].startswith("faults_")]
+    failed = False
+    if not figures:
+        print(f"FAIL: no faults_* figures in {bench_path}")
+        failed = True
+    for fig in figures:
+        fig_id, checks, within = fig["id"], fig["checks"], fig["within_10pct"]
+        if checks == 0:
+            print(f"FAIL {fig_id}: no checks recorded")
+            failed = True
+        elif within < checks:
+            print(f"FAIL {fig_id}: {checks - within} of {checks} invariants failed")
+            failed = True
+        else:
+            print(f"ok   {fig_id}: {checks} invariants hold")
+    print(f"total: {len(figures)} fault figures")
+    if failed:
+        sys.exit(1)
+
+
 def main():
-    if len(sys.argv) != 3:
-        sys.exit(__doc__.strip().splitlines()[-1])
+    if len(sys.argv) == 3 and sys.argv[1] == "--faults":
+        check_faults(sys.argv[2])
+        return
+    if len(sys.argv) != 3 or sys.argv[1].startswith("--"):
+        sys.exit("\n".join(__doc__.strip().splitlines()[-2:]))
     bench_path, golden_path = sys.argv[1], sys.argv[2]
 
     with open(bench_path, encoding="utf-8") as f:

@@ -1,6 +1,6 @@
 //! Property-based tests over the core invariants.
 
-use bmcast_repro::aoe::wire::{AoePdu, Tag};
+use bmcast_repro::aoe::wire::{AoePdu, DecodeError, Tag};
 use bmcast_repro::aoe::{AoeClient, ClientConfig};
 use bmcast_repro::bmcast::bitmap::BlockBitmap;
 use bmcast_repro::bmcast::config::{BmcastConfig, ControllerKind, Moderation};
@@ -42,6 +42,72 @@ proptest! {
         };
         let decoded = AoePdu::decode(&pdu.encode()).unwrap();
         prop_assert_eq!(decoded, pdu);
+    }
+
+    /// Decode is total: arbitrary bytes never panic it, and whatever it
+    /// accepts re-encodes to the same PDU (no garbage smuggled through).
+    #[test]
+    fn aoe_decode_never_panics_on_arbitrary_bytes(
+        bytes in proptest::collection::vec(any::<u8>(), 0..3000),
+    ) {
+        if let Ok(pdu) = AoePdu::decode(&bytes) {
+            prop_assert!(pdu.range.sectors > 0);
+            prop_assert_eq!(AoePdu::decode(&pdu.encode()).unwrap(), pdu);
+        }
+    }
+
+    /// Mutating any bytes of a valid frame never panics decode, and the
+    /// checksum rejects every mutation that changes covered bytes — a
+    /// corrupted frame can only surface as a decode error, never as a
+    /// different PDU.
+    #[test]
+    fn aoe_decode_rejects_mutated_frames(
+        sectors in 1u32..12,
+        lba in 0u64..(1 << 48),
+        seed in any::<u64>(),
+        muts in proptest::collection::vec((any::<usize>(), any::<u8>()), 1..6),
+    ) {
+        let data: Vec<SectorData> = (0..sectors as u64)
+            .map(|i| SectorData(seed ^ i))
+            .collect();
+        let pdu = AoePdu::write_request(
+            1, 2, Tag::new(7, 3), BlockRange::new(Lba(lba), sectors), data);
+        let clean = pdu.encode();
+        let mut bytes = clean.clone();
+        for (idx, xor) in muts {
+            bytes[idx % clean.len()] ^= xor;
+        }
+        match AoePdu::decode(&bytes) {
+            // All mutations may have cancelled out (xor of 0, or pairs
+            // hitting the same byte): only the original may decode.
+            Ok(decoded) => {
+                prop_assert_eq!(&bytes, &clean, "corruption decoded successfully");
+                prop_assert_eq!(decoded, pdu);
+            }
+            Err(e) => prop_assert!(
+                matches!(e, DecodeError::BadChecksum { .. } | DecodeError::BadVersion(_)
+                    | DecodeError::EmptyRange),
+                "unexpected decode error {e:?}"
+            ),
+        }
+    }
+
+    /// Any strict prefix of a valid frame is rejected — truncation can
+    /// never decode, let alone panic.
+    #[test]
+    fn aoe_decode_rejects_truncation(
+        sectors in 1u32..12,
+        seed in any::<u64>(),
+        cut in any::<usize>(),
+    ) {
+        let data: Vec<SectorData> = (0..sectors as u64)
+            .map(|i| SectorData(seed ^ i))
+            .collect();
+        let pdu = AoePdu::write_request(
+            0, 0, Tag::new(11, 0), BlockRange::new(Lba(64), sectors), data);
+        let bytes = pdu.encode();
+        let prefix = &bytes[..cut % bytes.len()];
+        prop_assert!(AoePdu::decode(prefix).is_err());
     }
 
     /// Reassembly is order- and duplication-insensitive: any permutation
