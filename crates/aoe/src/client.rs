@@ -15,7 +15,7 @@
 
 use crate::wire::{sectors_per_frame, AoePdu, FrameBytes, Tag};
 use hwsim::block::{BlockRange, SectorData};
-use simkit::{Metrics, Prng, SimDuration, SimTime, Tracer};
+use simkit::{Metrics, Prng, SimDuration, SimTime, SpanId, Spans, Tracer, NO_SPAN};
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
 /// How many completed/failed request ids are remembered for stale-reply
@@ -93,6 +93,9 @@ struct Pending {
     /// Next retransmission instant (backed-off RTO + jitter).
     deadline: SimTime,
     retries: u32,
+    /// Flight-recorder round-trip span, open from issue to completion
+    /// or failure ([`NO_SPAN`] when the recorder is off).
+    span: SpanId,
 }
 
 impl Pending {
@@ -143,6 +146,7 @@ pub struct AoeClient {
     failures: Vec<u32>,
     metrics: Metrics,
     tracer: Tracer,
+    spans: Spans,
 }
 
 impl AoeClient {
@@ -163,6 +167,7 @@ impl AoeClient {
             failures: Vec::new(),
             metrics: Metrics::disabled(),
             tracer: Tracer::disabled(),
+            spans: Spans::disabled(),
         }
     }
 
@@ -171,6 +176,13 @@ impl AoeClient {
     pub fn set_telemetry(&mut self, metrics: Metrics, tracer: Tracer) {
         self.metrics = metrics;
         self.tracer = tracer;
+    }
+
+    /// Attaches the flight-recorder span store. Each request then carries
+    /// an `aoe.rtt` span from issue to completion/failure, with
+    /// retransmissions as nested instant spans.
+    pub fn set_spans(&mut self, spans: Spans) {
+        self.spans = spans;
     }
 
     /// The configuration.
@@ -243,12 +255,26 @@ impl AoeClient {
     /// Issues a read of `range`. Returns the request id and the encoded
     /// request frame(s) to transmit (always exactly one for reads).
     pub fn read(&mut self, now: SimTime, range: BlockRange) -> (u32, Vec<FrameBytes>) {
+        self.read_traced(now, range, NO_SPAN)
+    }
+
+    /// [`AoeClient::read`] with the round-trip span nested under
+    /// `parent` (e.g. the redirect fetch that issued it).
+    pub fn read_traced(
+        &mut self,
+        now: SimTime,
+        range: BlockRange,
+        parent: SpanId,
+    ) -> (u32, Vec<FrameBytes>) {
         self.metrics.inc("aoe.client.reads");
         let id = self.alloc_id();
         let pdu = AoePdu::read_request(self.cfg.shelf, self.cfg.slot, Tag::new(id, 0), range);
         let frames = vec![pdu.encode_frame()];
         let nfrags = self.fragment_count(range.sectors);
         let deadline = now + self.cfg.backoff(0) + jitter(&mut self.prng, self.cfg.rto);
+        let span = self.spans.begin(now, "aoe.client", "aoe.rtt", parent, || {
+            format!("read req {id} lba {} x{}", range.lba.0, range.sectors)
+        });
         self.pending.insert(
             id,
             Pending {
@@ -260,6 +286,7 @@ impl AoeClient {
                 request_frames: Vec::new(),
                 deadline,
                 retries: 0,
+                span,
             },
         );
         (id, frames)
@@ -277,6 +304,22 @@ impl AoeClient {
         now: SimTime,
         range: BlockRange,
         data: &[SectorData],
+    ) -> (u32, Vec<FrameBytes>) {
+        self.write_traced(now, range, data, NO_SPAN)
+    }
+
+    /// [`AoeClient::write`] with the round-trip span nested under
+    /// `parent`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != range.sectors`.
+    pub fn write_traced(
+        &mut self,
+        now: SimTime,
+        range: BlockRange,
+        data: &[SectorData],
+        parent: SpanId,
     ) -> (u32, Vec<FrameBytes>) {
         assert_eq!(data.len(), range.sectors as usize, "payload/range mismatch");
         self.metrics.inc("aoe.client.writes");
@@ -303,6 +346,9 @@ impl AoeClient {
             frag += 1;
         }
         let deadline = now + self.cfg.backoff(0) + jitter(&mut self.prng, self.cfg.rto);
+        let span = self.spans.begin(now, "aoe.client", "aoe.rtt", parent, || {
+            format!("write req {id} lba {} x{}", range.lba.0, range.sectors)
+        });
         self.pending.insert(
             id,
             Pending {
@@ -313,15 +359,17 @@ impl AoeClient {
                 request_frames: frames.clone(),
                 deadline,
                 retries: 0,
+                span,
             },
         );
         (id, frames)
     }
 
-    /// Consumes a frame from the wire. Returns a completion if this frame
-    /// finished a request. Unknown, duplicate, and non-response frames are
-    /// ignored (the fabric may duplicate after a spurious retransmit).
-    pub fn on_frame(&mut self, bytes: &[u8]) -> Option<Completion> {
+    /// Consumes a frame from the wire at `now`. Returns a completion if
+    /// this frame finished a request. Unknown, duplicate, and
+    /// non-response frames are ignored (the fabric may duplicate after a
+    /// spurious retransmit).
+    pub fn on_frame(&mut self, now: SimTime, bytes: &[u8]) -> Option<Completion> {
         let pdu = match AoePdu::decode(bytes) {
             Ok(pdu) => pdu,
             Err(_) => {
@@ -362,6 +410,7 @@ impl AoeClient {
         self.retire_id(id);
         self.completions += 1;
         self.metrics.inc("aoe.client.completions");
+        self.spans.end(now, pending.span);
         let mut data = Vec::with_capacity(pending.range.sectors as usize);
         if !pending.is_write {
             for f in pending.frags {
@@ -392,6 +441,7 @@ impl AoeClient {
             retransmits,
             metrics,
             tracer,
+            spans,
             ..
         } = self;
         for (&id, p) in pending.iter_mut() {
@@ -442,9 +492,17 @@ impl AoeClient {
             tracer.emit(now, "aoe.client", "retransmit", || {
                 format!("req {id} range {range:?} retry {retry} frames {resent}")
             });
+            spans.instant(now, "aoe.client", "aoe.retransmit", p.span, || {
+                format!("req {id} retry {retry} frames {resent}")
+            });
         }
         for id in dead {
-            self.pending.remove(&id);
+            let p = self.pending.remove(&id).expect("collected above");
+            self.spans
+                .instant(now, "aoe.client", "aoe.failed", p.span, || {
+                    format!("req {id} exhausted retry budget")
+                });
+            self.spans.end(now, p.span);
             self.retire_id(id);
             self.failures.push(id);
             self.metrics.inc("aoe.client.failures");
@@ -491,7 +549,7 @@ mod tests {
         let (id, frames) = c.read(SimTime::ZERO, range);
         let data: Vec<SectorData> = (0..8).map(SectorData).collect();
         let responses = mk_response(&frames[0], &[(0, range, data.clone())]);
-        let done = c.on_frame(&responses[0]).unwrap();
+        let done = c.on_frame(SimTime::ZERO, &responses[0]).unwrap();
         assert_eq!(done.request_id, id);
         assert_eq!(done.data, data);
         assert_eq!(c.outstanding(), 0);
@@ -515,9 +573,9 @@ mod tests {
                 (2, BlockRange::new(Lba(34), 6), d2),
             ],
         );
-        assert!(c.on_frame(&rs[2]).is_none());
-        assert!(c.on_frame(&rs[0]).is_none());
-        let done = c.on_frame(&rs[1]).unwrap();
+        assert!(c.on_frame(SimTime::ZERO, &rs[2]).is_none());
+        assert!(c.on_frame(SimTime::ZERO, &rs[0]).is_none());
+        let done = c.on_frame(SimTime::ZERO, &rs[1]).unwrap();
         assert_eq!(done.data, (0..40).map(SectorData).collect::<Vec<_>>());
     }
 
@@ -527,8 +585,8 @@ mod tests {
         let range = BlockRange::new(Lba(0), 1);
         let (_, frames) = c.read(SimTime::ZERO, range);
         let rs = mk_response(&frames[0], &[(0, range, vec![SectorData(1)])]);
-        assert!(c.on_frame(&rs[0]).is_some());
-        assert!(c.on_frame(&rs[0]).is_none(), "late duplicate is dropped");
+        assert!(c.on_frame(SimTime::ZERO, &rs[0]).is_some());
+        assert!(c.on_frame(SimTime::ZERO, &rs[0]).is_none(), "late duplicate is dropped");
     }
 
     #[test]
@@ -544,7 +602,7 @@ mod tests {
             let mut ack = req.clone();
             ack.response = true;
             ack.data = None;
-            let result = c.on_frame(&ack.encode());
+            let result = c.on_frame(SimTime::ZERO, &ack.encode());
             if req.tag.fragment() == 1 {
                 let done = result.unwrap();
                 assert_eq!(done.request_id, id);
@@ -647,15 +705,15 @@ mod tests {
         let range = BlockRange::new(Lba(0), 1);
         let (_, frames) = c.read(SimTime::ZERO, range);
         let rs = mk_response(&frames[0], &[(0, range, vec![SectorData(1)])]);
-        assert!(c.on_frame(&rs[0]).is_some());
+        assert!(c.on_frame(SimTime::ZERO, &rs[0]).is_some());
         // The same reply again: the request is gone, so this is stale.
-        assert!(c.on_frame(&rs[0]).is_none());
+        assert!(c.on_frame(SimTime::ZERO, &rs[0]).is_none());
         assert_eq!(c.stale_replies(), 1);
         // Replies for ids never issued are not counted as stale.
         let mut stray = AoePdu::read_request(0, 0, Tag::new(999, 0), range);
         stray.response = true;
         stray.data = Some(vec![SectorData(1)]);
-        assert!(c.on_frame(&stray.encode()).is_none());
+        assert!(c.on_frame(SimTime::ZERO, &stray.encode()).is_none());
         assert_eq!(c.stale_replies(), 1);
     }
 
@@ -666,7 +724,7 @@ mod tests {
         let (_, frames) = c.read(SimTime::ZERO, range);
         let mut reply = mk_response(&frames[0], &[(0, range, vec![SectorData(1)])]).remove(0);
         reply[30] ^= 0xFF; // corrupt the payload: checksum must catch it
-        assert!(c.on_frame(&reply).is_none());
+        assert!(c.on_frame(SimTime::ZERO, &reply).is_none());
         assert_eq!(c.decode_errors(), 1);
         assert_eq!(c.outstanding(), 1, "request still pending for retransmit");
     }
@@ -674,10 +732,10 @@ mod tests {
     #[test]
     fn unknown_frames_ignored() {
         let mut c = AoeClient::new(ClientConfig::default());
-        assert!(c.on_frame(&[1, 2, 3]).is_none());
+        assert!(c.on_frame(SimTime::ZERO, &[1, 2, 3]).is_none());
         let mut stray = AoePdu::read_request(0, 0, Tag::new(999, 0), BlockRange::new(Lba(0), 1));
         stray.response = true;
         stray.data = Some(vec![SectorData(1)]);
-        assert!(c.on_frame(&stray.encode()).is_none());
+        assert!(c.on_frame(SimTime::ZERO, &stray.encode()).is_none());
     }
 }

@@ -13,7 +13,7 @@
 use crate::wire::{sectors_per_frame, AoePdu, DecodeError, FrameBytes, Tag};
 use hwsim::block::BlockRange;
 use hwsim::disk::{DiskModel, DiskOp};
-use simkit::{Metrics, SimDuration, SimTime};
+use simkit::{Metrics, SimDuration, SimTime, Spans, NO_SPAN};
 
 /// Server configuration.
 #[derive(Debug, Clone)]
@@ -83,6 +83,7 @@ pub struct AoeServer {
     write_errors: u64,
     restarts: u64,
     metrics: Metrics,
+    spans: Spans,
 }
 
 /// AoE error code for a device that cannot service the request (write
@@ -108,6 +109,7 @@ impl AoeServer {
             write_errors: 0,
             restarts: 0,
             metrics: Metrics::disabled(),
+            spans: Spans::disabled(),
         }
     }
 
@@ -125,6 +127,13 @@ impl AoeServer {
     /// busy-worker gauge land there.
     pub fn set_telemetry(&mut self, metrics: Metrics) {
         self.metrics = metrics;
+    }
+
+    /// Attaches the flight-recorder span store; each served request
+    /// becomes an `aoe.server.request` span covering worker occupancy
+    /// (arrival to `ready_at`).
+    pub fn set_spans(&mut self, spans: Spans) {
+        self.spans = spans;
     }
 
     /// The configuration.
@@ -203,11 +212,30 @@ impl AoeServer {
         }
         self.requests += 1;
         self.metrics.inc("aoe.server.requests");
-        if pdu.write {
-            Ok(Some(self.handle_write(now, pdu)))
+        let (id, range, is_write) = (pdu.tag.request_id(), pdu.range, pdu.write);
+        let reply = if pdu.write {
+            self.handle_write(now, pdu)
         } else {
-            Ok(Some(self.handle_read(now, pdu)))
-        }
+            self.handle_read(now, pdu)
+        };
+        // The worker knows its finish time up front, so the span is
+        // recorded complete: arrival to ready_at is queue wait + service.
+        self.spans.record(
+            now,
+            reply.ready_at,
+            "aoe.server",
+            "aoe.server.request",
+            NO_SPAN,
+            || {
+                format!(
+                    "{} req {id} lba {} x{}",
+                    if is_write { "write" } else { "read" },
+                    range.lba.0,
+                    range.sectors
+                )
+            },
+        );
+        Ok(Some(reply))
     }
 
     fn handle_read(&mut self, now: SimTime, pdu: AoePdu) -> ServerReply {

@@ -162,7 +162,7 @@ fn bench_aoe(c: &mut Criterion) {
                 .expect("replies");
             let mut done = None;
             for f in &reply.frames {
-                if let Some(c) = client.on_frame(f) {
+                if let Some(c) = client.on_frame(SimTime::ZERO, f) {
                     done = Some(c);
                 }
             }

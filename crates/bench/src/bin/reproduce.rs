@@ -3,12 +3,20 @@
 //!
 //! ```text
 //! reproduce [--quick] [--metrics] [--jobs N] [--faults PLAN|all]
-//!           [fig04 fig05 ... | all]
+//!           [--trace-out DIR] [--trace-ring N] [fig04 fig05 ... | all]
 //! ```
 //!
 //! `--metrics` runs one instrumented deployment first and prints the
 //! observability report (per-phase timings, redirect/fill/discard/
 //! retransmit counters, FIFO depth, guest I/O latency percentiles).
+//!
+//! `--trace-out <dir>` runs one flight-recorded deployment and writes
+//! the trace artifacts into `<dir>`: `trace.json` (Perfetto-loadable),
+//! `timeline.json`, `report.json`, `report.txt`, `metrics.json`. With
+//! `--faults <plan>` the recorded run executes under that fault plan
+//! (`all` records the chaos plan). `--trace-ring N` sizes the
+//! trace-event ring (default 16384 for trace runs, 4096 for
+//! `--metrics`; evictions are reported).
 //!
 //! `--faults <plan>` adds the fault-injection scenario figures for the
 //! named preset (`drop`, `stall`, `chaos`, ... — or `all` for the whole
@@ -115,8 +123,12 @@ fn main() {
         .unwrap_or(1);
     let mut wanted: Vec<&str> = Vec::new();
     let mut faults_sel: Option<&str> = None;
+    let mut trace_out: Option<&str> = None;
+    let mut trace_ring: Option<usize> = None;
     let mut take_jobs = false;
     let mut take_faults = false;
+    let mut take_trace_out = false;
+    let mut take_trace_ring = false;
     for a in &args {
         if take_jobs {
             jobs = a.parse().expect("--jobs takes a positive integer");
@@ -124,25 +136,78 @@ fn main() {
         } else if take_faults {
             faults_sel = Some(a.as_str());
             take_faults = false;
+        } else if take_trace_out {
+            trace_out = Some(a.as_str());
+            take_trace_out = false;
+        } else if take_trace_ring {
+            trace_ring = Some(a.parse().expect("--trace-ring takes a positive integer"));
+            take_trace_ring = false;
         } else if a == "--jobs" {
             take_jobs = true;
         } else if a == "--faults" {
             take_faults = true;
+        } else if a == "--trace-out" {
+            take_trace_out = true;
+        } else if a == "--trace-ring" {
+            take_trace_ring = true;
         } else if let Some(n) = a.strip_prefix("--jobs=") {
             jobs = n.parse().expect("--jobs takes a positive integer");
         } else if let Some(p) = a.strip_prefix("--faults=") {
             faults_sel = Some(p);
+        } else if let Some(p) = a.strip_prefix("--trace-out=") {
+            trace_out = Some(p);
+        } else if let Some(n) = a.strip_prefix("--trace-ring=") {
+            trace_ring = Some(n.parse().expect("--trace-ring takes a positive integer"));
         } else if !a.starts_with("--") {
             wanted.push(a.as_str());
         }
     }
     assert!(jobs >= 1, "--jobs takes a positive integer");
     assert!(!take_faults, "--faults takes a plan name or 'all'");
+    assert!(!take_trace_out, "--trace-out takes a directory path");
+    assert!(!take_trace_ring, "--trace-ring takes a positive integer");
+    assert!(trace_ring != Some(0), "--trace-ring takes a positive integer");
 
     if args.iter().any(|a| a == "--metrics") {
         eprintln!("[reproduce] running instrumented deployment at {scale:?} scale ...");
-        print!("{}", telemetry::report(scale));
-        if wanted.is_empty() {
+        print!("{}", telemetry::report(scale, trace_ring.unwrap_or(4096)));
+        if wanted.is_empty() && trace_out.is_none() {
+            return;
+        }
+    }
+
+    if let Some(dir) = trace_out {
+        // `--faults all` exercises the whole matrix below; record the
+        // chaos plan, the superset, in the trace.
+        let preset = faults_sel.map(|s| if s == "all" { "chaos" } else { s });
+        let mut rec = bmcast::deploy::FlightRecorderConfig::default();
+        if let Some(n) = trace_ring {
+            rec.trace_ring = n;
+        }
+        eprintln!(
+            "[reproduce] recording flight-recorded deployment at {scale:?} scale{} ...",
+            preset.map(|p| format!(" under {p} faults")).unwrap_or_default()
+        );
+        match flight::write_artifacts(scale, std::path::Path::new(dir), rec, preset) {
+            Ok(s) => {
+                eprintln!(
+                    "[reproduce] bare metal at {}; wrote {} spans, {} timeline rows to {dir}/",
+                    s.bare_metal_at, s.spans, s.rows
+                );
+                if s.trace_dropped > 0 {
+                    eprintln!(
+                        "[reproduce] warning: {} trace events evicted from the ring; \
+                         raise --trace-ring to keep them",
+                        s.trace_dropped
+                    );
+                }
+            }
+            Err(e) => {
+                eprintln!("[reproduce] failed to write trace artifacts to {dir}: {e}");
+                std::process::exit(1);
+            }
+        }
+        if wanted.is_empty() && faults_sel.is_none() {
             return;
         }
     }

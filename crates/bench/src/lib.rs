@@ -23,6 +23,7 @@ pub mod fig11_storage_lat;
 pub mod fig12_ib_tput;
 pub mod fig13_ib_lat;
 pub mod fig14_moderation;
+pub mod flight;
 pub mod telemetry;
 
 use std::fmt;

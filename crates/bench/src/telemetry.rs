@@ -14,7 +14,9 @@ use hwsim::block::Lba;
 use simkit::{SimDuration, SimTime};
 
 /// Runs one instrumented deployment and renders the telemetry report.
-pub fn report(scale: Scale) -> String {
+/// The trace ring holds `trace_ring` events (`reproduce --trace-ring`);
+/// evictions are reported and produce a warning line.
+pub fn report(scale: Scale, trace_ring: usize) -> String {
     let spec = match scale {
         Scale::Paper => MachineSpec::default(),
         Scale::Quick => MachineSpec {
@@ -30,7 +32,7 @@ pub fn report(scale: Scale) -> String {
         fabric_loss_rate: 0.002,
         ..BmcastConfig::default()
     };
-    let mut runner = Runner::bmcast_instrumented(&spec, cfg);
+    let mut runner = Runner::bmcast_instrumented_with_ring(&spec, cfg, trace_ring);
 
     // Guest reads ahead of the background copy force copy-on-read
     // redirects; the copier then discards the now guest-owned blocks.
@@ -99,6 +101,14 @@ pub fn report(scale: Scale) -> String {
     for ev in &events[events.len() - tail..] {
         let _ = writeln!(out, "  {ev}");
     }
+    if runner.tracer().dropped() > 0 {
+        let _ = writeln!(
+            out,
+            "warning: {} trace events were evicted from the ring; \
+             re-run with a larger ring (reproduce --trace-ring) to keep them",
+            runner.tracer().dropped()
+        );
+    }
     out
 }
 
@@ -108,11 +118,14 @@ mod tests {
 
     #[test]
     fn quick_report_carries_signal() {
-        let s = report(Scale::Quick);
+        let s = report(Scale::Quick, 4096);
         assert!(s.contains("phase timings"), "{s}");
         assert!(s.contains("deployment"), "{s}");
         assert!(s.contains("machine.redirected_ios"), "{s}");
         assert!(s.contains("bg.fills"), "{s}");
         assert!(s.contains("phase.bare_metal"), "{s}");
+        // The tracer's own accounting is mirrored into the snapshot.
+        assert!(s.contains("trace.emitted"), "{s}");
+        assert!(s.contains("trace.dropped"), "{s}");
     }
 }

@@ -13,8 +13,8 @@
 
 use crate::bitmap::BlockBitmap;
 use hwsim::block::{BlockRange, Lba, SectorBuf};
-use simkit::{Metrics, SimDuration, SimTime};
-use std::collections::VecDeque;
+use simkit::{Metrics, SimDuration, SimTime, SpanId, Spans, NO_SPAN};
+use std::collections::{BTreeMap, VecDeque};
 
 /// First retriever back-off step after a fetch failure.
 const FETCH_BACKOFF_BASE: SimDuration = SimDuration::from_millis(10);
@@ -68,6 +68,9 @@ pub struct BackgroundCopy {
     blocks_discarded: u64,
     bytes_fetched: u64,
     metrics: Metrics,
+    spans: Spans,
+    /// Open `bg.fetch` span per in-flight fetch, keyed by start LBA.
+    fetch_spans: BTreeMap<u64, SpanId>,
 }
 
 impl BackgroundCopy {
@@ -102,6 +105,8 @@ impl BackgroundCopy {
             blocks_discarded: 0,
             bytes_fetched: 0,
             metrics: Metrics::disabled(),
+            spans: Spans::disabled(),
+            fetch_spans: BTreeMap::new(),
         }
     }
 
@@ -109,6 +114,49 @@ impl BackgroundCopy {
     /// depth gauges land there.
     pub fn set_telemetry(&mut self, metrics: Metrics) {
         self.metrics = metrics;
+    }
+
+    /// Attaches a flight-recorder span handle; every in-flight fetch gets
+    /// a `bg.fetch` span on the `background` track (ended on delivery or
+    /// final failure via the `*_at` variants).
+    pub fn set_spans(&mut self, spans: Spans) {
+        self.spans = spans;
+    }
+
+    /// [`BackgroundCopy::next_fetch`] plus flight-recorder bookkeeping:
+    /// a chosen block opens a `bg.fetch` span at `now`.
+    pub fn next_fetch_at(&mut self, now: SimTime, bitmap: &BlockBitmap) -> Option<BlockRange> {
+        let range = self.next_fetch(bitmap)?;
+        if self.spans.is_enabled() {
+            let id = self.spans.begin(now, "background", "bg.fetch", NO_SPAN, || {
+                format!("fetch lba {} x{}", range.lba.0, range.sectors)
+            });
+            self.fetch_spans.insert(range.lba.0, id);
+        }
+        Some(range)
+    }
+
+    /// [`BackgroundCopy::deliver`] plus flight-recorder bookkeeping: the
+    /// block's `bg.fetch` span ends at `now`.
+    pub fn deliver_at(&mut self, now: SimTime, block: FetchedBlock) {
+        if let Some(id) = self.fetch_spans.remove(&block.range.lba.0) {
+            self.spans.end(now, id);
+        }
+        self.deliver(block);
+    }
+
+    /// [`BackgroundCopy::fetch_failed`] plus flight-recorder bookkeeping:
+    /// the block's `bg.fetch` span ends at `now` and a `bg.fetch_failed`
+    /// instant marks the abandonment.
+    pub fn fetch_failed_at(&mut self, now: SimTime, range: BlockRange) {
+        if let Some(id) = self.fetch_spans.remove(&range.lba.0) {
+            self.spans
+                .instant(now, "background", "bg.fetch_failed", id, || {
+                    format!("lba {} x{}", range.lba.0, range.sectors)
+                });
+            self.spans.end(now, id);
+        }
+        self.fetch_failed(range);
     }
 
     /// Publishes the FIFO and pipeline depths as gauges.
@@ -142,6 +190,18 @@ impl BackgroundCopy {
     /// Requests in flight to the server.
     pub fn inflight(&self) -> usize {
         self.inflight
+    }
+
+    /// Blocks sitting in the retriever→writer FIFO.
+    pub fn fifo_depth(&self) -> usize {
+        self.fifo.len()
+    }
+
+    /// The open `bg.fetch` span for the in-flight fetch starting at
+    /// `lba`, so the AoE round-trip can nest under it ([`NO_SPAN`] when
+    /// none).
+    pub fn fetch_span(&self, lba: u64) -> SpanId {
+        self.fetch_spans.get(&lba).copied().unwrap_or(NO_SPAN)
     }
 
     /// Whether the retriever may issue another request: FIFO has room for

@@ -5,10 +5,11 @@
 use crate::config::BmcastConfig;
 use crate::devirt::Phase;
 use crate::machine::{
-    start_deployment, start_program, DeployError, GuestProgram, Machine, MachineSim, MachineSpec,
+    sample_flight_row, start_deployment, start_flight_sampler, start_program, DeployError,
+    GuestProgram, Machine, MachineSim, MachineSpec,
 };
 use hwsim::firmware::{BootPath, FirmwareModel};
-use simkit::{Metrics, MetricsSnapshot, SimDuration, SimTime, Tracer};
+use simkit::{Metrics, MetricsSnapshot, Sampler, SimDuration, SimTime, Spans, Tracer};
 
 /// Size of the network-booted VMM payload (kernel + ramdisk).
 pub const VMM_PAYLOAD_BYTES: u64 = 16 << 20;
@@ -90,6 +91,36 @@ impl std::fmt::Display for PhaseTimings {
     }
 }
 
+/// Flight-recorder sizing: how much observability state a recorded run
+/// keeps, and how often the timeline sampler ticks.
+#[derive(Debug, Clone, Copy)]
+pub struct FlightRecorderConfig {
+    /// Trace-event ring capacity (events beyond this evict the oldest;
+    /// the eviction count is reported as `trace.dropped`).
+    pub trace_ring: usize,
+    /// Span ring capacity. Per-kind duration histograms stay exact even
+    /// when old spans are evicted.
+    pub span_capacity: usize,
+    /// Timeline sampler tick interval (virtual time).
+    pub sample_interval: SimDuration,
+}
+
+impl Default for FlightRecorderConfig {
+    fn default() -> FlightRecorderConfig {
+        FlightRecorderConfig {
+            trace_ring: 16384,
+            // Sized for a paper-scale deployment (~100k spans: 32k
+            // background fetches with nested AoE round-trips, server
+            // service spans, guest redirects), so early-run spans — the
+            // phase.initialization record, the guest's io.redirect
+            // hierarchies — are not evicted by the long background-copy
+            // tail. Rings preallocate lazily, so small runs pay nothing.
+            span_capacity: 1 << 18,
+            sample_interval: SimDuration::from_millis(250),
+        }
+    }
+}
+
 /// Owns a [`Machine`] and its simulator; the main entry point for
 /// examples, tests, and benches.
 pub struct Runner {
@@ -122,10 +153,43 @@ impl Runner {
     /// ([`Runner::enable_telemetry`] attaches mid-flight and misses
     /// whatever already happened.)
     pub fn bmcast_instrumented(spec: &MachineSpec, cfg: BmcastConfig) -> Runner {
+        Runner::bmcast_instrumented_with_ring(spec, cfg, 4096)
+    }
+
+    /// [`Runner::bmcast_instrumented`] with an explicit trace-event ring
+    /// capacity (the `reproduce --trace-ring` knob).
+    pub fn bmcast_instrumented_with_ring(
+        spec: &MachineSpec,
+        cfg: BmcastConfig,
+        trace_ring: usize,
+    ) -> Runner {
         let mut machine = Machine::bmcast(spec, cfg);
-        machine.set_telemetry(Metrics::enabled(), Tracer::enabled(4096));
+        machine.set_telemetry(Metrics::enabled(), Tracer::enabled(trace_ring));
         let mut sim = MachineSim::new();
         start_deployment(&mut machine, &mut sim);
+        Runner { machine, sim }
+    }
+
+    /// Like [`Runner::bmcast_instrumented`] with the full flight
+    /// recorder on top: hierarchical spans wired through the mediators,
+    /// background copy, AoE endpoints and de-virtualization sequencer,
+    /// plus the periodic timeline sampler. Everything attaches *before*
+    /// deployment is armed, so the first row and the
+    /// `phase.initialization` span cover the whole run.
+    pub fn bmcast_flight_recorded(
+        spec: &MachineSpec,
+        cfg: BmcastConfig,
+        rec: FlightRecorderConfig,
+    ) -> Runner {
+        let mut machine = Machine::bmcast(spec, cfg);
+        machine.set_telemetry(Metrics::enabled(), Tracer::enabled(rec.trace_ring));
+        machine.set_flight_recorder(
+            Spans::enabled(rec.span_capacity),
+            Sampler::enabled(rec.sample_interval),
+        );
+        let mut sim = MachineSim::new();
+        start_deployment(&mut machine, &mut sim);
+        start_flight_sampler(&mut machine, &mut sim);
         Runner { machine, sim }
     }
 
@@ -163,8 +227,19 @@ impl Runner {
     }
 
     /// A point-in-time snapshot of every metric (`None` if telemetry is
-    /// off).
+    /// off). The tracer's own accounting is mirrored into the snapshot as
+    /// `trace.emitted` / `trace.dropped` gauges, so ring overflow is
+    /// visible from metrics alone.
     pub fn metrics_snapshot(&self) -> Option<MetricsSnapshot> {
+        if self.machine.tracer.is_enabled() {
+            let t = &self.machine.tracer;
+            self.machine
+                .metrics
+                .gauge_set("trace.emitted", t.emitted() as i64);
+            self.machine
+                .metrics
+                .gauge_set("trace.dropped", t.dropped() as i64);
+        }
         self.machine.metrics.snapshot()
     }
 
@@ -172,6 +247,25 @@ impl Runner {
     /// [`Runner::enable_telemetry`] ran).
     pub fn tracer(&self) -> &Tracer {
         &self.machine.tracer
+    }
+
+    /// The machine's span store (disabled unless the runner was built
+    /// with [`Runner::bmcast_flight_recorded`]).
+    pub fn spans(&self) -> &Spans {
+        &self.machine.spans
+    }
+
+    /// The machine's timeline sampler (disabled unless the runner was
+    /// built with [`Runner::bmcast_flight_recorded`]).
+    pub fn sampler(&self) -> &Sampler {
+        &self.machine.sampler
+    }
+
+    /// Records one final timeline row at the current virtual time, so an
+    /// exported timeline ends at the terminal state (100% bitmap fill on
+    /// a completed deployment). No-op when the sampler is disabled.
+    pub fn record_final_sample(&mut self) {
+        sample_flight_row(&self.machine, self.sim.now());
     }
 
     /// Per-phase wall-clock timings, populated as the lifecycle advances.

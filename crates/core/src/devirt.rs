@@ -10,7 +10,7 @@
 //! executed. From that instant no guest access can exit: bare metal.
 
 use hwsim::vtx::VtxCpu;
-use simkit::SimDuration;
+use simkit::{SimDuration, SimTime, Spans, NO_SPAN};
 
 /// Where the machine is in its lifecycle.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -59,6 +59,7 @@ impl std::fmt::Display for Phase {
 pub struct DevirtSequencer {
     done: Vec<bool>,
     total_cost: SimDuration,
+    spans: Spans,
 }
 
 impl DevirtSequencer {
@@ -72,7 +73,43 @@ impl DevirtSequencer {
         DevirtSequencer {
             done: vec![false; cpus],
             total_cost: SimDuration::ZERO,
+            spans: Spans::disabled(),
         }
+    }
+
+    /// Attaches a flight-recorder span handle; per-CPU teardown spans on
+    /// the `devirt` track land there (via the `*_at` variants).
+    pub fn set_spans(&mut self, spans: Spans) {
+        self.spans = spans;
+    }
+
+    /// [`DevirtSequencer::devirtualize_cpu`] plus flight-recorder
+    /// bookkeeping: the teardown cost becomes a complete `devirt.cpu`
+    /// span starting at `now`.
+    pub fn devirtualize_cpu_at(
+        &mut self,
+        now: SimTime,
+        index: usize,
+        cpu: &mut VtxCpu,
+    ) -> SimDuration {
+        let cost = self.devirtualize_cpu(index, cpu);
+        if cost > SimDuration::ZERO {
+            self.spans
+                .record(now, now + cost, "devirt", "devirt.cpu", NO_SPAN, || {
+                    format!("cpu {index} vmxoff")
+                });
+        }
+        cost
+    }
+
+    /// [`DevirtSequencer::mark_resident`] plus flight-recorder
+    /// bookkeeping: a `devirt.resident` instant marks the CPU.
+    pub fn mark_resident_at(&mut self, now: SimTime, index: usize) {
+        self.spans
+            .instant(now, "devirt", "devirt.resident", NO_SPAN, || {
+                format!("cpu {index} resident mode")
+            });
+        self.mark_resident(index);
     }
 
     /// De-virtualizes one CPU: EPT off, local TLB invalidation, trap

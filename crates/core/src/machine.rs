@@ -38,7 +38,9 @@ use hwsim::mem::{DmaBuffer, PhysAddr, PhysMem};
 use hwsim::pci::{Bdf, PciBus, PciClass, PciDevice};
 use hwsim::vtx::{ExitReason, VtxCpu};
 use simkit::fault::{FaultInjector, LinkVerdict, ServerHealth};
-use simkit::{Histogram, Metrics, Sim, SimDuration, SimTime, Tracer};
+use simkit::{
+    Histogram, Metrics, Sampler, Sim, SimDuration, SimTime, SpanId, Spans, Tracer, NO_SPAN,
+};
 use std::collections::HashMap;
 
 /// The simulator specialized to this world.
@@ -142,6 +144,12 @@ struct RedirectInFlight {
     fetched: Vec<(BlockRange, Vec<SectorData>)>,
     /// Set once the completion-polling penalty has been scheduled.
     finalizing: bool,
+    /// Parent `io.redirect` flight-recorder span.
+    span: SpanId,
+    /// Currently open child span (`redirect.fetch`, then
+    /// `redirect.finalize`); children are contiguous so their durations
+    /// sum to the parent's.
+    child: SpanId,
 }
 
 #[derive(Debug)]
@@ -209,10 +217,16 @@ pub struct Vmm {
     /// Terminal deployment failure, set when the failure budget trips.
     deploy_error: Option<DeployError>,
     devirt_requested: bool,
+    /// Set when the deployment phase started.
+    pub deployment_start_at: Option<SimTime>,
     /// Set when deployment finished, for reporting.
     pub deployment_done_at: Option<SimTime>,
     /// Set when de-virtualization finished.
     pub bare_metal_at: Option<SimTime>,
+    /// Open `io.redirect` parent span of the in-flight dummy restart.
+    redirect_span: SpanId,
+    /// Open `redirect.restart` child span of the in-flight dummy restart.
+    restart_span: SpanId,
 }
 
 /// A deployment failure the VMM surfaces instead of wedging (§graceful
@@ -399,6 +413,10 @@ pub struct Machine {
     pub metrics: Metrics,
     /// Shared trace handle (disabled unless telemetry is attached).
     pub tracer: Tracer,
+    /// Shared flight-recorder span handle (disabled unless attached).
+    pub spans: Spans,
+    /// Shared timeline sampler (disabled unless attached).
+    pub sampler: Sampler,
 }
 
 /// Build-time description of a machine.
@@ -458,6 +476,8 @@ impl Machine {
             faults: None,
             metrics: Metrics::disabled(),
             tracer: Tracer::disabled(),
+            spans: Spans::disabled(),
+            sampler: Sampler::disabled(),
         }
     }
 
@@ -572,8 +592,11 @@ impl Machine {
             consecutive_failures: 0,
             deploy_error: None,
             devirt_requested: false,
+            deployment_start_at: None,
             deployment_done_at: None,
             bare_metal_at: None,
+            redirect_span: NO_SPAN,
+            restart_span: NO_SPAN,
             cfg,
         };
 
@@ -597,6 +620,8 @@ impl Machine {
             faults,
             metrics: Metrics::disabled(),
             tracer: Tracer::disabled(),
+            spans: Spans::disabled(),
+            sampler: Sampler::disabled(),
         }
     }
 
@@ -619,6 +644,26 @@ impl Machine {
         }
         self.metrics = metrics;
         self.tracer = tracer;
+    }
+
+    /// Attaches the flight recorder: hierarchical spans to every
+    /// span-emitting component (mediators, background copy, AoE
+    /// endpoints, de-virtualization sequencer) and the timeline sampler
+    /// to the machine. All clones share one store, so the exporters see
+    /// the whole deployment.
+    pub fn set_flight_recorder(&mut self, spans: Spans, sampler: Sampler) {
+        if let Some(vmm) = self.vmm.as_mut() {
+            vmm.ide_med.set_spans(spans.clone());
+            vmm.ahci_med.set_spans(spans.clone());
+            vmm.bg.set_spans(spans.clone());
+            vmm.client.set_spans(spans.clone());
+            vmm.devirt.set_spans(spans.clone());
+        }
+        if let Some(net) = self.net.as_mut() {
+            net.server.set_spans(spans.clone());
+        }
+        self.spans = spans;
+        self.sampler = sampler;
     }
 
     /// Installs the guest program (clearing any previous program's
@@ -680,6 +725,9 @@ struct MachineBus<'a> {
     hw: &'a mut Hardware,
     vmm: &'a mut Option<Vmm>,
     events: &'a mut Vec<HwEvent>,
+    /// Sim clock at bus construction, handed to the mediators so their
+    /// spans carry real timestamps.
+    now: SimTime,
 }
 
 impl MachineBus<'_> {
@@ -713,6 +761,7 @@ impl GuestBus for MachineBus<'_> {
         if self.interposing() && self.hw.cpus[0].exits_on_pio(port) {
             self.hw.cpus[0].charge_exit(ExitReason::PioWrite(port));
             let vmm = self.vmm.as_mut().expect("interposing implies vmm");
+            vmm.ide_med.note_now(self.now);
             match vmm.ide_med.on_guest_write(reg, val, &mut vmm.bitmap) {
                 PioVerdict::Forward => {
                     if let Some(IdeAction::CommandReady) = self.hw.ide.write_reg(reg, val) {
@@ -757,6 +806,7 @@ impl GuestBus for MachineBus<'_> {
         if self.interposing() && self.hw.cpus[0].exits_on_mmio(addr) {
             self.hw.cpus[0].charge_exit(ExitReason::MmioWrite(addr));
             let vmm = self.vmm.as_mut().expect("interposing implies vmm");
+            vmm.ahci_med.note_now(self.now);
             let verdict = vmm
                 .ahci_med
                 .on_guest_write(offset, val, &self.hw.mem, &mut vmm.bitmap);
@@ -819,6 +869,7 @@ pub fn submit_guest_io(m: &mut Machine, sim: &mut MachineSim, req: IoRequest) {
             hw: &mut m.hw,
             vmm: &mut m.vmm,
             events: &mut events,
+            now: sim.now(),
         };
         match &mut m.guest.driver {
             GuestDriver::Ide(d) => d.submit(req, &mut bus),
@@ -842,6 +893,7 @@ pub fn init_guest_driver(m: &mut Machine, sim: &mut MachineSim) {
             hw: &mut m.hw,
             vmm: &mut m.vmm,
             events: &mut events,
+            now: sim.now(),
         };
         if let GuestDriver::Ahci(d) = &mut m.guest.driver {
             d.init(&mut bus);
@@ -924,6 +976,15 @@ fn start_ahci_media(m: &mut Machine, sim: &mut MachineSim, slot: u8, origin: Ori
 }
 
 fn finish_media(m: &mut Machine, sim: &mut MachineSim, origin: Origin) {
+    if origin == Origin::RedirectRestart {
+        // The dummy restart completed: close the restart child and the
+        // redirect parent together.
+        if let Some(vmm) = m.vmm.as_mut() {
+            let now = sim.now();
+            m.spans.end(now, std::mem::take(&mut vmm.restart_span));
+            m.spans.end(now, std::mem::take(&mut vmm.redirect_span));
+        }
+    }
     match origin {
         Origin::Guest | Origin::RedirectRestart => {
             // §4.3 resident mode: VMX stays on after deployment (EPT and
@@ -968,6 +1029,7 @@ fn deliver_guest_irq(m: &mut Machine, sim: &mut MachineSim) {
             hw: &mut m.hw,
             vmm: &mut m.vmm,
             events: &mut events,
+            now: sim.now(),
         };
         match &mut m.guest.driver {
             GuestDriver::Ide(d) => d.on_irq(&mut bus),
@@ -1088,6 +1150,15 @@ fn begin_redirect(
             if protected { " (protected)" } else { "" }
         )
     });
+    // Parent span for the whole copy-on-read lifecycle, with the first
+    // of its contiguous children (fetch → finalize → restart) open.
+    let now = sim.now();
+    let span = m.spans.begin(now, "machine", "io.redirect", NO_SPAN, || {
+        format!("lba {} x{}{}", range.lba.0, range.sectors, if protected { " protected" } else { "" })
+    });
+    let child = m.spans.begin(now, "machine", "redirect.fetch", span, || {
+        "server fetch + local reads".into()
+    });
     let vmm = m.vmm.as_mut().expect("redirect without vmm");
     vmm.cpu_time += VMM_OP_CPU;
     assert!(
@@ -1102,6 +1173,8 @@ fn begin_redirect(
             collected: vec![(range, vec![SectorData(0xD077); range.sectors as usize])],
             fetched: Vec::new(),
             finalizing: false,
+            span,
+            child,
         });
         sim.schedule_in(SimDuration::from_micros(50), |m: &mut Machine, sim| {
             try_finish_redirect(m, sim);
@@ -1131,13 +1204,16 @@ fn begin_redirect(
         collected: Vec::new(),
         fetched: Vec::new(),
         finalizing: false,
+        span,
+        child,
     });
 
-    // Fetch empty sectors from the server.
+    // Fetch empty sectors from the server; each AoE round-trip span
+    // nests under the redirect's fetch child.
     let mut frames = Vec::new();
     for hole in holes {
         let vmm = m.vmm.as_mut().expect("just had it");
-        let (id, fs) = vmm.client.read(sim.now(), hole);
+        let (id, fs) = vmm.client.read_traced(sim.now(), hole, child);
         vmm.aoe_waiters.insert(id, AoeWaiter::Redirect(hole));
         frames.extend(fs);
     }
@@ -1172,6 +1248,13 @@ fn try_finish_redirect(m: &mut Machine, sim: &mut MachineSim) {
         return;
     }
     r.finalizing = true;
+    // Fetch child ends; the finalize child (completion-poll penalty +
+    // virtual DMA) starts back-to-back so children stay contiguous.
+    let now = sim.now();
+    m.spans.end(now, r.child);
+    r.child = m.spans.begin(now, "machine", "redirect.finalize", r.span, || {
+        "completion poll + virtual DMA".into()
+    });
     let penalty = vmm.cfg.redirect_poll_penalty;
     sim.schedule_in(penalty, finish_redirect_now);
 }
@@ -1180,6 +1263,20 @@ fn finish_redirect_now(m: &mut Machine, sim: &mut MachineSim) {
     let Some(vmm) = m.vmm.as_mut() else { return };
     let mut r = vmm.redirect.take().expect("finalizing redirect vanished");
     vmm.cpu_time += VMM_OP_CPU;
+
+    // Finalize child ends; the restart child runs until the dummy read's
+    // completion interrupt (ended in `finish_media`). A stale span pair
+    // (restart outpaced by the next redirect) is closed here rather than
+    // leaked open.
+    let now = sim.now();
+    m.spans.end(now, r.child);
+    r.child = m.spans.begin(now, "machine", "redirect.restart", r.span, || {
+        "dummy restart to completion irq".into()
+    });
+    let stale_restart = std::mem::replace(&mut vmm.restart_span, r.child);
+    let stale_parent = std::mem::replace(&mut vmm.redirect_span, r.span);
+    m.spans.end(now, stale_restart);
+    m.spans.end(now, stale_parent);
 
     // Assemble the data in LBA order.
     r.collected.sort_by_key(|(range, _)| range.lba);
@@ -1224,6 +1321,7 @@ fn finish_redirect_now(m: &mut Machine, sim: &mut MachineSim) {
                 }
             }
             let vmm = m.vmm.as_mut().expect("still here");
+            vmm.ide_med.note_now(now);
             let queued = vmm.ide_med.finish_redirect();
             let dummy = IdeMediator::dummy_restart(vmm.dummy_prd);
             m.hw.ide.inject_command(dummy);
@@ -1248,6 +1346,7 @@ fn finish_redirect_now(m: &mut Machine, sim: &mut MachineSim) {
             let dummy_buf = vmm.dummy_buf;
             AhciMediator::rewrite_for_dummy(&mut m.hw.mem, table, dummy_buf);
             let vmm = m.vmm.as_mut().expect("still here");
+            vmm.ahci_med.note_now(now);
             vmm.ahci_med.release_held(slot);
             // Issue the guest's own slot: the device raises the interrupt.
             if let Some(hwsim::ahci::AhciAction::SlotsIssued { slots, .. }) = m
@@ -1273,6 +1372,7 @@ fn replay_ide_writes(m: &mut Machine, sim: &mut MachineSim, queued: Vec<(IdeReg,
             hw: &mut m.hw,
             vmm: &mut m.vmm,
             events: &mut events,
+            now: sim.now(),
         };
         for (reg, val) in queued {
             bus.pio_write(reg.port(), val);
@@ -1419,7 +1519,7 @@ fn vmm_poll(m: &mut Machine, sim: &mut MachineSim) {
         m.stats.frames_rx += 1;
         m.metrics.inc("machine.frames_rx");
         vmm.cpu_time += SimDuration::from_micros(3);
-        if let Some(done) = vmm.client.on_frame(&p) {
+        if let Some(done) = vmm.client.on_frame(sim.now(), &p) {
             completions.push(done);
         }
     }
@@ -1438,10 +1538,13 @@ fn vmm_poll(m: &mut Machine, sim: &mut MachineSim) {
             }
             Some(AoeWaiter::Background(_)) => {
                 vmm.bg.note_fetch_success();
-                vmm.bg.deliver(FetchedBlock {
-                    range: done.range,
-                    data: done.data.into(),
-                });
+                vmm.bg.deliver_at(
+                    sim.now(),
+                    FetchedBlock {
+                        range: done.range,
+                        data: done.data.into(),
+                    },
+                );
                 kick_writer(m, sim);
                 retriever_fire(m, sim);
             }
@@ -1473,7 +1576,7 @@ fn schedule_retransmit_guard(m: &mut Machine, sim: &mut MachineSim) {
                 Some(AoeWaiter::Background(range)) => {
                     // Make the block requestable again; the retriever will
                     // reissue it after its back-off window.
-                    vmm.bg.fetch_failed(range);
+                    vmm.bg.fetch_failed_at(sim.now(), range);
                     vmm.bg.note_fetch_failure(sim.now());
                 }
                 Some(AoeWaiter::Redirect(range)) => {
@@ -1515,13 +1618,102 @@ fn schedule_retransmit_guard(m: &mut Machine, sim: &mut MachineSim) {
 pub fn start_deployment(m: &mut Machine, sim: &mut MachineSim) {
     if let Some(vmm) = m.vmm.as_mut() {
         vmm.phase = Phase::Deployment;
+        vmm.deployment_start_at = Some(sim.now());
         m.tracer
             .emit(sim.now(), "phase", "deployment", || "background copy starts".into());
+        // Phase spans are contiguous — initialization [0, dep_start],
+        // deployment [dep_start, dep_done], devirtualization [dep_done,
+        // bare_metal] — so their durations sum exactly to the total.
+        m.spans
+            .record(SimTime::ZERO, sim.now(), "phase", "phase.initialization", NO_SPAN, || {
+                "VMM boot + takeover".into()
+            });
         // Warm the dummy sector so restarts hit the disk cache.
         let dummy = BlockRange::new(crate::mediator::ide::DUMMY_LBA, 1);
         m.hw.disk.access_time(DiskOp::Read, dummy);
     }
     retriever_fire(m, sim);
+}
+
+// ------------------------- timeline sampler ---------------------------
+
+/// Records one flight-recorder timeline row: bitmap fill, copy-on-read
+/// hit ratio, background FIFO/in-flight depths, moderation state, fault
+/// counters, and a fill-rate ETA derived from the previous row. A no-op
+/// when the sampler is disabled or the machine has no VMM.
+pub fn sample_flight_row(m: &Machine, now: SimTime) {
+    if !m.sampler.is_enabled() {
+        return;
+    }
+    let Some(vmm) = m.vmm.as_ref() else { return };
+    let fill_pct = vmm.bitmap.progress() * 100.0;
+    let total_ios = m.stats.local_ios + m.stats.redirected_ios;
+    let hit_ratio = if total_ios == 0 {
+        1.0
+    } else {
+        m.stats.local_ios as f64 / total_ios as f64
+    };
+    // ETA until 100% fill, extrapolated from the fill rate since the
+    // previous row; -1 when no rate is observable yet.
+    let eta_s = match (m.sampler.last_at(), m.sampler.last_value("bitmap.fill_pct")) {
+        (Some(prev_at), Some(prev_pct)) if now > prev_at && fill_pct > prev_pct => {
+            let rate = (fill_pct - prev_pct) / (now - prev_at).as_secs_f64();
+            (100.0 - fill_pct) / rate
+        }
+        _ => -1.0,
+    };
+    let throttle_wait_s = vmm
+        .writer_next_allowed
+        .saturating_duration_since(now)
+        .as_secs_f64();
+    let fc = m.faults.as_ref().map(|f| f.counters()).unwrap_or_default();
+    let faults_total = fc.link_dropped
+        + fc.link_duplicated
+        + fc.link_reordered
+        + fc.link_corrupted
+        + fc.server_dropped
+        + fc.server_restarts
+        + fc.disk_slowed
+        + fc.disk_write_faults;
+    m.sampler.record_row(
+        now,
+        vec![
+            ("bitmap.fill_pct", fill_pct),
+            ("deploy.eta_s", eta_s),
+            ("cor.hit_ratio", hit_ratio),
+            ("bg.fifo_depth", vmm.bg.fifo_depth() as f64),
+            ("bg.inflight", vmm.bg.inflight() as f64),
+            ("aoe.outstanding", vmm.client.outstanding() as f64),
+            ("moderation.guest_io_rate", vmm.bg.guest_io_rate(now)),
+            ("moderation.throttle_wait_s", throttle_wait_s),
+            ("nic.rx_pending", vmm.nic.nic().rx_pending() as f64),
+            ("faults.frames_dropped", (fc.link_dropped + fc.server_dropped) as f64),
+            ("faults.total", faults_total as f64),
+        ],
+    );
+}
+
+/// Starts the periodic timeline tick: one row now, then one per sampler
+/// interval while the VMM is active. The runner records a final row once
+/// the run ends so the timeline closes at the terminal state (100% fill
+/// on successful deployments).
+pub fn start_flight_sampler(m: &mut Machine, sim: &mut MachineSim) {
+    if !m.sampler.is_enabled() || m.vmm.is_none() {
+        return;
+    }
+    sample_flight_row(m, sim.now());
+    let interval = m.sampler.interval();
+    sim.schedule_in(interval, flight_sampler_tick);
+}
+
+fn flight_sampler_tick(m: &mut Machine, sim: &mut MachineSim) {
+    let Some(vmm) = m.vmm.as_ref() else { return };
+    if !vmm.is_active() || vmm.deploy_error.is_some() {
+        return;
+    }
+    sample_flight_row(m, sim.now());
+    let interval = m.sampler.interval();
+    sim.schedule_in(interval, flight_sampler_tick);
 }
 
 fn retriever_fire(m: &mut Machine, sim: &mut MachineSim) {
@@ -1539,9 +1731,11 @@ fn retriever_fire(m: &mut Machine, sim: &mut MachineSim) {
         return;
     }
     let mut frames = Vec::new();
-    while let Some(range) = vmm.bg.next_fetch(&vmm.bitmap) {
+    while let Some(range) = vmm.bg.next_fetch_at(sim.now(), &vmm.bitmap) {
         vmm.cpu_time += VMM_OP_CPU;
-        let (id, fs) = vmm.client.read(sim.now(), range);
+        // The AoE round-trip span nests under the block's bg.fetch span.
+        let parent = vmm.bg.fetch_span(range.lba.0);
+        let (id, fs) = vmm.client.read_traced(sim.now(), range, parent);
         vmm.aoe_waiters.insert(id, AoeWaiter::Background(range));
         frames.extend(fs);
     }
@@ -1603,8 +1797,14 @@ fn writer_fire(m: &mut Machine, sim: &mut MachineSim) {
     };
     vmm.cpu_time += VMM_OP_CPU;
     match m.guest.driver {
-        GuestDriver::Ide(_) => vmm.ide_med.begin_multiplex(),
-        GuestDriver::Ahci(_) => vmm.ahci_med.begin_multiplex(31),
+        GuestDriver::Ide(_) => {
+            vmm.ide_med.note_now(sim.now());
+            vmm.ide_med.begin_multiplex();
+        }
+        GuestDriver::Ahci(_) => {
+            vmm.ahci_med.note_now(sim.now());
+            vmm.ahci_med.begin_multiplex(31);
+        }
     }
     vmm.multiplex = Some(MultiplexInFlight {
         pieces,
@@ -1706,10 +1906,12 @@ fn finish_multiplex(m: &mut Machine, sim: &mut MachineSim) {
     vmm.multiplex = None;
     match m.guest.driver {
         GuestDriver::Ide(_) => {
+            vmm.ide_med.note_now(sim.now());
             let queued = vmm.ide_med.finish_multiplex();
             replay_ide_writes(m, sim, queued);
         }
         GuestDriver::Ahci(_) => {
+            vmm.ahci_med.note_now(sim.now());
             let queued_ci = vmm.ahci_med.finish_multiplex();
             let queued_mmio = vmm.ahci_med.take_queued_mmio();
             // Clear the VMM's slot header in whichever list carried it.
@@ -1725,6 +1927,7 @@ fn finish_multiplex(m: &mut Machine, sim: &mut MachineSim) {
                         hw: &mut m.hw,
                         vmm: &mut m.vmm,
                         events: &mut events,
+                        now: sim.now(),
                     };
                     for (offset, val) in queued_mmio {
                         bus.mmio_write(ABAR + offset, val);
@@ -1773,6 +1976,11 @@ fn maybe_begin_devirt(m: &mut Machine, sim: &mut MachineSim) {
     }
     vmm.devirt_requested = true;
     vmm.deployment_done_at = Some(sim.now());
+    let dep_start = vmm.deployment_start_at.unwrap_or(SimTime::ZERO);
+    m.spans
+        .record(dep_start, sim.now(), "phase", "phase.deployment", NO_SPAN, || {
+            "copy-on-read + background copy".into()
+        });
     m.tracer.emit(sim.now(), "phase", "deployment_done", || {
         "bitmap complete, requesting de-virtualization".into()
     });
@@ -1804,7 +2012,7 @@ fn begin_devirt(m: &mut Machine, sim: &mut MachineSim) {
         sim.schedule_in(jitter, move |m: &mut Machine, sim| {
             let Some(vmm) = m.vmm.as_mut() else { return };
             if vmxoff {
-                vmm.devirt.devirtualize_cpu(i, &mut m.hw.cpus[i]);
+                vmm.devirt.devirtualize_cpu_at(sim.now(), i, &mut m.hw.cpus[i]);
             } else {
                 // Resident mode (§4.3/§6): nested paging and all traps go,
                 // but the VMM stays in VMX root to keep the management NIC
@@ -1813,11 +2021,20 @@ fn begin_devirt(m: &mut Machine, sim: &mut MachineSim) {
                 m.hw.cpus[i].disable_ept();
                 m.hw.cpus[i].clear_traps();
                 m.hw.cpus[i].set_preemption_timer(None);
-                vmm.devirt.mark_resident(i);
+                vmm.devirt.mark_resident_at(sim.now(), i);
             }
             if vmm.devirt.all_done() {
                 vmm.phase = Phase::BareMetal;
                 vmm.bare_metal_at = Some(sim.now());
+                let dep_done = vmm.deployment_done_at.unwrap_or(sim.now());
+                m.spans.record(
+                    dep_done,
+                    sim.now(),
+                    "phase",
+                    "phase.devirtualization",
+                    NO_SPAN,
+                    || "per-CPU EPT/trap teardown".into(),
+                );
                 if !vmxoff {
                     m.hw.pci.hide(MGMT_NIC_BDF);
                 }

@@ -18,7 +18,7 @@ use hwsim::ahci::{preg, AhciCmdList, AhciCmdTable, H2dFis, PORT_BASE, PORT_STRID
 use hwsim::block::BlockRange;
 use hwsim::ide::{AtaOp, PrdEntry, PrdTable};
 use hwsim::mem::{PhysAddr, PhysMem};
-use simkit::Metrics;
+use simkit::{Metrics, SimTime, SpanId, Spans, NO_SPAN};
 
 /// The mediator's decision for one guest MMIO access.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -70,6 +70,11 @@ pub struct AhciMediator {
     protected_region: Option<BlockRange>,
     stats: MediatorStats,
     metrics: Metrics,
+    spans: Spans,
+    /// Sim clock noted by the bus before each mediated access.
+    now: SimTime,
+    /// Open `io.hold` span while slots are held or a VMM slot runs.
+    hold_span: SpanId,
 }
 
 impl AhciMediator {
@@ -94,6 +99,18 @@ impl AhciMediator {
     /// Attaches a metrics handle; `mediator.ahci.*` counters land there.
     pub fn set_telemetry(&mut self, metrics: Metrics) {
         self.metrics = metrics;
+    }
+
+    /// Attaches a flight-recorder span handle; `io.*` spans on the
+    /// `mediator.ahci` track land there.
+    pub fn set_spans(&mut self, spans: Spans) {
+        self.spans = spans;
+    }
+
+    /// Notes the current sim time for span timestamps (see
+    /// [`crate::mediator::ide::IdeMediator::note_now`]).
+    pub fn note_now(&mut self, now: SimTime) {
+        self.now = now;
     }
 
     /// The shadowed command-list base, once interpreted.
@@ -184,6 +201,10 @@ impl AhciMediator {
             };
             self.stats.interpreted_commands += 1;
             self.metrics.inc("mediator.ahci.interpreted_commands");
+            self.spans
+                .instant(self.now, "mediator.ahci", "io.decode", NO_SPAN, || {
+                    format!("slot {slot} {:?} lba {} x{}", fis.op, fis.range.lba.0, fis.range.sectors)
+                });
             let protected = self.touches_protected(fis.range);
             let needs_redirect = match fis.op {
                 AtaOp::ReadDma => protected || bitmap.any_empty(fis.range),
@@ -199,6 +220,10 @@ impl AhciMediator {
                     self.metrics.inc("mediator.ahci.redirects");
                 }
                 self.held_slots |= 1 << slot;
+                self.spans
+                    .instant(self.now, "mediator.ahci", "io.interpret", NO_SPAN, || {
+                        format!("slot {slot} lba {} x{} -> redirect", fis.range.lba.0, fis.range.sectors)
+                    });
                 redirects.push(AhciRedirect {
                     slot,
                     table,
@@ -210,11 +235,18 @@ impl AhciMediator {
                 if fis.op == AtaOp::WriteDma {
                     bitmap.mark_filled(fis.range);
                 }
+                self.spans
+                    .instant(self.now, "mediator.ahci", "io.interpret", NO_SPAN, || {
+                        format!("slot {slot} lba {} x{} -> forward", fis.range.lba.0, fis.range.sectors)
+                    });
                 forward |= 1 << slot;
             }
         }
         if !redirects.is_empty() {
             self.mode = MediatorMode::Redirecting;
+            self.hold_span = self.spans.begin(self.now, "mediator.ahci", "io.hold", NO_SPAN, || {
+                format!("redirect hold slots {:#x}", self.held_slots)
+            });
         }
         MmioVerdict::Ci {
             forward_mask: forward,
@@ -294,6 +326,7 @@ impl AhciMediator {
         self.held_slots &= !(1 << slot);
         if self.held_slots == 0 && self.mode == MediatorMode::Redirecting {
             self.mode = MediatorMode::Normal;
+            self.spans.end(self.now, std::mem::take(&mut self.hold_span));
         }
     }
 
@@ -313,6 +346,9 @@ impl AhciMediator {
         self.vmm_slot = Some(slot);
         self.stats.multiplexes += 1;
         self.metrics.inc("mediator.ahci.multiplexes");
+        self.hold_span = self.spans.begin(self.now, "mediator.ahci", "io.hold", NO_SPAN, || {
+            format!("multiplex hold slot {slot}")
+        });
     }
 
     /// Leaves multiplexing mode; returns guest CI bits queued meanwhile
@@ -325,6 +361,7 @@ impl AhciMediator {
         assert_eq!(self.mode, MediatorMode::Multiplexing, "not multiplexing");
         self.mode = MediatorMode::Normal;
         self.vmm_slot = None;
+        self.spans.end(self.now, std::mem::take(&mut self.hold_span));
         std::mem::take(&mut self.queued_ci)
     }
 

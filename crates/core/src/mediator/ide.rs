@@ -10,7 +10,7 @@ use crate::mediator::{MediatorMode, MediatorStats};
 use hwsim::block::{BlockRange, Lba};
 use hwsim::ide::{status, AtaOp, IdeCommandBlock, IdeReg};
 use hwsim::mem::PhysAddr;
-use simkit::Metrics;
+use simkit::{Metrics, SimTime, SpanId, Spans, NO_SPAN};
 
 /// The mediator's decision for one guest PIO access.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -106,6 +106,12 @@ pub struct IdeMediator {
     protected_region: Option<BlockRange>,
     stats: MediatorStats,
     metrics: Metrics,
+    spans: Spans,
+    /// Sim clock noted by the bus before each mediated access; spans are
+    /// stamped with it so mediator entry points keep their signatures.
+    now: SimTime,
+    /// Open `io.hold` span while the device is held (redirect/multiplex).
+    hold_span: SpanId,
 }
 
 impl IdeMediator {
@@ -131,6 +137,19 @@ impl IdeMediator {
     /// Attaches a metrics handle; `mediator.ide.*` counters land there.
     pub fn set_telemetry(&mut self, metrics: Metrics) {
         self.metrics = metrics;
+    }
+
+    /// Attaches a flight-recorder span handle; `io.*` spans on the
+    /// `mediator.ide` track land there.
+    pub fn set_spans(&mut self, spans: Spans) {
+        self.spans = spans;
+    }
+
+    /// Notes the current sim time. The bus calls this before mediated
+    /// accesses so spans carry real timestamps without threading `now`
+    /// through every entry point.
+    pub fn note_now(&mut self, now: SimTime) {
+        self.now = now;
     }
 
     /// Decodes the shadow taskfile exactly as the device will.
@@ -185,8 +204,19 @@ impl IdeMediator {
                 self.metrics.inc("mediator.ide.redirects");
             }
             self.mode = MediatorMode::Redirecting;
+            self.spans
+                .instant(self.now, "mediator.ide", "io.interpret", NO_SPAN, || {
+                    format!("{:?} lba {} x{} -> redirect", cmd.op, cmd.range.lba.0, cmd.range.sectors)
+                });
+            self.hold_span = self.spans.begin(self.now, "mediator.ide", "io.hold", NO_SPAN, || {
+                format!("redirect hold lba {} x{}", cmd.range.lba.0, cmd.range.sectors)
+            });
             return PioVerdict::StartRedirect(IdeRedirect { cmd, protected });
         }
+        self.spans
+            .instant(self.now, "mediator.ide", "io.interpret", NO_SPAN, || {
+                format!("{:?} lba {} x{} -> forward", cmd.op, cmd.range.lba.0, cmd.range.sectors)
+            });
         // Pass-through. A guest write makes those sectors authoritative:
         // mark them filled so the background copy will never clobber them.
         if cmd.op == AtaOp::WriteDma {
@@ -220,6 +250,10 @@ impl IdeMediator {
                 if let Some(op) = AtaOp::from_byte(val as u8) {
                     self.stats.interpreted_commands += 1;
                     self.metrics.inc("mediator.ide.interpreted_commands");
+                    self.spans
+                        .instant(self.now, "mediator.ide", "io.decode", NO_SPAN, || {
+                            format!("cmd {:#04x} -> {op:?}", val as u8)
+                        });
                     let cmd = IdeCommandBlock {
                         op,
                         range: if op.is_dma() {
@@ -310,6 +344,9 @@ impl IdeMediator {
         self.mode = MediatorMode::Multiplexing;
         self.stats.multiplexes += 1;
         self.metrics.inc("mediator.ide.multiplexes");
+        self.hold_span = self.spans.begin(self.now, "mediator.ide", "io.hold", NO_SPAN, || {
+            "multiplex hold".into()
+        });
     }
 
     /// Leaves multiplexing mode, returning the queued guest accesses for
@@ -321,6 +358,7 @@ impl IdeMediator {
     pub fn finish_multiplex(&mut self) -> Vec<(IdeReg, u32)> {
         assert_eq!(self.mode, MediatorMode::Multiplexing, "not multiplexing");
         self.mode = MediatorMode::Normal;
+        self.spans.end(self.now, std::mem::take(&mut self.hold_span));
         std::mem::take(&mut self.queued)
     }
 
@@ -334,6 +372,7 @@ impl IdeMediator {
     pub fn finish_redirect(&mut self) -> Vec<(IdeReg, u32)> {
         assert_eq!(self.mode, MediatorMode::Redirecting, "not redirecting");
         self.mode = MediatorMode::Normal;
+        self.spans.end(self.now, std::mem::take(&mut self.hold_span));
         std::mem::take(&mut self.queued)
     }
 

@@ -19,7 +19,7 @@ use crate::mediator::{MediatorMode, MediatorStats};
 use hwsim::block::BlockRange;
 use hwsim::megasas::{reg, MfiFrame, MfiOp};
 use hwsim::mem::{PhysAddr, PhysMem};
-use simkit::Metrics;
+use simkit::{Metrics, SimTime, SpanId, Spans, NO_SPAN};
 
 /// Verdict on a guest MMIO access to the controller.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -53,6 +53,11 @@ pub struct MegasasMediator {
     vmm_frames: Vec<PhysAddr>,
     stats: MediatorStats,
     metrics: Metrics,
+    spans: Spans,
+    /// Sim clock noted by the bus before each mediated access.
+    now: SimTime,
+    /// Open `io.hold` span while a frame is held or a VMM frame runs.
+    hold_span: SpanId,
 }
 
 impl MegasasMediator {
@@ -74,6 +79,18 @@ impl MegasasMediator {
     /// Attaches a metrics handle; `mediator.megasas.*` counters land there.
     pub fn set_telemetry(&mut self, metrics: Metrics) {
         self.metrics = metrics;
+    }
+
+    /// Attaches a flight-recorder span handle; `io.*` spans on the
+    /// `mediator.megasas` track land there.
+    pub fn set_spans(&mut self, spans: Spans) {
+        self.spans = spans;
+    }
+
+    /// Notes the current sim time for span timestamps (see
+    /// [`crate::mediator::ide::IdeMediator::note_now`]).
+    pub fn note_now(&mut self, now: SimTime) {
+        self.now = now;
     }
 
     /// Processes a trapped guest MMIO write.
@@ -99,6 +116,10 @@ impl MegasasMediator {
         };
         self.stats.interpreted_commands += 1;
         self.metrics.inc("mediator.megasas.interpreted_commands");
+        self.spans
+            .instant(self.now, "mediator.megasas", "io.decode", NO_SPAN, || {
+                format!("frame {:#x} {:?} lba {} x{}", frame_addr.0, frame.op, frame.range.lba.0, frame.range.sectors)
+            });
         match frame.op {
             MfiOp::LdWrite => {
                 bitmap.mark_filled(frame.range);
@@ -108,6 +129,14 @@ impl MegasasMediator {
                 self.stats.redirects += 1;
                 self.metrics.inc("mediator.megasas.redirects");
                 self.mode = MediatorMode::Redirecting;
+                self.spans
+                    .instant(self.now, "mediator.megasas", "io.interpret", NO_SPAN, || {
+                        format!("lba {} x{} -> redirect", frame.range.lba.0, frame.range.sectors)
+                    });
+                self.hold_span =
+                    self.spans.begin(self.now, "mediator.megasas", "io.hold", NO_SPAN, || {
+                        format!("redirect hold frame {:#x}", frame_addr.0)
+                    });
                 MegasasVerdict::StartRedirect(MegasasRedirect {
                     frame: frame_addr,
                     range: frame.range,
@@ -157,6 +186,7 @@ impl MegasasMediator {
     pub fn finish_redirect(&mut self) -> Vec<PhysAddr> {
         assert_eq!(self.mode, MediatorMode::Redirecting, "not redirecting");
         self.mode = MediatorMode::Normal;
+        self.spans.end(self.now, std::mem::take(&mut self.hold_span));
         std::mem::take(&mut self.queued_posts)
     }
 
@@ -178,6 +208,9 @@ impl MegasasMediator {
         self.vmm_frames.push(vmm_frame);
         self.stats.multiplexes += 1;
         self.metrics.inc("mediator.megasas.multiplexes");
+        self.hold_span = self.spans.begin(self.now, "mediator.megasas", "io.hold", NO_SPAN, || {
+            format!("multiplex hold frame {:#x}", vmm_frame.0)
+        });
     }
 
     /// Leaves multiplexing, returning queued guest posts for replay.
@@ -188,6 +221,7 @@ impl MegasasMediator {
     pub fn finish_multiplex(&mut self) -> Vec<PhysAddr> {
         assert_eq!(self.mode, MediatorMode::Multiplexing, "not multiplexing");
         self.mode = MediatorMode::Normal;
+        self.spans.end(self.now, std::mem::take(&mut self.hold_span));
         std::mem::take(&mut self.queued_posts)
     }
 }

@@ -1,0 +1,382 @@
+//! Flight-recorder exporters: Chrome trace-event JSON (Perfetto) and
+//! the structured deployment report.
+//!
+//! Pure functions over [`Span`]s, [`SampleRow`]s, and per-kind
+//! [`LogHistogram`]s — no handles, no machine types — so the same
+//! exporters serve the bench harness, tests, and ad-hoc tooling. All
+//! JSON is hand-rolled (the workspace deliberately carries no serde)
+//! with deterministic formatting: the same recorder contents always
+//! produce byte-identical output.
+//!
+//! The trace format is the Chrome trace-event JSON Array/Object format
+//! that <https://ui.perfetto.dev> loads directly: spans become `X`
+//! (complete) events on one named track per subsystem, timeline samples
+//! become `C` (counter) tracks.
+//!
+//! # Examples
+//!
+//! ```
+//! use simkit::export::chrome_trace_json;
+//! use simkit::span::{Spans, NO_SPAN};
+//! use simkit::SimTime;
+//!
+//! let s = Spans::enabled(8);
+//! let id = s.begin(SimTime::ZERO, "phase", "deployment", NO_SPAN, String::new);
+//! s.end(SimTime::from_secs(2), id);
+//! let json = chrome_trace_json(&s.finished(), &[]);
+//! assert!(json.contains("\"ph\": \"X\""));
+//! assert!(json.contains("\"name\": \"deployment\""));
+//! ```
+
+use crate::metrics::LogHistogram;
+use crate::sampler::SampleRow;
+use crate::span::{Span, NO_SPAN};
+use crate::time::SimTime;
+use std::fmt::Write as _;
+
+/// Escapes `s` for embedding in a JSON string literal.
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Formats a sim-instant as trace-event microseconds (`ts` field):
+/// fixed three decimals, so output is deterministic.
+fn ts_micros(t: SimTime) -> String {
+    let ns = t.as_nanos();
+    format!("{}.{:03}", ns / 1_000, ns % 1_000)
+}
+
+/// Deterministic rendering of a sample value.
+fn fmt_value(v: f64) -> String {
+    if v == v.trunc() && v.abs() < 1e15 {
+        format!("{v:.1}")
+    } else {
+        format!("{v:.4}")
+    }
+}
+
+/// Renders spans and timeline samples as Chrome trace-event JSON.
+///
+/// Each distinct span `track` becomes one named thread (`M`
+/// thread_name metadata + a stable `tid` by first appearance); each
+/// sample series becomes one counter track. Span ids and parent links
+/// ride in `args` so the hierarchy survives into Perfetto's detail
+/// pane.
+pub fn chrome_trace_json(spans: &[Span], samples: &[SampleRow]) -> String {
+    let mut tracks: Vec<&'static str> = Vec::new();
+    for s in spans {
+        if !tracks.contains(&s.track) {
+            tracks.push(s.track);
+        }
+    }
+    let tid_of = |track: &str| tracks.iter().position(|t| *t == track).unwrap() + 1;
+
+    let mut events: Vec<String> = Vec::new();
+    for (i, track) in tracks.iter().enumerate() {
+        events.push(format!(
+            "{{\"name\": \"thread_name\", \"ph\": \"M\", \"pid\": 1, \"tid\": {}, \
+             \"args\": {{\"name\": \"{}\"}}}}",
+            i + 1,
+            json_escape(track)
+        ));
+    }
+    for s in spans {
+        let dur_ns = s.duration().as_nanos();
+        let mut args = format!("\"id\": {}", s.id.0);
+        if s.parent != NO_SPAN {
+            let _ = write!(args, ", \"parent\": {}", s.parent.0);
+        }
+        if !s.detail.is_empty() {
+            let _ = write!(args, ", \"detail\": \"{}\"", json_escape(&s.detail));
+        }
+        events.push(format!(
+            "{{\"name\": \"{}\", \"cat\": \"{}\", \"ph\": \"X\", \"ts\": {}, \
+             \"dur\": {}.{:03}, \"pid\": 1, \"tid\": {}, \"args\": {{{}}}}}",
+            json_escape(s.kind),
+            json_escape(s.track),
+            ts_micros(s.start),
+            dur_ns / 1_000,
+            dur_ns % 1_000,
+            tid_of(s.track),
+            args
+        ));
+    }
+    for row in samples {
+        for (name, value) in &row.values {
+            events.push(format!(
+                "{{\"name\": \"{}\", \"ph\": \"C\", \"ts\": {}, \"pid\": 1, \
+                 \"args\": {{\"value\": {}}}}}",
+                json_escape(name),
+                ts_micros(row.at),
+                fmt_value(*value)
+            ));
+        }
+    }
+
+    let mut out = String::from("{\"traceEvents\": [\n");
+    for (i, ev) in events.iter().enumerate() {
+        out.push_str("  ");
+        out.push_str(ev);
+        out.push_str(if i + 1 < events.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("], \"displayTimeUnit\": \"ms\"}\n");
+    out
+}
+
+/// Renders the timeline alone as a line-oriented JSON document
+/// (`{"rows": [{"t_s": ..., "series": {...}}, ...]}`) — the artifact
+/// `check_figures.py --trace` validates for monotone bitmap fill.
+pub fn timeline_json(samples: &[SampleRow]) -> String {
+    let mut out = String::from("{\"rows\": [\n");
+    for (i, row) in samples.iter().enumerate() {
+        let mut series = String::new();
+        for (j, (name, value)) in row.values.iter().enumerate() {
+            let _ = write!(
+                series,
+                "{}\"{}\": {}",
+                if j > 0 { ", " } else { "" },
+                json_escape(name),
+                fmt_value(*value)
+            );
+        }
+        let ns = row.at.as_nanos();
+        let _ = writeln!(
+            out,
+            "  {{\"t_s\": {}.{:09}, \"series\": {{{}}}}}{}",
+            ns / 1_000_000_000,
+            ns % 1_000_000_000,
+            series,
+            if i + 1 < samples.len() { "," } else { "" }
+        );
+    }
+    out.push_str("]}\n");
+    out
+}
+
+/// Per-phase rows for the deployment report: every span on the
+/// `"phase"` track, in start order, as `(kind, start, end)`.
+fn phase_rows(spans: &[Span]) -> Vec<(&'static str, SimTime, SimTime)> {
+    let mut rows: Vec<_> = spans
+        .iter()
+        .filter(|s| s.track == "phase")
+        .map(|s| (s.kind, s.start, s.end))
+        .collect();
+    rows.sort_by_key(|r| (r.1, r.2));
+    rows
+}
+
+/// Renders the structured deployment report as JSON: per-phase timings
+/// plus per-span-kind duration summaries (count/mean/p50/p99/max, µs).
+pub fn report_json(spans: &[Span], kinds: &[(&'static str, LogHistogram)]) -> String {
+    let mut out = String::from("{\n  \"phases\": [\n");
+    let phases = phase_rows(spans);
+    for (i, (kind, start, end)) in phases.iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "    {{\"phase\": \"{}\", \"start_s\": {:.9}, \"end_s\": {:.9}, \
+             \"duration_s\": {:.9}}}{}",
+            json_escape(kind),
+            start.as_secs_f64(),
+            end.as_secs_f64(),
+            end.saturating_duration_since(*start).as_secs_f64(),
+            if i + 1 < phases.len() { "," } else { "" }
+        );
+    }
+    out.push_str("  ],\n  \"span_kinds\": [\n");
+    for (i, (kind, h)) in kinds.iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "    {{\"kind\": \"{}\", \"count\": {}, \"mean_us\": {:.3}, \
+             \"p50_us\": {}, \"p99_us\": {}, \"max_us\": {}}}{}",
+            json_escape(kind),
+            h.count(),
+            h.mean(),
+            h.quantile(0.50),
+            h.quantile(0.99),
+            h.max(),
+            if i + 1 < kinds.len() { "," } else { "" }
+        );
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Renders the deployment report as aligned human-readable text.
+pub fn report_text(spans: &[Span], kinds: &[(&'static str, LogHistogram)]) -> String {
+    let mut out = String::from("deployment report\n=================\n\nphases:\n");
+    let phases = phase_rows(spans);
+    let width = phases
+        .iter()
+        .map(|(k, _, _)| k.len())
+        .chain(kinds.iter().map(|(k, _)| k.len()))
+        .max()
+        .unwrap_or(0);
+    for (kind, start, end) in &phases {
+        let _ = writeln!(
+            out,
+            "  {kind:<width$}  start {:>12}  duration {:>12}",
+            format!("{start}"),
+            format!("{}", end.saturating_duration_since(*start)),
+        );
+    }
+    if phases.is_empty() {
+        out.push_str("  (none recorded)\n");
+    }
+    out.push_str("\nspan kinds (durations in us):\n");
+    for (kind, h) in kinds {
+        let _ = writeln!(
+            out,
+            "  {kind:<width$}  n={:<8} mean={:<12.1} p50≈{:<10} p99≈{:<10} max={}",
+            h.count(),
+            h.mean(),
+            h.quantile(0.50),
+            h.quantile(0.99),
+            h.max(),
+        );
+    }
+    if kinds.is_empty() {
+        out.push_str("  (none recorded)\n");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::span::Spans;
+    use crate::time::SimDuration;
+
+    fn sample_spans() -> Vec<Span> {
+        let s = Spans::enabled(16);
+        let dep = s.begin(SimTime::ZERO, "phase", "deployment", NO_SPAN, String::new);
+        let io = s.begin(
+            SimTime::from_micros(10),
+            "machine",
+            "io.redirect",
+            NO_SPAN,
+            || "lba 8".into(),
+        );
+        s.end(SimTime::from_micros(250), io);
+        s.end(SimTime::from_secs(3), dep);
+        let dv = s.begin(SimTime::from_secs(3), "phase", "devirt", NO_SPAN, String::new);
+        s.end(SimTime::from_secs(4), dv);
+        s.finished()
+    }
+
+    #[test]
+    fn trace_json_has_tracks_spans_and_counters() {
+        let rows = vec![SampleRow {
+            at: SimTime::from_millis(5),
+            values: vec![("bitmap.fill_pct", 12.5), ("bg.fifo_depth", 3.0)],
+        }];
+        let json = chrome_trace_json(&sample_spans(), &rows);
+        assert!(json.contains("\"ph\": \"M\""), "thread metadata:\n{json}");
+        assert!(json.contains("\"name\": \"phase\""));
+        assert!(json.contains("\"name\": \"io.redirect\""));
+        assert!(json.contains("\"ph\": \"C\""));
+        assert!(json.contains("\"value\": 12.5"));
+        assert!(json.contains("\"detail\": \"lba 8\""));
+        // Same tid for both phase spans, distinct from the machine track.
+        let phase_tid = json
+            .match_indices("\"cat\": \"phase\"")
+            .count();
+        assert_eq!(phase_tid, 2);
+        // Balanced structure.
+        assert_eq!(
+            json.matches('{').count(),
+            json.matches('}').count(),
+            "balanced braces:\n{json}"
+        );
+        assert!(json.ends_with("\"displayTimeUnit\": \"ms\"}\n"));
+    }
+
+    #[test]
+    fn trace_json_is_deterministic() {
+        let spans = sample_spans();
+        assert_eq!(
+            chrome_trace_json(&spans, &[]),
+            chrome_trace_json(&spans, &[])
+        );
+    }
+
+    #[test]
+    fn ts_is_fixed_point_micros() {
+        assert_eq!(ts_micros(SimTime::from_nanos(1_234_567)), "1234.567");
+        assert_eq!(ts_micros(SimTime::ZERO), "0.000");
+    }
+
+    #[test]
+    fn timeline_json_round_numbers() {
+        let rows = vec![
+            SampleRow {
+                at: SimTime::ZERO,
+                values: vec![("bitmap.fill_pct", 0.0)],
+            },
+            SampleRow {
+                at: SimTime::from_millis(1500),
+                values: vec![("bitmap.fill_pct", 100.0)],
+            },
+        ];
+        let json = timeline_json(&rows);
+        assert!(json.contains("\"t_s\": 1.500000000"), "{json}");
+        assert!(json.contains("\"bitmap.fill_pct\": 100.0"), "{json}");
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+
+    #[test]
+    fn report_lists_phases_in_start_order_and_kind_summaries() {
+        let spans = sample_spans();
+        let mut h = LogHistogram::new();
+        h.observe(240);
+        let kinds = vec![("io.redirect", h)];
+        let json = report_json(&spans, &kinds);
+        let dep = json.find("\"deployment\"").unwrap();
+        let dv = json.find("\"devirt\"").unwrap();
+        assert!(dep < dv, "start order:\n{json}");
+        assert!(json.contains("\"duration_s\": 3.000000000"));
+        assert!(json.contains("\"count\": 1"));
+        let text = report_text(&spans, &kinds);
+        assert!(text.contains("deployment"), "{text}");
+        assert!(text.contains("io.redirect"), "{text}");
+    }
+
+    #[test]
+    fn empty_report_renders_placeholders() {
+        let text = report_text(&[], &[]);
+        assert!(text.contains("(none recorded)"));
+        let json = report_json(&[], &[]);
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+
+    #[test]
+    fn escape_handles_specials() {
+        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(json_escape("\u{1}"), "\\u0001");
+    }
+
+    #[test]
+    fn span_duration_sum_matches_phase_total() {
+        // The acceptance property in miniature: phase spans tile the run.
+        let spans = sample_spans();
+        let total: SimDuration = spans
+            .iter()
+            .filter(|s| s.track == "phase")
+            .map(|s| s.duration())
+            .sum();
+        assert_eq!(total, SimDuration::from_secs(4));
+    }
+}

@@ -4,9 +4,11 @@
 //! event loop ([`Sim`]), time types ([`SimTime`], [`SimDuration`]), a
 //! deterministic PRNG ([`rng::Prng`]), statistics collectors
 //! ([`stats::Histogram`], [`stats::TimeSeries`]), and the observability
-//! layer — a sim-timestamped trace ring ([`trace::Tracer`]) and a
-//! counter/gauge/histogram registry ([`metrics::Metrics`]), both zero-cost
-//! when disabled.
+//! layer — a sim-timestamped trace ring ([`trace::Tracer`]), a
+//! counter/gauge/histogram registry ([`metrics::Metrics`]), hierarchical
+//! flight-recorder spans ([`span::Spans`]), a periodic timeline sampler
+//! ([`sampler::Sampler`]), and Perfetto/report exporters
+//! ([`export`]) — all zero-cost when disabled.
 //!
 //! The engine is single-threaded and fully deterministic: events scheduled
 //! at the same instant fire in scheduling order. The paper's "threads"
@@ -31,9 +33,12 @@
 //! assert_eq!(sim.now().as_millis(), 5);
 //! ```
 
+pub mod export;
 pub mod fault;
 pub mod metrics;
 pub mod rng;
+pub mod sampler;
+pub mod span;
 pub mod stats;
 pub mod time;
 pub mod trace;
@@ -41,6 +46,8 @@ pub mod trace;
 pub use fault::{FaultCounters, FaultInjector, FaultPlan, LinkVerdict, ServerHealth};
 pub use metrics::{LogHistogram, Metrics, MetricsSnapshot};
 pub use rng::Prng;
+pub use sampler::{SampleRow, Sampler};
+pub use span::{Span, SpanId, Spans, NO_SPAN};
 pub use stats::{Counter, Histogram, TimeSeries};
 pub use time::{SimDuration, SimTime};
 pub use trace::{TraceEvent, Tracer};

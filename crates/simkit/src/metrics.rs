@@ -124,7 +124,15 @@ impl LogHistogram {
             seen += n;
             if seen >= rank {
                 // Upper bound of bucket i, clamped to the observed max.
-                let upper = if i == 0 { 0 } else { (1u64 << i) - 1 };
+                // Bucket 64 holds values needing all 64 bits; its upper
+                // bound is u64::MAX (1 << 64 would overflow).
+                let upper = if i == 0 {
+                    0
+                } else if i >= 64 {
+                    u64::MAX
+                } else {
+                    (1u64 << i) - 1
+                };
                 return upper.min(self.max);
             }
         }
@@ -165,6 +173,46 @@ impl MetricsSnapshot {
     /// A histogram by name, if any samples were recorded.
     pub fn histogram(&self, name: &str) -> Option<&LogHistogram> {
         self.histograms.get(name)
+    }
+
+    /// Renders the snapshot as JSON (hand-rolled — the workspace carries
+    /// no serde): counters and gauges as flat maps, histograms as
+    /// count/mean/min/p50/p99/max summaries. BTreeMap iteration keeps
+    /// the output deterministic.
+    pub fn to_json(&self) -> String {
+        fn escape(s: &str) -> String {
+            crate::export::json_escape(s)
+        }
+        let mut out = String::from("{\n  \"counters\": {");
+        for (i, (name, v)) in self.counters.iter().enumerate() {
+            out.push_str(if i > 0 { ",\n    " } else { "\n    " });
+            out.push_str(&format!("\"{}\": {v}", escape(name)));
+        }
+        out.push_str(if self.counters.is_empty() { "},\n" } else { "\n  },\n" });
+        out.push_str("  \"gauges\": {");
+        for (i, (name, v)) in self.gauges.iter().enumerate() {
+            out.push_str(if i > 0 { ",\n    " } else { "\n    " });
+            out.push_str(&format!("\"{}\": {v}", escape(name)));
+        }
+        out.push_str(if self.gauges.is_empty() { "},\n" } else { "\n  },\n" });
+        out.push_str("  \"histograms\": {");
+        for (i, (name, h)) in self.histograms.iter().enumerate() {
+            out.push_str(if i > 0 { ",\n    " } else { "\n    " });
+            out.push_str(&format!(
+                "\"{}\": {{\"count\": {}, \"mean\": {:.3}, \"min\": {}, \
+                 \"p50\": {}, \"p99\": {}, \"max\": {}}}",
+                escape(name),
+                h.count(),
+                h.mean(),
+                h.min(),
+                h.quantile(0.50),
+                h.quantile(0.99),
+                h.max()
+            ));
+        }
+        out.push_str(if self.histograms.is_empty() { "}\n" } else { "\n  }\n" });
+        out.push_str("}\n");
+        out
     }
 }
 
@@ -344,6 +392,70 @@ mod tests {
         let mut z = LogHistogram::new();
         z.observe(0);
         assert_eq!(z.quantile(0.5), 0);
+    }
+
+    #[test]
+    fn quantile_on_empty_histogram_is_zero() {
+        let h = LogHistogram::new();
+        assert_eq!(h.quantile(0.0), 0);
+        assert_eq!(h.quantile(0.5), 0);
+        assert_eq!(h.quantile(1.0), 0);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 0);
+        assert_eq!(h.mean(), 0.0);
+    }
+
+    #[test]
+    fn quantile_on_all_zero_samples_is_zero() {
+        let mut h = LogHistogram::new();
+        for _ in 0..1000 {
+            h.observe(0);
+        }
+        assert_eq!(h.count(), 1000);
+        assert_eq!(h.quantile(0.5), 0);
+        assert_eq!(h.quantile(0.99), 0);
+        assert_eq!(h.quantile(1.0), 0);
+        assert_eq!(h.mean(), 0.0);
+    }
+
+    #[test]
+    fn quantile_handles_u64_max_without_overflow() {
+        let mut h = LogHistogram::new();
+        h.observe(u64::MAX);
+        // The top bucket's upper bound must not wrap (1 << 64).
+        assert_eq!(h.quantile(0.5), u64::MAX);
+        assert_eq!(h.quantile(1.0), u64::MAX);
+        assert_eq!(h.max(), u64::MAX);
+        // Sum saturates rather than wrapping.
+        h.observe(u64::MAX);
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.quantile(0.5), u64::MAX);
+        // Out-of-range q is clamped, not UB.
+        assert_eq!(h.quantile(2.0), u64::MAX);
+        assert_eq!(h.quantile(-1.0), u64::MAX);
+    }
+
+    #[test]
+    fn snapshot_to_json_is_deterministic_and_balanced() {
+        let m = Metrics::enabled();
+        m.inc("b.second");
+        m.add("a.first", 3);
+        m.gauge_set("c.gauge", -7);
+        m.observe("d.hist", 8);
+        m.observe("d.hist", 1000);
+        let snap = m.snapshot().unwrap();
+        let json = snap.to_json();
+        assert_eq!(json, snap.to_json(), "deterministic");
+        assert!(json.contains("\"a.first\": 3"), "{json}");
+        assert!(json.contains("\"c.gauge\": -7"), "{json}");
+        assert!(json.contains("\"count\": 2"), "{json}");
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        let a = json.find("a.first").unwrap();
+        let b = json.find("b.second").unwrap();
+        assert!(a < b, "ordered:\n{json}");
+        // Empty snapshot is still valid JSON shape.
+        let empty = MetricsSnapshot::default().to_json();
+        assert_eq!(empty.matches('{').count(), empty.matches('}').count());
     }
 
     #[test]

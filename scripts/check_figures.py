@@ -14,8 +14,15 @@ one check, and every check must hold (`within_10pct == checks` — fault
 checks are pass/fail booleans, so any miss is a failed invariant, not a
 scale effect). No golden file is involved.
 
+With `--trace`, validates a flight-recorder artifact directory
+(`reproduce --trace-out DIR`): the sampled `bitmap.fill_pct` timeline in
+`timeline.json` must be monotone non-decreasing and end at exactly 100%,
+and `trace.json` must be valid JSON with a non-empty `traceEvents`
+array.
+
 Usage: scripts/check_figures.py BENCH_reproduce.json reproduce_output.txt
        scripts/check_figures.py --faults BENCH_reproduce.json
+       scripts/check_figures.py --trace TRACE_DIR
 """
 
 import json
@@ -83,9 +90,50 @@ def check_faults(bench_path):
         sys.exit(1)
 
 
+def check_trace(trace_dir):
+    """Validate flight-recorder artifacts: monotone fill ending at 100%."""
+    import os
+
+    failed = False
+    timeline_path = os.path.join(trace_dir, "timeline.json")
+    with open(timeline_path, encoding="utf-8") as f:
+        rows = json.load(f)["rows"]
+    fills = [r["series"]["bitmap.fill_pct"] for r in rows
+             if "bitmap.fill_pct" in r["series"]]
+    if len(fills) < 2:
+        print(f"FAIL timeline: only {len(fills)} bitmap.fill_pct samples")
+        failed = True
+    for i in range(1, len(fills)):
+        if fills[i] < fills[i - 1]:
+            print(f"FAIL timeline: fill regressed {fills[i - 1]} -> {fills[i]}"
+                  f" at row {i}")
+            failed = True
+    if fills and fills[-1] != 100.0:
+        print(f"FAIL timeline: final fill is {fills[-1]}, expected 100.0")
+        failed = True
+    if not failed:
+        print(f"ok   timeline: {len(fills)} samples, monotone, ends at 100%")
+
+    with open(os.path.join(trace_dir, "trace.json"), encoding="utf-8") as f:
+        events = json.load(f)["traceEvents"]
+    if not events:
+        print("FAIL trace.json: empty traceEvents")
+        failed = True
+    else:
+        spans = sum(1 for e in events if e.get("ph") == "X")
+        counters = sum(1 for e in events if e.get("ph") == "C")
+        print(f"ok   trace.json: {len(events)} events"
+              f" ({spans} spans, {counters} counter points)")
+    if failed:
+        sys.exit(1)
+
+
 def main():
     if len(sys.argv) == 3 and sys.argv[1] == "--faults":
         check_faults(sys.argv[2])
+        return
+    if len(sys.argv) == 3 and sys.argv[1] == "--trace":
+        check_trace(sys.argv[2])
         return
     if len(sys.argv) != 3 or sys.argv[1].startswith("--"):
         sys.exit("\n".join(__doc__.strip().splitlines()[-2:]))

@@ -381,7 +381,7 @@ fn write_error_acks_then_retransmission_recovers() {
         let reply = server.handle(SimTime::ZERO, f).unwrap().unwrap();
         for rf in &reply.frames {
             assert!(
-                client.on_frame(rf).is_none(),
+                client.on_frame(SimTime::ZERO, rf).is_none(),
                 "an error ack must not complete the write"
             );
         }
@@ -405,7 +405,7 @@ fn write_error_acks_then_retransmission_recovers() {
     for f in &frames {
         let reply = server.handle(due, f).unwrap().unwrap();
         for rf in &reply.frames {
-            if let Some(c) = client.on_frame(rf) {
+            if let Some(c) = client.on_frame(due, rf) {
                 completed = Some(c);
             }
         }

@@ -157,7 +157,7 @@ proptest! {
 
         let mut completion = None;
         for f in &with_dups {
-            if let Some(done) = client.on_frame(f) {
+            if let Some(done) = client.on_frame(SimTime::ZERO, f) {
                 prop_assert!(completion.is_none(), "must complete exactly once");
                 completion = Some(done);
             }
