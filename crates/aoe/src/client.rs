@@ -12,6 +12,15 @@
 //! server. Replies to requests that already completed or failed are
 //! suppressed by request id (the fabric may deliver a reply long after a
 //! retransmit already finished the request).
+//!
+//! Two signals temper retransmission under congestion. Each arriving
+//! fragment refreshes its request's deadline (a long reply train on a
+//! backlogged egress link is progress, not loss), and a recent busy hint
+//! holds the retry budget in abeyance ([`ClientConfig::busy_grace`]): the
+//! budget detects dead servers, and a busy server is demonstrably alive.
+//! Without both, a fleet-scale burst collapses — every queued-but-slow
+//! request is retransmitted, re-served, and finally *failed*, killing
+//! deployments against a perfectly healthy server.
 
 use crate::wire::{sectors_per_frame, AoePdu, FrameBytes, Tag};
 use hwsim::block::{BlockRange, SectorData};
@@ -37,6 +46,13 @@ pub struct ClientConfig {
     pub max_rto: SimDuration,
     /// Retransmissions before a request is failed.
     pub max_retries: u32,
+    /// How long after the last busy hint the retry budget is held in
+    /// abeyance. The budget exists to detect a *dead* server; a busy
+    /// hint is proof of life, so while one is fresh an exhausted request
+    /// keeps retransmitting at the capped RTO instead of failing — the
+    /// alternative under fleet-scale congestion is a wave of spurious
+    /// failures against a server that was merely backlogged.
+    pub busy_grace: SimDuration,
 }
 
 impl Default for ClientConfig {
@@ -48,6 +64,7 @@ impl Default for ClientConfig {
             rto: SimDuration::from_millis(20),
             max_rto: SimDuration::from_millis(500),
             max_retries: 8,
+            busy_grace: SimDuration::from_secs(2),
         }
     }
 }
@@ -143,6 +160,9 @@ pub struct AoeClient {
     completions: u64,
     stale_replies: u64,
     decode_errors: u64,
+    /// Last instant a reply carried the server-busy hint, if any. Fed
+    /// into the background-copy throttle by fleet-aware moderation.
+    last_busy_at: Option<SimTime>,
     failures: Vec<u32>,
     metrics: Metrics,
     tracer: Tracer,
@@ -164,6 +184,7 @@ impl AoeClient {
             completions: 0,
             stale_replies: 0,
             decode_errors: 0,
+            last_busy_at: None,
             failures: Vec::new(),
             metrics: Metrics::disabled(),
             tracer: Tracer::disabled(),
@@ -214,6 +235,21 @@ impl AoeClient {
     /// version, checksum mismatch — i.e. corruption caught on the wire).
     pub fn decode_errors(&self) -> u64 {
         self.decode_errors
+    }
+
+    /// Last instant a reply carried the server-busy hint, if any ever
+    /// did. Moderation compares this against its backoff window to
+    /// decide whether elastic traffic should yield.
+    pub fn server_busy_at(&self) -> Option<SimTime> {
+        self.last_busy_at
+    }
+
+    /// Replaces the jitter PRNG stream. Fleet machines share one client
+    /// address (every VMM talks to shelf 0 slot 0), so the address-derived
+    /// default seed would retransmit the whole fleet in lockstep; the
+    /// fleet reseeds each client from a per-machine forked stream.
+    pub fn reseed_jitter(&mut self, seed: u64) {
+        self.prng = Prng::new(seed);
     }
 
     /// Earliest pending retransmission deadline, if any request is
@@ -380,6 +416,13 @@ impl AoeClient {
                 return None;
             }
         };
+        if pdu.response && pdu.busy {
+            // Latch the busy hint even off error replies or stale
+            // duplicates: congestion news is news regardless of which
+            // request carried it.
+            self.last_busy_at = Some(now);
+            self.metrics.inc("aoe.client.busy_hints");
+        }
         if !pdu.response || pdu.error.is_some() {
             return None;
         }
@@ -404,6 +447,13 @@ impl AoeClient {
             pdu.data.unwrap_or_default()
         });
         if !pending.done() {
+            // Fragment progress proves the request is in service: push
+            // the retransmission deadline out so a reply train strung
+            // across a congested egress path isn't re-requested while
+            // its tail is still in flight.
+            pending.deadline = pending
+                .deadline
+                .max(now + self.cfg.backoff(pending.retries));
             return None;
         }
         let pending = self.pending.remove(&id).expect("just present");
@@ -431,6 +481,11 @@ impl AoeClient {
         let mut out = Vec::new();
         let max = self.cfg.max_retries;
         let mut dead = Vec::new();
+        // A fresh busy hint means the server is alive and shedding load,
+        // not gone: hold the retry budget rather than declaring death.
+        let busy_recent = self
+            .last_busy_at
+            .is_some_and(|t| now.saturating_duration_since(t) <= self.cfg.busy_grace);
         // Split the borrows so the telemetry handles are used in place:
         // this runs once per simulated tick, and cloning them every call
         // would churn two reference counts per poll for nothing.
@@ -449,10 +504,17 @@ impl AoeClient {
                 continue;
             }
             if p.retries >= max {
-                dead.push(id);
-                continue;
+                if !busy_recent {
+                    dead.push(id);
+                    continue;
+                }
+                // Budget spent but the server is provably alive: keep
+                // retransmitting at the capped cadence until the busy
+                // news goes stale.
+                metrics.inc("aoe.client.budget_holds");
+            } else {
+                p.retries += 1;
             }
-            p.retries += 1;
             let interval = cfg.backoff(p.retries);
             p.deadline = now + interval + jitter(prng, interval);
             let before = out.len();
@@ -467,6 +529,16 @@ impl AoeClient {
                         metrics.inc("aoe.client.retransmits");
                     }
                 }
+            } else if p.frags.iter().all(|f| f.is_none()) {
+                // Nothing arrived: resend the original full-range read.
+                // Identical bytes mean the server sees the same cache
+                // key (a drop-then-retransmit still shares the fleet
+                // block cache) and can dedup it against a still-queued
+                // first copy.
+                let pdu = AoePdu::read_request(cfg.shelf, cfg.slot, Tag::new(id, 0), p.range);
+                out.push(pdu.encode_frame());
+                *retransmits += 1;
+                metrics.inc("aoe.client.retransmits");
             } else {
                 // Selective retransmission for reads: re-request only the
                 // missing fragments, each as a subrange read whose tag
@@ -700,6 +772,96 @@ mod tests {
     }
 
     #[test]
+    fn full_loss_retransmits_the_original_request() {
+        let mut c = AoeClient::new(ClientConfig::default());
+        // Large enough to span several reply fragments.
+        let range = BlockRange::new(Lba(0), 40);
+        let (id, frames) = c.read(SimTime::ZERO, range);
+        let due = c.next_retransmit_at().unwrap();
+        let resent = c.poll_retransmit(due);
+        // Nothing arrived: one frame, byte-identical to the original —
+        // the server sees the same cache key and can dedup it.
+        assert_eq!(resent.len(), 1);
+        assert_eq!(resent[0].as_ref(), frames[0].as_ref());
+        let pdu = AoePdu::decode(&resent[0]).unwrap();
+        assert_eq!(pdu.range, range);
+        assert_eq!(pdu.tag, Tag::new(id, 0));
+    }
+
+    #[test]
+    fn partial_loss_retransmits_only_missing_subranges() {
+        let mut c = AoeClient::new(ClientConfig::default());
+        let spf = sectors_per_frame(ClientConfig::default().mtu);
+        let range = BlockRange::new(Lba(0), 2 * spf);
+        let (_, frames) = c.read(SimTime::ZERO, range);
+        let first = BlockRange::new(Lba(0), spf);
+        let rs = mk_response(
+            &frames[0],
+            &[(0, first, (0..spf as u64).map(SectorData).collect())],
+        );
+        assert!(c.on_frame(SimTime::ZERO, &rs[0]).is_none());
+        let due = c.next_retransmit_at().unwrap();
+        let resent = c.poll_retransmit(due);
+        assert_eq!(resent.len(), 1);
+        let pdu = AoePdu::decode(&resent[0]).unwrap();
+        assert_eq!(pdu.range, BlockRange::new(Lba(spf as u64), spf));
+        assert_eq!(pdu.tag.fragment(), 1);
+    }
+
+    #[test]
+    fn fragment_progress_defers_the_retransmit_deadline() {
+        let mut c = AoeClient::new(ClientConfig::default());
+        let spf = sectors_per_frame(ClientConfig::default().mtu);
+        let range = BlockRange::new(Lba(0), 2 * spf);
+        let (_, frames) = c.read(SimTime::ZERO, range);
+        let before = c.next_retransmit_at().unwrap();
+        // One fragment lands just shy of the deadline: the reply train
+        // is in flight, so the deadline moves out past it.
+        let first = BlockRange::new(Lba(0), spf);
+        let rs = mk_response(
+            &frames[0],
+            &[(0, first, (0..spf as u64).map(SectorData).collect())],
+        );
+        let almost = before - SimDuration::from_nanos(1);
+        assert!(c.on_frame(almost, &rs[0]).is_none());
+        let after = c.next_retransmit_at().unwrap();
+        assert!(after > before, "deadline did not move: {after} <= {before}");
+        assert!(c.poll_retransmit(before).is_empty());
+    }
+
+    #[test]
+    fn busy_hint_holds_the_retry_budget_open() {
+        let mut c = AoeClient::new(ClientConfig {
+            rto: SimDuration::from_millis(1),
+            max_retries: 1,
+            busy_grace: SimDuration::from_millis(50),
+            ..ClientConfig::default()
+        });
+        let range = BlockRange::new(Lba(0), 1);
+        let (_, frames) = c.read(SimTime::ZERO, range);
+        // A busy error-reply delivers the hint without completing the
+        // request (error replies are otherwise ignored).
+        let mut busy = AoePdu::decode(&frames[0]).unwrap();
+        busy.response = true;
+        busy.busy = true;
+        busy.error = Some(1);
+        assert!(c.on_frame(SimTime::ZERO, &busy.encode()).is_none());
+        // Budget exhausts, but the fresh busy news keeps it alive and
+        // retransmitting at the capped cadence.
+        let mut now = SimTime::ZERO;
+        for _ in 0..4 {
+            now = c.next_retransmit_at().unwrap();
+            assert!(!c.poll_retransmit(now).is_empty(), "kept retransmitting");
+            assert_eq!(c.outstanding(), 1);
+        }
+        assert!(c.take_failures().is_empty(), "no failure while busy");
+        // Once the busy news goes stale, the budget verdict lands.
+        let stale = now + SimDuration::from_secs(1);
+        c.poll_retransmit(stale);
+        assert_eq!(c.take_failures().len(), 1, "dead server detected");
+    }
+
+    #[test]
     fn stale_replies_are_suppressed_and_counted() {
         let mut c = AoeClient::new(ClientConfig::default());
         let range = BlockRange::new(Lba(0), 1);
@@ -727,6 +889,49 @@ mod tests {
         assert!(c.on_frame(SimTime::ZERO, &reply).is_none());
         assert_eq!(c.decode_errors(), 1);
         assert_eq!(c.outstanding(), 1, "request still pending for retransmit");
+    }
+
+    #[test]
+    fn busy_hint_latches_with_reply_timestamp() {
+        let mut c = AoeClient::new(ClientConfig::default());
+        let range = BlockRange::new(Lba(0), 1);
+        let (_, frames) = c.read(SimTime::ZERO, range);
+        assert_eq!(c.server_busy_at(), None);
+        let mut reply = AoePdu::decode(&frames[0]).unwrap();
+        reply.response = true;
+        reply.busy = true;
+        reply.data = Some(vec![SectorData(1)]);
+        let at = SimTime::from_millis(3);
+        assert!(c.on_frame(at, &reply.encode()).is_some());
+        assert_eq!(c.server_busy_at(), Some(at));
+        // A later calm reply does not clear the latch; the caller owns
+        // the backoff-window comparison.
+        let (_, frames) = c.read(at, range);
+        let mut calm = AoePdu::decode(&frames[0]).unwrap();
+        calm.response = true;
+        calm.data = Some(vec![SectorData(1)]);
+        assert!(c.on_frame(SimTime::from_millis(9), &calm.encode()).is_some());
+        assert_eq!(c.server_busy_at(), Some(at));
+    }
+
+    #[test]
+    fn reseed_jitter_changes_the_retransmit_schedule() {
+        let deadlines = |seed: Option<u64>| -> Vec<SimTime> {
+            let mut c = AoeClient::new(ClientConfig::default());
+            if let Some(s) = seed {
+                c.reseed_jitter(s);
+            }
+            (0..8)
+                .map(|_| {
+                    c.read(SimTime::ZERO, BlockRange::new(Lba(0), 1));
+                    c.pending.values().last().unwrap().deadline
+                })
+                .collect()
+        };
+        let base = deadlines(None);
+        let forked = deadlines(Some(0xF1EE7));
+        assert_ne!(base, forked, "reseed left the jitter stream unchanged");
+        assert_eq!(forked, deadlines(Some(0xF1EE7)), "reseeded stream reproducible");
     }
 
     #[test]

@@ -14,6 +14,7 @@ use crate::wire::{sectors_per_frame, AoePdu, DecodeError, FrameBytes, Tag};
 use hwsim::block::BlockRange;
 use hwsim::disk::{DiskModel, DiskOp};
 use simkit::{Metrics, SimDuration, SimTime, Spans, NO_SPAN};
+use std::collections::{BTreeMap, VecDeque};
 
 /// Server configuration.
 #[derive(Debug, Clone)]
@@ -28,6 +29,21 @@ pub struct ServerConfig {
     pub workers: usize,
     /// Per-request CPU cost (syscall + packetization).
     pub per_request_cpu: SimDuration,
+    /// Block-cache capacity in (lba, sectors) entries; 0 disables the
+    /// cache entirely (the single-machine default — one reader never
+    /// re-reads a range, so a cache would only burn memory).
+    pub cache_entries: usize,
+    /// Per-client pending-queue bound on the queued (fleet) path;
+    /// requests arriving past it are dropped and recovered by client
+    /// retransmission.
+    pub client_queue_limit: usize,
+    /// Deficit round-robin quantum in sectors: how much service one
+    /// client may consume per scheduling turn before yielding.
+    pub drr_quantum_sectors: u32,
+    /// Queued-request total at which replies start carrying the busy
+    /// hint (only ever raised with two or more distinct clients, so a
+    /// lone machine never throttles itself).
+    pub busy_queue_threshold: usize,
 }
 
 impl Default for ServerConfig {
@@ -38,6 +54,10 @@ impl Default for ServerConfig {
             mtu: 9000,
             workers: 8,
             per_request_cpu: SimDuration::from_micros(40),
+            cache_entries: 0,
+            client_queue_limit: 256,
+            drr_quantum_sectors: 64,
+            busy_queue_threshold: 24,
         }
     }
 }
@@ -50,6 +70,112 @@ pub struct ServerReply {
     /// Encoded reply frames (fragments for reads, one ack for writes),
     /// as shared bytes the fabric can fan out without copying.
     pub frames: Vec<FrameBytes>,
+}
+
+/// Outcome of queueing a frame on the fleet path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Enqueued {
+    /// Accepted into the client's pending queue.
+    Queued,
+    /// The client's queue was full; the frame was dropped (client
+    /// retransmission recovers it).
+    Dropped,
+    /// An identical request (same tag, range, direction) from the same
+    /// client is already queued — this is a retransmit of work the
+    /// server has not lost, so serving it twice would only amplify the
+    /// congestion that delayed the first copy.
+    Deduped,
+    /// Decodable but not addressed to this server (or a response frame).
+    NotForUs,
+}
+
+/// Deterministic LRU presence cache over served read ranges.
+///
+/// Models the server's page cache: the first reader of a range pays the
+/// disk, every later reader of the *same* range is served from memory.
+/// Only timing is cached — payload bytes always come from the store, so
+/// the cache can never serve stale data it merely mis-prices. Keys are
+/// exact (lba, sectors) pairs: concurrent identical boots issue identical
+/// redirect/background ranges, which is precisely the fleet sharing this
+/// cache exists to exploit.
+#[derive(Debug, Default)]
+struct BlockCache {
+    capacity: usize,
+    /// Monotonic use counter; recency order without wall/sim time.
+    stamp: u64,
+    by_key: BTreeMap<(u64, u32), u64>,
+    by_stamp: BTreeMap<u64, (u64, u32)>,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+}
+
+impl BlockCache {
+    fn new(capacity: usize) -> BlockCache {
+        BlockCache {
+            capacity,
+            ..BlockCache::default()
+        }
+    }
+
+    /// Looks up `range`, inserting it on a miss. Returns whether the
+    /// lookup hit. Disabled (capacity 0) caches always miss and store
+    /// nothing.
+    fn touch(&mut self, range: BlockRange) -> bool {
+        if self.capacity == 0 {
+            return false;
+        }
+        let key = (range.lba.0, range.sectors);
+        self.stamp += 1;
+        if let Some(old) = self.by_key.insert(key, self.stamp) {
+            self.by_stamp.remove(&old);
+            self.by_stamp.insert(self.stamp, key);
+            self.hits += 1;
+            return true;
+        }
+        self.by_stamp.insert(self.stamp, key);
+        self.misses += 1;
+        if self.by_key.len() > self.capacity {
+            let (&oldest, &victim) = self.by_stamp.iter().next().expect("non-empty over capacity");
+            self.by_stamp.remove(&oldest);
+            self.by_key.remove(&victim);
+            self.evictions += 1;
+        }
+        false
+    }
+
+    /// Drops every entry overlapping `range` (a write landed there).
+    /// The deployment path never writes to the image server, so this is
+    /// a correctness backstop, not a hot path — a full scan is fine.
+    fn invalidate(&mut self, range: BlockRange) {
+        if self.by_key.is_empty() {
+            return;
+        }
+        let (start, end) = (range.lba.0, range.lba.0 + range.sectors as u64);
+        let stale: Vec<((u64, u32), u64)> = self
+            .by_key
+            .iter()
+            .filter(|(&(lba, sectors), _)| lba < end && lba + sectors as u64 > start)
+            .map(|(&k, &s)| (k, s))
+            .collect();
+        for (key, stamp) in stale {
+            self.by_key.remove(&key);
+            self.by_stamp.remove(&stamp);
+        }
+    }
+
+    fn clear(&mut self) {
+        self.by_key.clear();
+        self.by_stamp.clear();
+    }
+}
+
+/// One client's pending queue plus its deficit round-robin state.
+#[derive(Debug, Default)]
+struct ClientQueue {
+    queue: VecDeque<AoePdu>,
+    /// Sectors of service this client may still consume this turn.
+    deficit: u64,
 }
 
 /// The AoE storage server.
@@ -77,6 +203,16 @@ pub struct AoeServer {
     disk: DiskModel,
     /// Busy-until time per worker.
     workers: Vec<SimTime>,
+    cache: BlockCache,
+    /// Per-client pending queues for the fleet path, keyed by the
+    /// fleet-assigned client index (BTreeMap: deterministic iteration).
+    queues: BTreeMap<usize, ClientQueue>,
+    /// Deficit round-robin ring over clients with pending work.
+    drr_ring: VecDeque<usize>,
+    queued_total: usize,
+    queue_drops: u64,
+    queue_dedups: u64,
+    busy_replies: u64,
     requests: u64,
     sectors_read: u64,
     sectors_written: u64,
@@ -99,10 +235,18 @@ impl AoeServer {
     pub fn new(cfg: ServerConfig, disk: DiskModel) -> AoeServer {
         assert!(cfg.workers > 0, "server needs at least one worker");
         let workers = vec![SimTime::ZERO; cfg.workers];
+        let cache = BlockCache::new(cfg.cache_entries);
         AoeServer {
             cfg,
             disk,
             workers,
+            cache,
+            queues: BTreeMap::new(),
+            drr_ring: VecDeque::new(),
+            queued_total: 0,
+            queue_drops: 0,
+            queue_dedups: 0,
+            busy_replies: 0,
             requests: 0,
             sectors_read: 0,
             sectors_written: 0,
@@ -113,12 +257,18 @@ impl AoeServer {
         }
     }
 
-    /// Restarts the server after a crash: all in-flight worker state is
-    /// lost (requests being serviced simply never answer — the client's
-    /// retransmission recovers them). The disk contents survive, as a
-    /// real storage server's would.
+    /// Restarts the server after a crash: all in-flight worker state,
+    /// pending queues, and the block cache (it models page cache, which
+    /// dies with the process) are lost — requests being serviced or
+    /// queued simply never answer and the clients' retransmission
+    /// recovers them. The disk contents survive, as a real storage
+    /// server's would.
     pub fn restart(&mut self) {
         self.workers = vec![SimTime::ZERO; self.cfg.workers];
+        self.cache.clear();
+        self.queues.clear();
+        self.drr_ring.clear();
+        self.queued_total = 0;
         self.restarts += 1;
         self.metrics.inc("aoe.server.restarts");
     }
@@ -176,6 +326,62 @@ impl AoeServer {
         self.restarts
     }
 
+    /// Block-cache hits so far.
+    pub fn cache_hits(&self) -> u64 {
+        self.cache.hits
+    }
+
+    /// Block-cache misses so far.
+    pub fn cache_misses(&self) -> u64 {
+        self.cache.misses
+    }
+
+    /// Block-cache LRU evictions so far.
+    pub fn cache_evictions(&self) -> u64 {
+        self.cache.evictions
+    }
+
+    /// Fraction of read lookups served from cache (0 when none yet).
+    pub fn cache_hit_ratio(&self) -> f64 {
+        let total = self.cache.hits + self.cache.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.cache.hits as f64 / total as f64
+        }
+    }
+
+    /// Requests currently queued across all clients (fleet path).
+    pub fn queued_total(&self) -> usize {
+        self.queued_total
+    }
+
+    /// Clients that have ever enqueued on the fleet path.
+    pub fn clients(&self) -> usize {
+        self.queues.len()
+    }
+
+    /// Deepest per-client pending queue right now (fleet path).
+    pub fn max_client_queue_depth(&self) -> usize {
+        self.queues.values().map(|q| q.queue.len()).max().unwrap_or(0)
+    }
+
+    /// Frames dropped because a client's queue was full.
+    pub fn queue_drops(&self) -> u64 {
+        self.queue_drops
+    }
+
+    /// Retransmits absorbed because an identical request was already
+    /// queued for the same client.
+    pub fn queue_dedups(&self) -> u64 {
+        self.queue_dedups
+    }
+
+    /// Replies that carried the busy hint.
+    pub fn busy_replies(&self) -> u64 {
+        self.busy_replies
+    }
+
     fn assign_worker(&mut self, now: SimTime, service: SimDuration) -> SimTime {
         let (idx, _) = self
             .workers
@@ -198,7 +404,9 @@ impl AoeServer {
         done
     }
 
-    /// Handles one request frame arriving at `now`.
+    /// Handles one request frame arriving at `now` — the synchronous
+    /// single-client path (no queueing, no fairness; FIFO is fair when
+    /// there is exactly one client).
     ///
     /// # Errors
     ///
@@ -210,13 +418,25 @@ impl AoeServer {
         if pdu.response || pdu.shelf != self.cfg.shelf || pdu.slot != self.cfg.slot {
             return Ok(None);
         }
+        Ok(Some(self.serve(now, pdu, false)))
+    }
+
+    /// Serves one decoded request at `now`: worker assignment, disk/cache
+    /// timing, reply encoding. Shared by the synchronous path and the
+    /// queued fleet path; `busy` stamps the congestion hint into every
+    /// reply frame.
+    fn serve(&mut self, now: SimTime, pdu: AoePdu, busy: bool) -> ServerReply {
         self.requests += 1;
         self.metrics.inc("aoe.server.requests");
+        if busy {
+            self.busy_replies += 1;
+            self.metrics.inc("aoe.server.busy_replies");
+        }
         let (id, range, is_write) = (pdu.tag.request_id(), pdu.range, pdu.write);
         let reply = if pdu.write {
-            self.handle_write(now, pdu)
+            self.handle_write(now, pdu, busy)
         } else {
-            self.handle_read(now, pdu)
+            self.handle_read(now, pdu, busy)
         };
         // The worker knows its finish time up front, so the span is
         // recorded complete: arrival to ready_at is queue wait + service.
@@ -235,11 +455,27 @@ impl AoeServer {
                 )
             },
         );
-        Ok(Some(reply))
+        reply
     }
 
-    fn handle_read(&mut self, now: SimTime, pdu: AoePdu) -> ServerReply {
-        let disk_time = self.disk.access_time(DiskOp::Read, pdu.range);
+    fn handle_read(&mut self, now: SimTime, pdu: AoePdu, busy: bool) -> ServerReply {
+        // A cached range skips the disk and costs only the per-request
+        // CPU; the payload still comes from the store either way (the
+        // cache prices reads, it does not hold bytes).
+        let evictions_before = self.cache.evictions;
+        let hit = self.cache.touch(pdu.range);
+        if self.cache.capacity > 0 {
+            self.metrics
+                .inc(if hit { "server.cache.hits" } else { "server.cache.misses" });
+            if self.cache.evictions > evictions_before {
+                self.metrics.inc("server.cache.evictions");
+            }
+        }
+        let disk_time = if hit {
+            SimDuration::ZERO
+        } else {
+            self.disk.access_time(DiskOp::Read, pdu.range)
+        };
         let ready_at = self.assign_worker(now, self.cfg.per_request_cpu + disk_time);
         self.sectors_read += pdu.range.sectors as u64;
         self.metrics
@@ -263,6 +499,7 @@ impl AoeServer {
                 sub,
             );
             reply.response = true;
+            reply.busy = busy;
             // Each fragment is read straight from the store into its own
             // payload: no whole-request staging buffer, no re-slicing
             // copy per fragment.
@@ -274,11 +511,12 @@ impl AoeServer {
         ServerReply { ready_at, frames }
     }
 
-    fn handle_write(&mut self, now: SimTime, pdu: AoePdu) -> ServerReply {
+    fn handle_write(&mut self, now: SimTime, pdu: AoePdu, busy: bool) -> ServerReply {
         let disk_time = self.disk.access_time(DiskOp::Write, pdu.range);
         let ready_at = self.assign_worker(now, self.cfg.per_request_cpu + disk_time);
         let mut ack = pdu.clone();
         ack.response = true;
+        ack.busy = busy;
         ack.data = None;
         if self.disk.write_faulted() {
             // Injected write fault: the media rejected the write. Nothing
@@ -289,6 +527,7 @@ impl AoeServer {
             ack.error = Some(AOE_ERR_DEVICE_UNAVAILABLE);
         } else if let Some(data) = &pdu.data {
             self.disk.store_mut().write_range(pdu.range, data);
+            self.cache.invalidate(pdu.range);
             self.sectors_written += pdu.range.sectors as u64;
             self.metrics
                 .add("aoe.server.sectors_written", pdu.range.sectors as u64);
@@ -296,6 +535,126 @@ impl AoeServer {
         ServerReply {
             ready_at,
             frames: vec![ack.encode_frame()],
+        }
+    }
+
+    fn update_queue_gauges(&mut self) {
+        if self.metrics.is_enabled() {
+            self.metrics
+                .gauge_set("server.queue.total", self.queued_total as i64);
+            self.metrics
+                .gauge_set("server.queue.max_client", self.max_client_queue_depth() as i64);
+        }
+    }
+
+    /// Queues one request frame from `client` — the fleet path, where
+    /// many machines share this server and service order is decided by
+    /// the deficit-round-robin scheduler rather than arrival order.
+    /// Per-client queues are bounded by
+    /// [`ServerConfig::client_queue_limit`]; overflow drops the frame
+    /// (the client's retransmission recovers it, by which time the
+    /// queue has drained).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DecodeError`] for undecodable frames, exactly like
+    /// [`AoeServer::handle`].
+    pub fn enqueue(
+        &mut self,
+        client: usize,
+        bytes: &[u8],
+    ) -> Result<Enqueued, DecodeError> {
+        let pdu = AoePdu::decode(bytes)?;
+        if pdu.response || pdu.shelf != self.cfg.shelf || pdu.slot != self.cfg.slot {
+            return Ok(Enqueued::NotForUs);
+        }
+        let limit = self.cfg.client_queue_limit;
+        let q = self.queues.entry(client).or_default();
+        if q.queue
+            .iter()
+            .any(|held| held.tag == pdu.tag && held.range == pdu.range && held.write == pdu.write)
+        {
+            // A retransmit of a request that is still queued: the first
+            // copy will be served, so a second would double the disk,
+            // CPU, and egress cost exactly when the server can least
+            // afford it. Absorb it here.
+            self.queue_dedups += 1;
+            self.metrics.inc("server.queue.dedups");
+            return Ok(Enqueued::Deduped);
+        }
+        if q.queue.len() >= limit {
+            self.queue_drops += 1;
+            self.metrics.inc("server.queue.drops");
+            return Ok(Enqueued::Dropped);
+        }
+        let was_empty = q.queue.is_empty();
+        q.queue.push_back(pdu);
+        self.queued_total += 1;
+        if was_empty {
+            self.drr_ring.push_back(client);
+        }
+        self.update_queue_gauges();
+        Ok(Enqueued::Queued)
+    }
+
+    /// Earliest instant [`AoeServer::dispatch`] can next make progress:
+    /// the earliest-free worker, if anything is queued. May be in the
+    /// past (a worker is idle right now).
+    pub fn next_dispatch_at(&self) -> Option<SimTime> {
+        if self.queued_total == 0 {
+            return None;
+        }
+        self.workers.iter().copied().min()
+    }
+
+    /// Dispatches at most one queued request at `now`: the deficit
+    /// round-robin pick across client queues, so one machine's deep
+    /// background-copy backlog cannot starve another's copy-on-read.
+    /// Returns `None` when nothing is queued or every worker is still
+    /// busy at `now` — the caller re-polls at
+    /// [`AoeServer::next_dispatch_at`].
+    pub fn dispatch(&mut self, now: SimTime) -> Option<(usize, ServerReply)> {
+        if self.queued_total == 0 {
+            return None;
+        }
+        if *self.workers.iter().min().expect("at least one worker") > now {
+            return None;
+        }
+        // DRR: the ring head spends deficit to dispatch its head request,
+        // or gains a quantum and yields the turn. A drained client leaves
+        // the ring and forfeits leftover deficit (no hoarding credit for
+        // later bursts).
+        loop {
+            let client = *self.drr_ring.front().expect("queued requests imply a ring");
+            let q = self.queues.get_mut(&client).expect("ring member has a queue");
+            let cost = q
+                .queue
+                .front()
+                .expect("ring member queue is non-empty")
+                .range
+                .sectors
+                .max(1) as u64;
+            if q.deficit < cost {
+                q.deficit += self.cfg.drr_quantum_sectors.max(1) as u64;
+                let turn = self.drr_ring.pop_front().expect("non-empty");
+                self.drr_ring.push_back(turn);
+                continue;
+            }
+            q.deficit -= cost;
+            let pdu = q.queue.pop_front().expect("non-empty");
+            self.queued_total -= 1;
+            if q.queue.is_empty() {
+                q.deficit = 0;
+                self.drr_ring.pop_front();
+            }
+            // The hint reflects post-dispatch backlog, and only ever
+            // fires with at least two clients on record: a lone machine
+            // queueing against itself is load, not contention.
+            let busy =
+                self.queued_total >= self.cfg.busy_queue_threshold && self.queues.len() >= 2;
+            self.update_queue_gauges();
+            let reply = self.serve(now, pdu, busy);
+            return Some((client, reply));
         }
     }
 }
@@ -448,6 +807,292 @@ mod tests {
         // Workers are idle again: a request at t=0 starts immediately.
         let reply = s.handle(SimTime::ZERO, &read_req(4, 0, 1)).unwrap().unwrap();
         assert!(reply.ready_at < SimTime::from_millis(60));
+    }
+
+    fn caching_server(workers: usize, cache_entries: usize) -> AoeServer {
+        let params = DiskParams {
+            capacity_sectors: 1 << 18,
+            ..DiskParams::default()
+        };
+        let disk = DiskModel::new(
+            params.clone(),
+            BlockStore::image(params.capacity_sectors, 0xCAFE),
+        );
+        AoeServer::new(
+            ServerConfig {
+                workers,
+                cache_entries,
+                ..ServerConfig::default()
+            },
+            disk,
+        )
+    }
+
+    #[test]
+    fn cache_hit_skips_disk_time_and_serves_same_data() {
+        let mut s = caching_server(1, 64);
+        let miss = s.handle(SimTime::ZERO, &read_req(1, 100, 8)).unwrap().unwrap();
+        let later = miss.ready_at;
+        let hit = s.handle(later, &read_req(2, 100, 8)).unwrap().unwrap();
+        assert_eq!(s.cache_misses(), 1);
+        assert_eq!(s.cache_hits(), 1);
+        let miss_service = miss.ready_at.saturating_duration_since(SimTime::ZERO);
+        let hit_service = hit.ready_at.saturating_duration_since(later);
+        assert!(
+            hit_service < miss_service,
+            "hit {hit_service} not faster than miss {miss_service}"
+        );
+        assert_eq!(
+            hit_service,
+            s.config().per_request_cpu,
+            "hit pays CPU only"
+        );
+        // Same bytes either way: the cache prices reads, it holds none.
+        assert_eq!(
+            AoePdu::decode(&miss.frames[0]).unwrap().data,
+            AoePdu::decode(&hit.frames[0]).unwrap().data
+        );
+    }
+
+    #[test]
+    fn cache_requires_exact_range_key() {
+        let mut s = caching_server(1, 64);
+        s.handle(SimTime::ZERO, &read_req(1, 100, 8)).unwrap();
+        s.handle(SimTime::ZERO, &read_req(2, 100, 4)).unwrap();
+        assert_eq!(s.cache_hits(), 0, "sub-range is a different key");
+        assert_eq!(s.cache_misses(), 2);
+    }
+
+    #[test]
+    fn cache_evicts_least_recently_used() {
+        let mut s = caching_server(1, 2);
+        s.handle(SimTime::ZERO, &read_req(1, 0, 8)).unwrap(); // A
+        s.handle(SimTime::ZERO, &read_req(2, 100, 8)).unwrap(); // B
+        s.handle(SimTime::ZERO, &read_req(3, 0, 8)).unwrap(); // A again: hit
+        s.handle(SimTime::ZERO, &read_req(4, 200, 8)).unwrap(); // C evicts B (LRU)
+        assert_eq!(s.cache_evictions(), 1);
+        s.handle(SimTime::ZERO, &read_req(5, 0, 8)).unwrap(); // A survives
+        s.handle(SimTime::ZERO, &read_req(6, 100, 8)).unwrap(); // B is gone
+        assert_eq!(s.cache_hits(), 2, "A twice; B was the eviction victim");
+    }
+
+    #[test]
+    fn write_invalidates_overlapping_cache_entries() {
+        let mut s = caching_server(1, 64);
+        s.handle(SimTime::ZERO, &read_req(1, 100, 8)).unwrap();
+        s.handle(SimTime::ZERO, &read_req(2, 200, 8)).unwrap();
+        // Overlaps [100, 108) but not [200, 208).
+        let w = AoePdu::write_request(
+            0,
+            0,
+            Tag::new(3, 0),
+            BlockRange::new(Lba(104), 2),
+            vec![SectorData(1), SectorData(2)],
+        );
+        s.handle(SimTime::ZERO, &w.encode()).unwrap();
+        s.handle(SimTime::ZERO, &read_req(4, 100, 8)).unwrap(); // miss again
+        s.handle(SimTime::ZERO, &read_req(5, 200, 8)).unwrap(); // still cached
+        assert_eq!(s.cache_hits(), 1);
+        assert_eq!(s.cache_misses(), 3);
+    }
+
+    #[test]
+    fn disabled_cache_never_hits() {
+        let mut s = caching_server(1, 0);
+        s.handle(SimTime::ZERO, &read_req(1, 0, 8)).unwrap();
+        s.handle(SimTime::ZERO, &read_req(2, 0, 8)).unwrap();
+        assert_eq!(s.cache_hits(), 0);
+        assert_eq!(s.cache_misses(), 0, "disabled cache counts nothing");
+        assert_eq!(s.cache_hit_ratio(), 0.0);
+    }
+
+    #[test]
+    fn queued_single_client_matches_synchronous_timing() {
+        // One client through the queue must time out exactly like the
+        // synchronous path: DRR over one queue is FIFO, and dispatching
+        // at the earliest-free-worker instant reproduces assign_worker's
+        // max(arrival, busy_until) start times.
+        let reqs: Vec<Vec<u8>> = (0..12)
+            .map(|i| read_req(i + 1, (i as u64) * 4096, 24))
+            .collect();
+        let mut sync = server(2);
+        let sync_ready: Vec<SimTime> = reqs
+            .iter()
+            .map(|r| sync.handle(SimTime::ZERO, r).unwrap().unwrap().ready_at)
+            .collect();
+        let mut queued = server(2);
+        for r in &reqs {
+            assert_eq!(queued.enqueue(0, r).unwrap(), Enqueued::Queued);
+        }
+        let mut now = SimTime::ZERO;
+        let mut queued_ready = Vec::new();
+        while queued.queued_total() > 0 {
+            match queued.dispatch(now) {
+                Some((client, reply)) => {
+                    assert_eq!(client, 0);
+                    queued_ready.push(reply.ready_at);
+                }
+                None => now = queued.next_dispatch_at().expect("work remains"),
+            }
+        }
+        assert_eq!(queued_ready, sync_ready);
+    }
+
+    #[test]
+    fn drr_interleaves_a_flood_with_a_trickle() {
+        // Client 0 floods 32 requests; client 1 then queues one. Strict
+        // FIFO would serve client 1 last; DRR serves it within a few
+        // turns.
+        let mut s = server(1);
+        for i in 0..32 {
+            s.enqueue(0, &read_req(i + 1, (i as u64) * 1024, 32)).unwrap();
+        }
+        s.enqueue(1, &read_req(100, 250_000, 32)).unwrap();
+        let mut now = SimTime::ZERO;
+        let mut order = Vec::new();
+        while s.queued_total() > 0 {
+            match s.dispatch(now) {
+                Some((client, _)) => order.push(client),
+                None => now = s.next_dispatch_at().expect("work remains"),
+            }
+        }
+        let pos = order.iter().position(|&c| c == 1).unwrap();
+        assert!(
+            pos <= 2,
+            "trickle client served at position {pos} behind a 32-deep flood"
+        );
+    }
+
+    #[test]
+    fn drr_shares_service_between_equal_clients() {
+        let mut s = server(1);
+        for i in 0..16u32 {
+            s.enqueue(0, &read_req(i + 1, (i as u64) * 1024, 32)).unwrap();
+            s.enqueue(1, &read_req(i + 101, 130_000 + (i as u64) * 1024, 32))
+                .unwrap();
+        }
+        let mut now = SimTime::ZERO;
+        let mut served = [0usize; 2];
+        let mut max_lead = 0i64;
+        while s.queued_total() > 0 {
+            match s.dispatch(now) {
+                Some((client, _)) => {
+                    served[client] += 1;
+                    max_lead = max_lead.max((served[0] as i64 - served[1] as i64).abs());
+                }
+                None => now = s.next_dispatch_at().expect("work remains"),
+            }
+        }
+        assert_eq!(served, [16, 16]);
+        assert!(max_lead <= 2, "one client got {max_lead} requests ahead");
+    }
+
+    #[test]
+    fn busy_hint_needs_backlog_and_two_clients() {
+        let mut s = server(1);
+        // A deep single-client backlog never raises busy.
+        for i in 0..40 {
+            s.enqueue(0, &read_req(i + 1, (i as u64) * 1024, 8)).unwrap();
+        }
+        let (_, reply) = s.dispatch(SimTime::ZERO).unwrap();
+        assert!(!AoePdu::decode(&reply.frames[0]).unwrap().busy);
+        assert_eq!(s.busy_replies(), 0);
+        // A second client tips the same backlog into congestion.
+        s.enqueue(1, &read_req(100, 200_000, 8)).unwrap();
+        let (_, reply) = s.dispatch(s.next_dispatch_at().unwrap()).unwrap();
+        assert!(AoePdu::decode(&reply.frames[0]).unwrap().busy);
+        assert!(s.busy_replies() > 0);
+        // Backlog below threshold: calm again, even with two clients.
+        let mut now = s.next_dispatch_at().unwrap();
+        let mut last_busy = true;
+        while s.queued_total() > 0 {
+            match s.dispatch(now) {
+                Some((_, reply)) => {
+                    last_busy = AoePdu::decode(&reply.frames[0]).unwrap().busy;
+                }
+                None => now = s.next_dispatch_at().expect("work remains"),
+            }
+        }
+        assert!(!last_busy, "final dispatch with empty backlog still busy");
+    }
+
+    #[test]
+    fn full_client_queue_drops_and_counts() {
+        let params = DiskParams {
+            capacity_sectors: 1 << 18,
+            ..DiskParams::default()
+        };
+        let disk = DiskModel::new(
+            params.clone(),
+            BlockStore::image(params.capacity_sectors, 0xCAFE),
+        );
+        let mut s = AoeServer::new(
+            ServerConfig {
+                workers: 1,
+                client_queue_limit: 4,
+                ..ServerConfig::default()
+            },
+            disk,
+        );
+        for i in 0..4 {
+            assert_eq!(
+                s.enqueue(0, &read_req(i + 1, (i as u64) * 64, 1)).unwrap(),
+                Enqueued::Queued
+            );
+        }
+        assert_eq!(
+            s.enqueue(0, &read_req(5, 999, 1)).unwrap(),
+            Enqueued::Dropped
+        );
+        assert_eq!(s.queue_drops(), 1);
+        assert_eq!(s.queued_total(), 4);
+        // The other client's queue is unaffected by the full one.
+        assert_eq!(
+            s.enqueue(1, &read_req(6, 1234, 1)).unwrap(),
+            Enqueued::Queued
+        );
+    }
+
+    #[test]
+    fn retransmit_of_a_queued_request_is_deduped() {
+        let mut s = server(2);
+        let req = read_req(7, 512, 8);
+        assert_eq!(s.enqueue(0, &req).unwrap(), Enqueued::Queued);
+        // Same client, byte-identical retransmit: absorbed, not queued.
+        assert_eq!(s.enqueue(0, &req).unwrap(), Enqueued::Deduped);
+        assert_eq!(s.queue_dedups(), 1);
+        assert_eq!(s.queued_total(), 1);
+        // A different client's identical request is its own work.
+        assert_eq!(s.enqueue(1, &req).unwrap(), Enqueued::Queued);
+        // Once served, a late retransmit re-queues (its reply may have
+        // been lost on the wire — the server must answer again).
+        assert!(s.dispatch(SimTime::ZERO).is_some());
+        assert!(s.dispatch(SimTime::ZERO).is_some());
+        assert_eq!(s.enqueue(0, &req).unwrap(), Enqueued::Queued);
+    }
+
+    #[test]
+    fn enqueue_filters_addresses_like_handle() {
+        let mut s = server(1);
+        let stray = AoePdu::read_request(9, 9, Tag::new(1, 0), BlockRange::new(Lba(0), 1));
+        assert_eq!(s.enqueue(0, &stray.encode()).unwrap(), Enqueued::NotForUs);
+        assert_eq!(s.queued_total(), 0);
+        assert!(s.enqueue(0, &[0xFF; 3]).is_err());
+    }
+
+    #[test]
+    fn restart_clears_queues_and_cache() {
+        let mut s = caching_server(1, 16);
+        s.handle(SimTime::ZERO, &read_req(1, 0, 8)).unwrap();
+        s.enqueue(0, &read_req(2, 64, 8)).unwrap();
+        s.enqueue(1, &read_req(3, 128, 8)).unwrap();
+        s.restart();
+        assert_eq!(s.queued_total(), 0);
+        assert_eq!(s.next_dispatch_at(), None);
+        assert!(s.dispatch(SimTime::ZERO).is_none());
+        // The warmed range misses again: page cache died with the crash.
+        s.handle(SimTime::ZERO, &read_req(4, 0, 8)).unwrap();
+        assert_eq!(s.cache_hits(), 0);
     }
 
     #[test]

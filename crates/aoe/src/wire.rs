@@ -137,6 +137,10 @@ pub struct AoePdu {
     pub tag: Tag,
     /// True for writes (device receives data), false for reads.
     pub write: bool,
+    /// Server-busy hint piggybacked on responses (spare err/feature
+    /// byte): the server is congested and elastic traffic — the
+    /// background copy — should back off. Never set on requests.
+    pub busy: bool,
     /// Target sectors. For a response fragment this is the fragment's own
     /// span, not the whole request's.
     pub range: BlockRange,
@@ -154,6 +158,7 @@ impl AoePdu {
             slot,
             tag,
             write: false,
+            busy: false,
             range,
             data: None,
         }
@@ -179,6 +184,7 @@ impl AoePdu {
             slot,
             tag,
             write: true,
+            busy: false,
             range,
             data: Some(data),
         }
@@ -207,7 +213,7 @@ impl AoePdu {
         out.extend_from_slice(&self.tag.raw().to_be_bytes());
         // ATA argument section.
         out.push(if self.write { 0x01 } else { 0x00 }); // aflags: direction
-        out.push(0); // err/feature
+        out.push(if self.busy { 0x01 } else { 0x00 }); // err/feature: busy hint
         out.extend_from_slice(&self.range.sectors.to_be_bytes());
         let lba = self.range.lba.0.to_be_bytes();
         out.extend_from_slice(&lba[2..8]); // 48-bit LBA
@@ -260,6 +266,7 @@ impl AoePdu {
         let slot = bytes[4];
         let tag = Tag::from_raw(u32::from_be_bytes([bytes[6], bytes[7], bytes[8], bytes[9]]));
         let write = bytes[10] & 0x01 != 0;
+        let busy = bytes[11] & 0x01 != 0;
         let sectors = u32::from_be_bytes([bytes[12], bytes[13], bytes[14], bytes[15]]);
         if sectors == 0 {
             return Err(DecodeError::EmptyRange);
@@ -293,6 +300,7 @@ impl AoePdu {
             slot,
             tag,
             write,
+            busy,
             range,
             data,
         })
@@ -381,6 +389,24 @@ mod tests {
         let bytes = pdu.encode();
         assert_eq!(bytes.len() as u32, AOE_HEADER_BYTES);
         assert_eq!(AoePdu::decode(&bytes).unwrap(), pdu);
+    }
+
+    #[test]
+    fn busy_hint_round_trips_and_is_checksummed() {
+        let mut pdu = AoePdu::read_request(0, 0, Tag::new(9, 0), BlockRange::new(Lba(64), 8));
+        pdu.response = true;
+        pdu.busy = true;
+        let bytes = pdu.encode();
+        assert_eq!(bytes[11], 0x01, "busy rides the spare err/feature byte");
+        assert!(AoePdu::decode(&bytes).unwrap().busy);
+        // Flipping the busy bit in flight must fail the frame checksum,
+        // like any other payload mutation.
+        let mut mutated = bytes.clone();
+        mutated[11] ^= 0x01;
+        assert!(matches!(
+            AoePdu::decode(&mutated),
+            Err(DecodeError::BadChecksum { .. })
+        ));
     }
 
     #[test]

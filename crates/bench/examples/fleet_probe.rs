@@ -1,0 +1,84 @@
+//! Ad-hoc fleet diagnostics: boots one paper-geometry fleet and prints
+//! progress every simulated slice, to tell "slow but converging" apart
+//! from "wedged". Not part of the figure pipeline.
+//!
+//! Usage: `fleet_probe [n] [slice_secs] [limit_secs]`
+
+use bmcast::fleet::{Fleet, FleetConfig};
+use bmcast::machine::MachineSpec;
+use bmcast::programs::BootProgram;
+use guestsim::os::BootProfile;
+use simkit::SimTime;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let n: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(16);
+    let slice: u64 = args.next().and_then(|a| a.parse().ok()).unwrap_or(100);
+    let limit: u64 = args.next().and_then(|a| a.parse().ok()).unwrap_or(36_000);
+
+    let cfg = FleetConfig {
+        n,
+        spec: MachineSpec {
+            capacity_sectors: (1u64 << 28) / 512,
+            image_sectors: (1u64 << 27) / 512,
+            ..MachineSpec::default()
+        },
+        ..FleetConfig::default()
+    };
+    let image_sectors = cfg.spec.image_sectors;
+    let mut fleet = Fleet::new(cfg);
+    fleet.enable_telemetry();
+    let profile = BootProfile::custom("scaleout-boot", 7, 400, 24 << 20, 2000, 24 << 20);
+    fleet.start(move |_| Box::new(BootProgram::new(profile.clone())));
+
+    let mut at = 0u64;
+    loop {
+        at += slice;
+        let done = fleet.run_to_all_booted(SimTime::from_secs(at));
+        let snap = fleet.metrics_snapshot().expect("telemetry on");
+        let fills: Vec<u64> = (0..fleet.len())
+            .map(|i| {
+                fleet
+                    .machine(i)
+                    .vmm
+                    .as_ref()
+                    .map(|v| v.bitmap.filled_sectors())
+                    .unwrap_or(image_sectors)
+            })
+            .collect();
+        let min_fill = fills.iter().min().copied().unwrap_or(0);
+        let max_fill = fills.iter().max().copied().unwrap_or(0);
+        println!(
+            "sim {:>6}s booted {:>2}/{} fill {:>5.1}%..{:>5.1}% q={} busy={} drops={} \
+             hits={} misses={} retx={} failures={} deploy_errors={} busy_hints={}",
+            fleet.now().as_secs_f64(),
+            fleet.booted_count(),
+            fleet.len(),
+            100.0 * min_fill as f64 / image_sectors as f64,
+            100.0 * max_fill as f64 / image_sectors as f64,
+            fleet.server().queued_total(),
+            fleet.server().busy_replies(),
+            fleet.server().queue_drops(),
+            fleet.server().cache_hits(),
+            fleet.server().cache_misses(),
+            snap.counter("aoe.client.retransmits"),
+            snap.counter("aoe.client.failures"),
+            snap.counter("machine.deploy_errors"),
+            snap.counter("aoe.client.busy_hints"),
+        );
+        if let Some(startups) = done {
+            let mut secs: Vec<f64> = startups.iter().map(|t| t.as_secs_f64()).collect();
+            secs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            println!(
+                "ALL BOOTED: min {:.2}s max {:.2}s",
+                secs[0],
+                secs[secs.len() - 1]
+            );
+            break;
+        }
+        if at >= limit {
+            println!("LIMIT {limit}s REACHED without full boot");
+            break;
+        }
+    }
+}

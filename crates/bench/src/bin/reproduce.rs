@@ -3,8 +3,15 @@
 //!
 //! ```text
 //! reproduce [--quick] [--metrics] [--jobs N] [--faults PLAN|all]
-//!           [--trace-out DIR] [--trace-ring N] [fig04 fig05 ... | all]
+//!           [--scaleout] [--trace-out DIR] [--trace-ring N]
+//!           [fig04 fig05 ... | all]
 //! ```
+//!
+//! `--scaleout` runs the *measured* fleet scale-out figure: one
+//! [`bmcast::fleet::Fleet`] per point (n machines, one shared
+//! switch/server with the block cache and DRR scheduler), points spread
+//! over `--jobs` threads, and writes `BENCH_scaleout.json`. With no
+//! explicit figure ids, only the scale-out figure runs.
 //!
 //! `--metrics` runs one instrumented deployment first and prints the
 //! observability report (per-phase timings, redirect/fill/discard/
@@ -167,6 +174,28 @@ fn main() {
     assert!(!take_trace_out, "--trace-out takes a directory path");
     assert!(!take_trace_ring, "--trace-ring takes a positive integer");
     assert!(trace_ring != Some(0), "--trace-ring takes a positive integer");
+
+    if args.iter().any(|a| a == "--scaleout") {
+        eprintln!("[reproduce] measuring fleet scale-out at {scale:?} scale ({jobs} jobs) ...");
+        let started = Instant::now();
+        let (fig, points) = ext_scaleout::run_scaleout(scale, jobs);
+        eprintln!(
+            "[reproduce] scaleout done in {:.1}s wall",
+            started.elapsed().as_secs_f64()
+        );
+        println!("{fig}");
+        let json_path = "BENCH_scaleout.json";
+        match ext_scaleout::write_scaleout_json(json_path, scale, &points) {
+            Ok(()) => eprintln!("[reproduce] wrote {json_path}"),
+            Err(e) => {
+                eprintln!("[reproduce] failed to write {json_path}: {e}");
+                std::process::exit(1);
+            }
+        }
+        if wanted.is_empty() && faults_sel.is_none() && trace_out.is_none() {
+            return;
+        }
+    }
 
     if args.iter().any(|a| a == "--metrics") {
         eprintln!("[reproduce] running instrumented deployment at {scale:?} scale ...");

@@ -6,37 +6,84 @@
 //! > that there is more room to scale-up the number of instances booted
 //! > simultaneously."
 //!
-//! This extension computes instance startup time as a function of how
-//! many instances start at once, for BMcast vs image copying. Per-boot
-//! server demand comes from the *measured* single-instance runs (the
-//! fig04 machinery); the shared server/link is an M/M/1-style capacity
-//! model: per-request service inflates by `1/(1-ρ)` as utilization ρ
-//! approaches 1, and past saturation, startups serialize.
+//! Two forms:
+//!
+//! - [`run`] (the `ext02` registry entry) keeps the fast **analytic**
+//!   curve: per-boot server demand from the measured single-instance
+//!   runs, shared capacity as an M/M/1-style model for ρ < 1 and a
+//!   serialization bound past saturation (startups serialize — they do
+//!   not plateau).
+//! - [`run_scaleout`] (the `reproduce --scaleout` path) **measures**:
+//!   every point is a real [`Fleet`] run — `n` full machines on one
+//!   shared switch/server with the block cache and DRR scheduler — and
+//!   the analytic curve appears only as a validation column
+//!   (calibrated from the measured n=1 baseline, never substituted for
+//!   a measurement). Points run concurrently on a bounded pool; the
+//!   artifact `BENCH_scaleout.json` is byte-identical across same-seed
+//!   runs.
 
 use crate::{Check, Figure, Row, Scale};
+use bmcast::fleet::{Fleet, FleetConfig};
+use bmcast::machine::MachineSpec;
+use bmcast::programs::BootProgram;
+use bmcast::deploy::Runner;
 use bmcast_baselines::image_copy::ImageCopyPlan;
+use guestsim::os::BootProfile;
+use simkit::SimTime;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 /// Server + gigabit-link effective capacity for deployment traffic, MB/s.
 const SERVER_CAPACITY_MBPS: f64 = 107.0;
 
-/// Startup time of one BMcast instance when `n` start simultaneously.
+/// Analytic startup time of one BMcast instance when `n` start
+/// simultaneously.
 ///
-/// `boot_cpu_s` is the CPU part of the boot; `boot_reads` redirect to the
-/// server, each needing `read_mb` at a per-read base latency of
-/// `base_read_ms`.
-pub fn bmcast_startup_secs(n: u32, boot_cpu_s: f64, boot_reads: f64, read_mb: f64, base_read_ms: f64) -> f64 {
+/// `boot_cpu_s` is the CPU part of the boot; `boot_reads` redirect to
+/// the server, each needing `read_mb` at a per-read base latency of
+/// `base_read_ms`. Below saturation the read phase inflates M/M/1-style
+/// by `1/(1-ρ)`, never dropping under the fluid serialization bound
+/// (all `n` instances' boot reads drained at pipe capacity). The
+/// open-loop M/M/1 has no steady state near ρ = 1, so the inflation is
+/// taken at face value only up to ρ = 0.97; past that the model used to
+/// *plateau* at the capped value for any `n`, which is wrong — a
+/// saturated server serializes the fleet's read volume, so each added
+/// instance costs its full drain time. The saturated branch is linear
+/// in `n` with the per-instance serialization slope, anchored at the
+/// cap so the curve stays continuous and monotone.
+pub fn analytic_bmcast_startup_secs(
+    n: u32,
+    boot_cpu_s: f64,
+    boot_reads: f64,
+    read_mb: f64,
+    base_read_ms: f64,
+) -> f64 {
     // Demand per instance while booting: copy-on-read volume over the
     // boot; the background copy is moderated off during boot.
-    let boot_len_guess = boot_cpu_s + boot_reads * base_read_ms / 1e3;
+    let uncontended_read_s = boot_reads * base_read_ms / 1e3;
+    let boot_len_guess = boot_cpu_s + uncontended_read_s;
     let per_instance_mbps = boot_reads * read_mb / boot_len_guess;
-    let rho = (n as f64 * per_instance_mbps / SERVER_CAPACITY_MBPS).min(0.97);
-    let inflated_read_ms = base_read_ms / (1.0 - rho);
-    boot_cpu_s + boot_reads * inflated_read_ms / 1e3
+    let rho = n as f64 * per_instance_mbps / SERVER_CAPACITY_MBPS;
+    const RHO_CAP: f64 = 0.97;
+    // Fluid bound: all n instances' boot reads through the shared pipe.
+    let per_instance_serial_s = boot_reads * read_mb / SERVER_CAPACITY_MBPS;
+    let serialized_s = n as f64 * per_instance_serial_s;
+    let read_s = if rho < RHO_CAP {
+        (uncontended_read_s / (1.0 - rho)).max(serialized_s)
+    } else {
+        // Saturated: queueing as of the cap, plus serialized drain for
+        // every instance beyond the fleet size that reaches it.
+        let n_cap = RHO_CAP * SERVER_CAPACITY_MBPS / per_instance_mbps;
+        (uncontended_read_s / (1.0 - RHO_CAP) + (n as f64 - n_cap) * per_instance_serial_s)
+            .max(serialized_s)
+    };
+    boot_cpu_s + read_s
 }
 
-/// Startup time of one image-copy instance when `n` start simultaneously:
-/// the transfers share the server pipe, then each restarts and boots.
-pub fn image_copy_startup_secs(n: u32, plan: &ImageCopyPlan, local_boot_s: f64) -> f64 {
+/// Analytic startup time of one image-copy instance when `n` start
+/// simultaneously: the transfers share the server pipe, then each
+/// restarts and boots.
+pub fn analytic_image_copy_startup_secs(n: u32, plan: &ImageCopyPlan, local_boot_s: f64) -> f64 {
     let installer = 52.0;
     let restart = 133.5;
     let share = SERVER_CAPACITY_MBPS / n as f64;
@@ -45,7 +92,7 @@ pub fn image_copy_startup_secs(n: u32, plan: &ImageCopyPlan, local_boot_s: f64) 
     installer + transfer + restart + local_boot_s
 }
 
-/// Regenerates the scale-out figure.
+/// Regenerates the analytic scale-out figure (registry id `ext02`).
 pub fn run(_scale: Scale) -> Figure {
     let plan = ImageCopyPlan::default();
     // Single-instance constants from the fig04 measurements.
@@ -57,8 +104,8 @@ pub fn run(_scale: Scale) -> Figure {
     let mut ic1 = 0.0;
     let mut ic64 = 0.0;
     for n in [1u32, 2, 4, 8, 16, 32, 64] {
-        let bm = bmcast_startup_secs(n, boot_cpu_s, boot_reads, read_mb, base_read_ms);
-        let ic = image_copy_startup_secs(n, &plan, 30.0);
+        let bm = analytic_bmcast_startup_secs(n, boot_cpu_s, boot_reads, read_mb, base_read_ms);
+        let ic = analytic_image_copy_startup_secs(n, &plan, 30.0);
         if n == 1 {
             bm1 = bm;
             ic1 = ic;
@@ -101,6 +148,250 @@ pub fn run(_scale: Scale) -> Figure {
     }
 }
 
+// ------------------------- measured fleet path -------------------------
+
+/// One measured scale-out point: `n` machines booted concurrently on a
+/// shared fabric by the [`Fleet`] simulator.
+#[derive(Debug, Clone)]
+pub struct ScaleoutPoint {
+    /// Fleet size.
+    pub n: u32,
+    /// Median per-machine boot-finish time, seconds.
+    pub startup_p50_s: f64,
+    /// p99 (max, at these fleet sizes) boot-finish time, seconds.
+    pub startup_p99_s: f64,
+    /// Slowest / fastest member startup (the fairness spread).
+    pub fairness_ratio: f64,
+    /// Server block-cache hit ratio over the whole run.
+    pub cache_hit_ratio: f64,
+    /// Bytes the server put on the wire (cache hits included).
+    pub bytes_moved: u64,
+    /// Analytic model's prediction, calibrated from the measured n=1
+    /// baseline (validation only — never substituted for a measurement).
+    pub analytic_s: f64,
+    /// `|analytic - p50| / p50`.
+    pub rel_err: f64,
+    /// Analytic image-copy startup for the same image and `n`.
+    pub image_copy_s: f64,
+}
+
+/// Per-scale fleet geometry: member spec, boot profile, and the fleet
+/// sizes measured. Images are scaled down from the paper's 32 GB (a
+/// 64-machine fleet of those would take hours of host time); contention
+/// is relative, and the analytic validation column ties the shape back
+/// to the paper-scale model.
+///
+/// The boot profile issues reads fast enough (well over the moderation
+/// threshold's 50/s) that every member's background copier suspends for
+/// the duration of the boot, exactly like the paper's Ubuntu profile.
+/// That keeps the n = 1 baseline honest: a sub-threshold profile would
+/// let the lone machine's copier compete with its own boot reads — a
+/// contention fleets shed via the busy hint, which made small fleets
+/// boot *faster* than one machine and hid the fabric's n-scaling.
+fn scaleout_boot_profile() -> BootProfile {
+    BootProfile::custom("scaleout-boot", 7, 400, 24 << 20, 2000, 24 << 20)
+}
+
+/// Both scales share one member geometry — quick mode just measures
+/// fewer fleet sizes. A smaller quick image looked tempting, but at
+/// tiny images the n = 2 cache savings outweigh the fabric contention
+/// and the curve inverts below n = 1; same-spec points keep every
+/// quick value bit-identical to the paper run's prefix.
+fn fleet_geometry(scale: Scale) -> (MachineSpec, BootProfile, Vec<u32>) {
+    let spec = MachineSpec {
+        capacity_sectors: (1u64 << 28) / 512,
+        image_sectors: (1u64 << 27) / 512,
+        ..MachineSpec::default()
+    };
+    let ns = match scale {
+        Scale::Paper => vec![1, 2, 4, 8, 16, 32, 64],
+        Scale::Quick => vec![1, 2, 4, 8],
+    };
+    (spec, scaleout_boot_profile(), ns)
+}
+
+/// Boots one fleet of `n` and reduces it to a [`ScaleoutPoint`] (the
+/// analytic columns are filled in later, once the n=1 baseline is
+/// known).
+fn measure_point(n: u32, spec: &MachineSpec, profile: &BootProfile) -> ScaleoutPoint {
+    let cfg = FleetConfig {
+        n: n as usize,
+        spec: spec.clone(),
+        ..FleetConfig::default()
+    };
+    let mut fleet = Fleet::new(cfg);
+    let p = profile.clone();
+    fleet.start(move |_| Box::new(BootProgram::new(p.clone())));
+    let startups = fleet
+        .run_to_all_booted(SimTime::from_secs(36_000))
+        .expect("fleet boots within limit");
+    let mut secs: Vec<f64> = startups.iter().map(|t| t.as_secs_f64()).collect();
+    secs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let p50 = secs[secs.len() / 2];
+    let p99 = secs[((secs.len() as f64 * 0.99).ceil() as usize).min(secs.len()) - 1];
+    ScaleoutPoint {
+        n,
+        startup_p50_s: p50,
+        startup_p99_s: p99,
+        fairness_ratio: secs[secs.len() - 1] / secs[0],
+        cache_hit_ratio: fleet.server().cache_hit_ratio(),
+        bytes_moved: fleet.server_bytes_read(),
+        analytic_s: 0.0,
+        rel_err: 0.0,
+        image_copy_s: 0.0,
+    }
+}
+
+/// Measures every fleet size for `scale` on at most `jobs` worker
+/// threads (each point owns its whole simulated world), then calibrates
+/// the analytic validation column from the measured n=1 baseline and a
+/// bare-metal boot of the same profile.
+pub fn measure_scaleout(scale: Scale, jobs: usize) -> Vec<ScaleoutPoint> {
+    let (spec, profile, ns) = fleet_geometry(scale);
+
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<ScaleoutPoint>>> = ns.iter().map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..jobs.min(ns.len()).max(1) {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                let Some(&n) = ns.get(i) else { break };
+                *slots[i].lock().unwrap() = Some(measure_point(n, &spec, &profile));
+            });
+        }
+    });
+    let mut points: Vec<ScaleoutPoint> = slots
+        .into_iter()
+        .map(|s| s.into_inner().unwrap().expect("point slot filled"))
+        .collect();
+
+    // Calibrate the analytic model from the measured n=1 run: redirect
+    // count and volume from the fleet's own stats, the CPU share from a
+    // bare-metal boot of the same profile (local reads are fast enough
+    // to fold into it), the per-read base latency from the difference.
+    let t1 = points[0].startup_p50_s;
+    // The demand stream is the profile itself: that is what each
+    // machine reads, wherever the sectors end up coming from.
+    let reads = profile.steps().iter().filter(|s| s.read.is_some()).count() as f64;
+    let read_mb = profile.total_read_bytes() as f64 / 1e6 / reads;
+    let mut bare = Runner::bare_metal(&spec);
+    bare.start_program(Box::new(BootProgram::new(profile.clone())));
+    let boot_cpu_s = bare
+        .run_to_finish(SimTime::from_secs(3600))
+        .expect("bare-metal boot finishes")
+        .duration_since(SimTime::ZERO)
+        .as_secs_f64();
+    let base_read_ms = ((t1 - boot_cpu_s) / reads * 1e3).max(0.01);
+
+    let plan = ImageCopyPlan {
+        image_bytes: spec.image_sectors * 512,
+        ..ImageCopyPlan::default()
+    };
+    for p in &mut points {
+        p.analytic_s =
+            analytic_bmcast_startup_secs(p.n, boot_cpu_s, reads, read_mb, base_read_ms);
+        p.rel_err = (p.analytic_s - p.startup_p50_s).abs() / p.startup_p50_s;
+        p.image_copy_s = analytic_image_copy_startup_secs(p.n, &plan, boot_cpu_s);
+    }
+    points
+}
+
+/// The measured scale-out figure (the `reproduce --scaleout` path).
+pub fn run_scaleout(scale: Scale, jobs: usize) -> (Figure, Vec<ScaleoutPoint>) {
+    let points = measure_scaleout(scale, jobs);
+
+    let rows = points
+        .iter()
+        .map(|p| {
+            Row::new(
+                format!("{:>2} machines", p.n),
+                vec![
+                    ("BMcast p50 s".into(), p.startup_p50_s),
+                    ("BMcast p99 s".into(), p.startup_p99_s),
+                    ("Image Copy s".into(), p.image_copy_s),
+                    ("cache hit %".into(), p.cache_hit_ratio * 100.0),
+                    ("model s".into(), p.analytic_s),
+                    ("model err %".into(), p.rel_err * 100.0),
+                ],
+            )
+        })
+        .collect();
+
+    let monotone = points
+        .windows(2)
+        .all(|w| w[1].startup_p99_s >= w[0].startup_p99_s * 0.999);
+    let beats_ic = points.iter().all(|p| p.startup_p99_s < p.image_copy_s);
+    let hit_at_8 = points
+        .iter()
+        .find(|p| p.n == 8)
+        .map(|p| p.cache_hit_ratio)
+        .unwrap_or(0.0);
+    let worst_err = points
+        .iter()
+        .map(|p| p.rel_err)
+        .fold(0.0f64, f64::max);
+
+    let fig = Figure {
+        id: "scaleout",
+        title: "measured fleet startups: n machines, one server, shared fabric",
+        unit: "seconds",
+        checks: vec![
+            Check::new("startup p99 monotone in n (1=yes)", 1.0, monotone as u32 as f64, ""),
+            Check::new(
+                "BMcast under image copy at every n (1=yes)",
+                1.0,
+                beats_ic as u32 as f64,
+                "",
+            ),
+            Check::new("server cache hit ratio at n=8", 7.0 / 8.0, hit_at_8, ""),
+            // Validation flag, not a pass/fail gate: how far the
+            // analytic curve drifts from the measured one at its worst
+            // point (>25% means the model misses something real).
+            Check::new("analytic model divergence (worst)", 0.25, worst_err, "x"),
+        ],
+        rows,
+    };
+    (fig, points)
+}
+
+/// Writes `BENCH_scaleout.json`. Hand-rolled JSON (the workspace
+/// carries no serde) with fixed-precision floats: same-seed runs
+/// produce byte-identical artifacts.
+pub fn write_scaleout_json(
+    path: &str,
+    scale: Scale,
+    points: &[ScaleoutPoint],
+) -> std::io::Result<()> {
+    std::fs::write(path, scaleout_json(scale, points))
+}
+
+/// The `BENCH_scaleout.json` document body.
+pub fn scaleout_json(scale: Scale, points: &[ScaleoutPoint]) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str(&format!("  \"scale\": \"{scale:?}\",\n"));
+    out.push_str("  \"points\": [\n");
+    for (i, p) in points.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"n\": {}, \"startup_p50_s\": {:.6}, \"startup_p99_s\": {:.6}, \
+             \"fairness_ratio\": {:.6}, \"cache_hit_ratio\": {:.6}, \"bytes_moved\": {}, \
+             \"analytic_s\": {:.6}, \"rel_err\": {:.6}, \"image_copy_s\": {:.6}}}{}\n",
+            p.n,
+            p.startup_p50_s,
+            p.startup_p99_s,
+            p.fairness_ratio,
+            p.cache_hit_ratio,
+            p.bytes_moved,
+            p.analytic_s,
+            p.rel_err,
+            p.image_copy_s,
+            if i + 1 < points.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -131,7 +422,30 @@ mod tests {
 
     #[test]
     fn single_instance_matches_fig04() {
-        let t = bmcast_startup_secs(1, 30.4, 4000.0, 0.018, 7.0);
+        let t = analytic_bmcast_startup_secs(1, 30.4, 4000.0, 0.018, 7.0);
         assert!((t - 58.4).abs() < 2.0, "single-instance startup {t:.1}s");
+    }
+
+    #[test]
+    fn analytic_model_serializes_past_saturation() {
+        // A demand profile that saturates the pipe immediately: each
+        // instance wants ~180 MB/s of a 107 MB/s server, so the capped
+        // M/M/1 term is a constant and only the serialization slope can
+        // (and must) provide growth.
+        let args = (1.0, 1000.0, 0.36, 1.0);
+        let at = |n| analytic_bmcast_startup_secs(n, args.0, args.1, args.2, args.3);
+        // Past saturation, startups keep growing roughly linearly with
+        // n (serialized drain) instead of plateauing at the cap.
+        assert!(at(32) > at(16) * 1.5, "n=32 {:.1}s vs n=16 {:.1}s", at(32), at(16));
+        assert!(at(64) > at(32) * 1.7, "linear growth when saturated");
+        assert!(at(64) > 200.0, "64 saturated instances serialize, {:.1}s", at(64));
+        // And the curve never decreases in n.
+        for n in 1..64 {
+            assert!(at(n + 1) >= at(n), "monotone at n={n}");
+        }
+        // The paper-regime constants (ρ ≤ 0.74 at n = 64) are untouched
+        // by the serialization bound: same values as the M/M/1 curve.
+        let bm64 = analytic_bmcast_startup_secs(64, 30.4, 4000.0, 0.018, 7.0);
+        assert!((bm64 - 137.0).abs() < 1.0, "n=64 paper regime {bm64:.1}s");
     }
 }

@@ -63,6 +63,7 @@ pub fn measure_point(
             guest_io_threshold_per_sec: f64::INFINITY,
             vmm_write_interval: d,
             vmm_write_suspend_interval: d,
+            ..Moderation::default()
         },
         None => Moderation::full_speed(),
     };

@@ -1,0 +1,133 @@
+//! Fleet scale-out invariants (the `--scaleout` figure's load-bearing
+//! claims, pinned as tests).
+//!
+//! - **n = 1 degenerates exactly**: a one-machine fleet is the
+//!   single-machine deployment — same spec, same boot profile, same
+//!   startup instant to the tick. The fleet path (queued server, DRR,
+//!   block cache, shared links) must add nothing at n = 1.
+//! - **DRR is fair**: concurrent identical boots finish within a small
+//!   spread — no member starves behind another's backlog.
+//! - **The cache does its job**: n identical boots read each range from
+//!   the server disk about once, so followers hit at ~(n-1)/n.
+//! - **Chaos runs are reproducible to the byte**: the same seed under a
+//!   fault plan yields the identical `BENCH_scaleout.json` body.
+
+use bmcast::config::BmcastConfig;
+use bmcast::deploy::Runner;
+use bmcast::fleet::{Fleet, FleetConfig};
+use bmcast::machine::MachineSpec;
+use bmcast::programs::BootProgram;
+use bmcast_bench::ext_scaleout::{scaleout_json, ScaleoutPoint};
+use bmcast_bench::Scale;
+use guestsim::os::BootProfile;
+use simkit::fault::FaultPlan;
+use simkit::SimTime;
+
+fn small_spec() -> MachineSpec {
+    MachineSpec {
+        capacity_sectors: (1u64 << 26) / 512,
+        image_sectors: (1u64 << 25) / 512,
+        ..MachineSpec::default()
+    }
+}
+
+/// A boot profile busy enough (>50 reads/s) that moderation suspends
+/// the background copier during boot at every fleet size — the same
+/// property the measured figure's geometry relies on.
+fn busy_profile() -> BootProfile {
+    BootProfile::custom("scaleout-test", 7, 200, 8 << 20, 1000, 8 << 20)
+}
+
+fn boot_fleet(cfg: FleetConfig, profile: &BootProfile) -> (Fleet, Vec<SimTime>) {
+    let mut fleet = Fleet::new(cfg);
+    let p = profile.clone();
+    fleet.start(move |_| Box::new(BootProgram::new(p.clone())));
+    let startups = fleet
+        .run_to_all_booted(SimTime::from_secs(3600))
+        .expect("fleet boots within limit");
+    (fleet, startups)
+}
+
+#[test]
+fn one_machine_fleet_is_exactly_the_single_machine_deployment() {
+    let spec = small_spec();
+    let profile = busy_profile();
+
+    let mut single = Runner::bmcast(&spec, BmcastConfig::default());
+    single.start_program(Box::new(BootProgram::new(profile.clone())));
+    let single_boot = single
+        .run_to_finish(SimTime::from_secs(3600))
+        .expect("single-machine boot finishes");
+
+    let cfg = FleetConfig {
+        n: 1,
+        spec,
+        ..FleetConfig::default()
+    };
+    let (_, startups) = boot_fleet(cfg, &profile);
+
+    assert_eq!(
+        startups[0], single_boot,
+        "a 1-fleet must reproduce the single-machine startup to the tick \
+         (fleet {:?} vs single {:?})",
+        startups[0], single_boot
+    );
+}
+
+#[test]
+fn eight_concurrent_boots_are_fair_and_share_the_cache() {
+    let cfg = FleetConfig {
+        n: 8,
+        spec: small_spec(),
+        ..FleetConfig::default()
+    };
+    let (fleet, startups) = boot_fleet(cfg, &busy_profile());
+
+    let secs: Vec<f64> = startups.iter().map(|t| t.as_secs_f64()).collect();
+    let max = secs.iter().cloned().fold(f64::MIN, f64::max);
+    let min = secs.iter().cloned().fold(f64::MAX, f64::min);
+    assert!(
+        max / min <= 1.5,
+        "DRR should keep the startup spread tight: min {min:.2}s max {max:.2}s"
+    );
+
+    // 8 identical boots, each range fetched from disk about once: the
+    // other 7 reads of it are hits (with slack for ranges still in
+    // flight when the followers ask, and for background-copy traffic).
+    let hit = fleet.server().cache_hit_ratio();
+    assert!(
+        hit >= 7.0 / 8.0 - 0.1,
+        "cache hit ratio {hit:.3} below (n-1)/n - 0.1"
+    );
+}
+
+#[test]
+fn chaos_scaleout_json_is_byte_identical_across_runs() {
+    let run_once = || {
+        let cfg = FleetConfig {
+            n: 4,
+            spec: small_spec(),
+            faults: FaultPlan::preset("chaos", 7),
+            ..FleetConfig::default()
+        };
+        let (fleet, startups) = boot_fleet(cfg, &busy_profile());
+        let mut secs: Vec<f64> = startups.iter().map(|t| t.as_secs_f64()).collect();
+        secs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let point = ScaleoutPoint {
+            n: 4,
+            startup_p50_s: secs[secs.len() / 2],
+            startup_p99_s: secs[secs.len() - 1],
+            fairness_ratio: secs[secs.len() - 1] / secs[0],
+            cache_hit_ratio: fleet.server().cache_hit_ratio(),
+            bytes_moved: fleet.server_bytes_read(),
+            analytic_s: 0.0,
+            rel_err: 0.0,
+            image_copy_s: 0.0,
+        };
+        scaleout_json(Scale::Quick, &[point])
+    };
+    let a = run_once();
+    let b = run_once();
+    assert_eq!(a, b, "same-seed chaos fleets must serialize identically");
+    assert!(a.contains("\"n\": 4"));
+}

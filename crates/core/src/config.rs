@@ -28,6 +28,11 @@ pub struct Moderation {
     pub vmm_write_interval: SimDuration,
     /// Back-off applied while the guest is I/O-active.
     pub vmm_write_suspend_interval: SimDuration,
+    /// How long the background retriever yields after the storage server
+    /// flags itself busy (fleet-aware moderation: the reply-piggybacked
+    /// hint means other machines' copy-on-read is queueing behind our
+    /// elastic traffic). Zero disables the reaction.
+    pub server_busy_backoff: SimDuration,
 }
 
 impl Default for Moderation {
@@ -41,6 +46,7 @@ impl Default for Moderation {
             guest_io_threshold_per_sec: 50.0,
             vmm_write_interval: SimDuration::from_millis(18),
             vmm_write_suspend_interval: SimDuration::from_millis(500),
+            server_busy_backoff: SimDuration::from_millis(100),
         }
     }
 }
@@ -53,6 +59,7 @@ impl Moderation {
             guest_io_threshold_per_sec: f64::INFINITY,
             vmm_write_interval: SimDuration::ZERO,
             vmm_write_suspend_interval: SimDuration::ZERO,
+            server_busy_backoff: SimDuration::ZERO,
         }
     }
 

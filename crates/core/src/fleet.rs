@@ -1,0 +1,815 @@
+//! Fleet simulator: N machines deploying concurrently over one shared
+//! fabric (§5.7's scale-out experiment, measured instead of modeled).
+//!
+//! A [`Fleet`] instantiates `n` full [`Machine`]s — each with its own
+//! [`simkit::Sim`] event queue — and couples them through a shared
+//! capacity-modeled fabric to **one** AoE storage server:
+//!
+//! - **Requests** (machine → server) transit a shared
+//!   [`Switch`](hwsim::eth::Switch) whose server port carries the
+//!   configurable uplink [`Link`]: per-frame serialization delay and
+//!   back-to-back queueing, so 64 machines' fetch bursts contend for the
+//!   same wire exactly like the paper's testbed.
+//! - **Replies** (server → machines) serialize on one shared egress
+//!   [`Link`] modeling the server NIC — the actual scale-out bottleneck.
+//! - The server runs the fleet-side queued path: per-client pending
+//!   queues drained by a deficit-round-robin scheduler
+//!   ([`AoeServer::dispatch`]), an LRU block cache that turns `n`
+//!   identical deployments into one disk read stream
+//!   (`server.cache.*`), and a **busy hint** piggybacked on replies
+//!   when the backlog crosses a threshold — machines react by pausing
+//!   their elastic background copy
+//!   ([`Moderation::server_busy_backoff`](crate::config::Moderation)).
+//!
+//! # Determinism
+//!
+//! The fleet interleaves its member simulations in lockstep: every
+//! iteration executes the globally earliest event, with ties broken
+//! fleet-events-first, then by ascending machine index. Fabric and
+//! fault randomness come from PRNG streams forked off one fleet seed
+//! (per-machine client jitter included, so retransmission storms do not
+//! synchronize), and the fleet's own event queue is an ordered map
+//! keyed by `(time, sequence)`. Two runs with the same [`FleetConfig`]
+//! are therefore event-for-event identical — the scale-out artifact is
+//! byte-reproducible.
+//!
+//! # Example
+//!
+//! ```
+//! use bmcast::fleet::{Fleet, FleetConfig};
+//! use bmcast::machine::MachineSpec;
+//! use bmcast::programs::BootProgram;
+//! use guestsim::os::BootProfile;
+//! use simkit::SimTime;
+//!
+//! let cfg = FleetConfig {
+//!     n: 2,
+//!     spec: MachineSpec {
+//!         capacity_sectors: (1u64 << 28) / 512,
+//!         image_sectors: (1u64 << 27) / 512,
+//!         ..MachineSpec::default()
+//!     },
+//!     ..FleetConfig::default()
+//! };
+//! let mut fleet = Fleet::new(cfg);
+//! fleet.start(|_| Box::new(BootProgram::new(BootProfile::tiny(7))));
+//! let startups = fleet.run_to_all_booted(SimTime::from_secs(1800)).unwrap();
+//! assert_eq!(startups.len(), 2);
+//! ```
+
+use crate::config::BmcastConfig;
+use crate::deploy::FlightRecorderConfig;
+use crate::machine::{
+    corrupt_frame_bytes, fleet_deliver_rx, fleet_harvest_tx, sample_flight_row, start_deployment,
+    start_flight_sampler, start_program, GuestProgram, Machine, MachineSim, MachineSpec,
+    SERVER_MAC, VMM_MAC,
+};
+use aoe::{AoeServer, FrameBytes, ServerConfig};
+use hwsim::block::BlockStore;
+use hwsim::disk::{DiskModel, DiskParams};
+use hwsim::eth::{Frame, Link, Switch};
+use simkit::fault::{FaultInjector, FaultPlan, LinkVerdict, ServerHealth};
+use simkit::{
+    Metrics, MetricsSnapshot, Prng, SampleRow, Sampler, SimDuration, SimTime, Span, Spans, Tracer,
+};
+use std::collections::BTreeMap;
+
+/// Fleet-wide configuration: the member machines, the shared fabric,
+/// and the shared storage server.
+#[derive(Debug, Clone)]
+pub struct FleetConfig {
+    /// Number of machines deploying concurrently.
+    pub n: usize,
+    /// Per-machine hardware description (all members are identical,
+    /// like the paper's homogeneous rack).
+    pub spec: MachineSpec,
+    /// Per-machine BMcast configuration. The fleet ignores
+    /// `fabric_loss_rate` and `faults` here (the fabric is shared;
+    /// use [`FleetConfig::fabric_loss_rate`] / [`FleetConfig::faults`]).
+    pub machine_cfg: BmcastConfig,
+    /// Storage-server configuration. `mtu` is overridden with
+    /// `machine_cfg.mtu` at construction so the endpoints always agree.
+    pub server_cfg: ServerConfig,
+    /// Uplink (machines → server) line rate, bits per second.
+    pub uplink_bps: u64,
+    /// Uplink one-way latency.
+    pub uplink_latency: SimDuration,
+    /// Server egress (server → machines) line rate, bits per second.
+    pub egress_bps: u64,
+    /// Server egress one-way latency.
+    pub egress_latency: SimDuration,
+    /// Egress backlog (in serialization time) above which the server
+    /// stops dispatching — the NIC ring is finite, so a disk-and-cache
+    /// pipeline that outruns the wire must stall, not buffer without
+    /// bound. Like the busy hint, backpressure needs at least two
+    /// clients on record: a lone machine's pump has no shared egress
+    /// queue to protect, keeping the `n = 1` fleet identical to the
+    /// single-machine deployment.
+    pub egress_queue_cap: SimDuration,
+    /// Random frame-loss rate on the shared fabric, `[0, 1]`.
+    pub fabric_loss_rate: f64,
+    /// Master seed: forked into the switch loss stream, the reply-path
+    /// loss stream, and each machine's AoE-client jitter stream.
+    pub seed: u64,
+    /// Fleet-level fault plan, applied on the shared fabric and server
+    /// (per-machine plans are disabled on fleet members).
+    pub faults: Option<FaultPlan>,
+}
+
+impl Default for FleetConfig {
+    fn default() -> Self {
+        FleetConfig {
+            n: 1,
+            spec: MachineSpec::default(),
+            machine_cfg: BmcastConfig::default(),
+            // The fleet enables the block cache by default: sized to
+            // hold a full paper-scale image's worth of distinct ranges
+            // (keys only — the data lives in the sparse BlockStore), so
+            // `n` identical deployments cost ~one disk read stream.
+            // The busy hint engages earlier than the single-machine
+            // default: with even two members, unthrottled background
+            // copies compete with boot reads for the shared egress pipe
+            // (and their fill-dependent chunk ranges defeat the cache),
+            // so a shallow queue is already worth signalling.
+            server_cfg: ServerConfig {
+                cache_entries: 65536,
+                busy_queue_threshold: 4,
+                ..ServerConfig::default()
+            },
+            uplink_bps: 1_000_000_000,
+            uplink_latency: SimDuration::from_micros(30),
+            egress_bps: 1_000_000_000,
+            egress_latency: SimDuration::from_micros(30),
+            egress_queue_cap: SimDuration::from_millis(20),
+            fabric_loss_rate: 0.0,
+            seed: 0xF1EE7,
+            faults: None,
+        }
+    }
+}
+
+/// An event on the fleet's own (fabric + server) timeline. Machine-side
+/// events stay inside each member's [`MachineSim`].
+#[derive(Debug)]
+enum FleetEvent {
+    /// A request frame arrives at the server NIC.
+    ServerRx { machine: usize, payload: FrameBytes },
+    /// A worker may have come free: try the DRR scheduler again.
+    Dispatch,
+    /// A reply becomes ready on the server and starts its egress
+    /// transmission toward `machine`.
+    ReplyTx {
+        machine: usize,
+        frames: Vec<FrameBytes>,
+    },
+    /// A reply frame arrives at `machine`'s NIC.
+    Deliver { machine: usize, payload: FrameBytes },
+    /// Fleet-level timeline sampler tick.
+    Sample,
+}
+
+/// N machines, one fabric, one server — see the module docs.
+pub struct Fleet {
+    cfg: FleetConfig,
+    machines: Vec<(Machine, MachineSim)>,
+    switch: Switch<FrameBytes>,
+    server_port: usize,
+    server: AoeServer,
+    egress: Link,
+    /// Wire bytes of replies dispatched but not yet serialized onto the
+    /// egress link (their [`FleetEvent::ReplyTx`] is still pending);
+    /// counted into the backpressure backlog so one pump can't outrun
+    /// the wire unobserved.
+    egress_inflight_bytes: u64,
+    faults: Option<FaultInjector>,
+    /// Reply-path loss stream (the switch owns the request-path one).
+    reply_prng: Prng,
+    events: BTreeMap<(SimTime, u64), FleetEvent>,
+    seq: u64,
+    now: SimTime,
+    /// Earliest already-scheduled [`FleetEvent::Dispatch`], so worker
+    /// wake-ups are not scheduled redundantly.
+    pending_dispatch: Option<SimTime>,
+    /// First boot-finish instant per machine.
+    startup: Vec<Option<SimTime>>,
+    metrics: Metrics,
+    /// Per-machine flight recorders, when enabled: `(spans, sampler)`.
+    recorders: Vec<(Spans, Sampler)>,
+    /// Server-side spans (fleet process in the exported trace).
+    server_spans: Spans,
+    /// Fleet-level timeline: server cache/queue state over time.
+    fleet_sampler: Sampler,
+}
+
+impl std::fmt::Debug for Fleet {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Fleet")
+            .field("n", &self.cfg.n)
+            .field("now", &self.now)
+            .field("booted", &self.booted_count())
+            .finish()
+    }
+}
+
+impl Fleet {
+    /// Builds the fleet: `n` members via [`Machine::bmcast_fleet`], the
+    /// shared switch/server/egress, and the forked PRNG streams.
+    /// Deployment is armed by [`Fleet::start`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg.n` is zero.
+    pub fn new(cfg: FleetConfig) -> Fleet {
+        assert!(cfg.n >= 1, "a fleet needs at least one machine");
+        let mut seeds = Prng::new(cfg.seed);
+        let mut switch = Switch::new(
+            cfg.machine_cfg.mtu,
+            cfg.fabric_loss_rate,
+            seeds.next_u64(),
+        );
+        let server_port = switch.attach(SERVER_MAC, Link::new(cfg.uplink_bps, cfg.uplink_latency));
+        let egress = Link::new(cfg.egress_bps, cfg.egress_latency);
+        let reply_prng = Prng::new(seeds.next_u64());
+
+        let server_params = DiskParams {
+            capacity_sectors: cfg.spec.image_sectors,
+            ..DiskParams::default()
+        };
+        let server_disk = DiskModel::new(
+            server_params,
+            BlockStore::image(cfg.spec.image_sectors, cfg.spec.image_seed),
+        );
+        let server = AoeServer::new(
+            ServerConfig {
+                mtu: cfg.machine_cfg.mtu,
+                ..cfg.server_cfg.clone()
+            },
+            server_disk,
+        );
+
+        let mut machine_cfg = cfg.machine_cfg.clone();
+        machine_cfg.fabric_loss_rate = 0.0;
+        machine_cfg.faults = None;
+        let mut machines = Vec::with_capacity(cfg.n);
+        for _ in 0..cfg.n {
+            let mut m = Machine::bmcast_fleet(&cfg.spec, machine_cfg.clone());
+            // Every member answers to the same shelf/slot, so the
+            // default jitter seed would retransmit in lockstep; give
+            // each client its own forked stream.
+            let jitter_seed = seeds.next_u64();
+            if let Some(vmm) = m.vmm.as_mut() {
+                vmm.client.reseed_jitter(jitter_seed);
+            }
+            machines.push((m, MachineSim::new()));
+        }
+
+        let faults = cfg.faults.clone().map(FaultInjector::new);
+        let n = cfg.n;
+        Fleet {
+            cfg,
+            machines,
+            switch,
+            server_port,
+            server,
+            egress,
+            egress_inflight_bytes: 0,
+            faults,
+            reply_prng,
+            events: BTreeMap::new(),
+            seq: 0,
+            now: SimTime::ZERO,
+            pending_dispatch: None,
+            startup: vec![None; n],
+            metrics: Metrics::disabled(),
+            recorders: Vec::new(),
+            server_spans: Spans::disabled(),
+            fleet_sampler: Sampler::disabled(),
+        }
+    }
+
+    /// Attaches one shared metrics registry and tracer to every member,
+    /// the server, and the fault injector, so a single snapshot holds
+    /// the aggregate fleet counters (`server.cache.*`, `server.queue.*`,
+    /// `machine.frames_tx`, ...). Call before [`Fleet::start`].
+    pub fn enable_telemetry(&mut self) {
+        let metrics = Metrics::enabled();
+        let tracer = Tracer::enabled(4096);
+        for (m, _) in &mut self.machines {
+            m.set_telemetry(metrics.clone(), tracer.clone());
+        }
+        self.server.set_telemetry(metrics.clone());
+        if let Some(inj) = self.faults.as_mut() {
+            inj.set_metrics(metrics.clone());
+        }
+        self.metrics = metrics;
+    }
+
+    /// Attaches a flight recorder to every member (its own span store
+    /// and timeline sampler, exported as one Perfetto process per
+    /// machine by [`Fleet::chrome_trace`]), a span store to the server,
+    /// and the fleet-level timeline sampler (server cache hit ratio and
+    /// queue depths over time). Call before [`Fleet::start`].
+    pub fn enable_flight_recorder(&mut self, rec: FlightRecorderConfig) {
+        self.recorders.clear();
+        for (m, _) in &mut self.machines {
+            let spans = Spans::enabled(rec.span_capacity);
+            let sampler = Sampler::enabled(rec.sample_interval);
+            m.set_flight_recorder(spans.clone(), sampler.clone());
+            self.recorders.push((spans, sampler));
+        }
+        self.server_spans = Spans::enabled(rec.span_capacity);
+        self.server.set_spans(self.server_spans.clone());
+        self.fleet_sampler = Sampler::enabled(rec.sample_interval);
+    }
+
+    /// Arms every member: installs its guest program (from the factory,
+    /// by machine index), starts deployment and the program at t=0, and
+    /// puts the first fetch burst on the shared fabric.
+    pub fn start(&mut self, mut program: impl FnMut(usize) -> Box<dyn GuestProgram>) {
+        for i in 0..self.machines.len() {
+            let (m, sim) = &mut self.machines[i];
+            m.set_program(program(i));
+            start_deployment(m, sim);
+            start_program(m, sim);
+            if !self.recorders.is_empty() {
+                start_flight_sampler(m, sim);
+            }
+            self.forward_requests(i, SimTime::ZERO);
+        }
+        if self.fleet_sampler.is_enabled() {
+            self.record_fleet_sample(SimTime::ZERO);
+            let at = SimTime::ZERO + self.fleet_sampler.interval();
+            self.push(at, FleetEvent::Sample);
+        }
+    }
+
+    /// Runs until every member's guest program has finished (the OS
+    /// boot, for the scale-out figure) or `limit` passes. Returns the
+    /// per-machine finish times, in machine order, or `None` on
+    /// timeout / a wedged fleet (no events anywhere).
+    pub fn run_to_all_booted(&mut self, limit: SimTime) -> Option<Vec<SimTime>> {
+        loop {
+            if self.booted_count() == self.machines.len() {
+                return Some(self.startup.iter().map(|t| t.unwrap()).collect());
+            }
+            // The globally earliest event: fleet first, then members in
+            // index order — the fixed iteration order that makes the
+            // interleave deterministic.
+            let fleet_next = self.events.keys().next().map(|&(t, _)| t);
+            let mut machine_next: Option<(SimTime, usize)> = None;
+            for (i, (_, sim)) in self.machines.iter().enumerate() {
+                if let Some(t) = sim.next_event_at() {
+                    if machine_next.is_none_or(|(best, _)| t < best) {
+                        machine_next = Some((t, i));
+                    }
+                }
+            }
+            let step_machine = match (fleet_next, machine_next) {
+                (None, None) => return None,
+                (Some(ft), Some((mt, i))) if mt < ft => Some((mt, i)),
+                (Some(ft), _) => {
+                    if ft > limit {
+                        return None;
+                    }
+                    self.step_fleet();
+                    None
+                }
+                (None, Some((mt, i))) => Some((mt, i)),
+            };
+            if let Some((t, i)) = step_machine {
+                if t > limit {
+                    return None;
+                }
+                let (m, sim) = &mut self.machines[i];
+                sim.step(m);
+                let stepped_to = sim.now();
+                self.now = self.now.max(stepped_to);
+                self.forward_requests(i, stepped_to);
+                if self.machines[i].0.guest.finished && self.startup[i].is_none() {
+                    self.startup[i] = Some(stepped_to);
+                    // Close this member's timeline at its boot-finish
+                    // state (no-op when the recorder is off).
+                    sample_flight_row(&self.machines[i].0, stepped_to);
+                }
+            }
+        }
+    }
+
+    /// Pops and executes the earliest fleet event.
+    fn step_fleet(&mut self) {
+        let Some((&key, _)) = self.events.iter().next() else {
+            return;
+        };
+        let event = self.events.remove(&key).expect("just observed");
+        let (t, _) = key;
+        self.now = self.now.max(t);
+        match event {
+            FleetEvent::ServerRx { machine, payload } => self.server_rx(t, machine, &payload),
+            FleetEvent::Dispatch => {
+                if self.pending_dispatch == Some(t) {
+                    self.pending_dispatch = None;
+                }
+                self.pump_server(t);
+            }
+            FleetEvent::ReplyTx { machine, frames } => self.reply_tx(t, machine, frames),
+            FleetEvent::Deliver { machine, payload } => {
+                let (_, sim) = &mut self.machines[machine];
+                sim.schedule_at(t, move |m: &mut Machine, sim| {
+                    fleet_deliver_rx(m, sim, payload);
+                });
+            }
+            FleetEvent::Sample => {
+                self.record_fleet_sample(t);
+                if self.booted_count() < self.machines.len() {
+                    let at = t + self.fleet_sampler.interval();
+                    self.push(at, FleetEvent::Sample);
+                }
+            }
+        }
+    }
+
+    fn push(&mut self, at: SimTime, event: FleetEvent) {
+        let key = (at, self.seq);
+        self.seq += 1;
+        self.events.insert(key, event);
+    }
+
+    /// Drains machine `i`'s NIC TX ring onto the shared fabric at `now`
+    /// (after every step of that machine, so frames leave at the same
+    /// instant the single-machine in-event pump would send them).
+    fn forward_requests(&mut self, i: usize, now: SimTime) {
+        let frames = fleet_harvest_tx(&mut self.machines[i].0);
+        for payload in frames {
+            let verdict = match self.faults.as_mut() {
+                Some(inj) => inj.link_verdict_tx(now),
+                None => LinkVerdict::Deliver,
+            };
+            let payload = if let LinkVerdict::Corrupt { entropy } = verdict {
+                corrupt_frame_bytes(&payload, entropy)
+            } else {
+                payload
+            };
+            let frame = Frame {
+                src: VMM_MAC,
+                dst: SERVER_MAC,
+                payload_bytes: payload.len() as u32,
+                payload,
+            };
+            // A lost frame (switch loss or injector drop) is recovered
+            // by the client's retransmission, exactly as single-machine.
+            let Ok(deliveries) = self.switch.forward_with(now, frame, verdict) else {
+                continue;
+            };
+            for d in deliveries {
+                if d.port != self.server_port {
+                    continue;
+                }
+                self.push(
+                    d.at,
+                    FleetEvent::ServerRx {
+                        machine: i,
+                        payload: d.frame.payload,
+                    },
+                );
+            }
+        }
+    }
+
+    /// A request frame arrives at the server: fault gates, then the
+    /// fleet queued path (enqueue + DRR pump).
+    fn server_rx(&mut self, now: SimTime, machine: usize, payload: &FrameBytes) {
+        if let Some(inj) = self.faults.as_mut() {
+            match inj.server_health(now) {
+                ServerHealth::Down => return,
+                ServerHealth::Restarting => self.server.restart(),
+                ServerHealth::Up => {}
+            }
+            let factor = inj.disk_latency_factor(now);
+            self.server.disk_mut().set_fault_latency_factor(factor);
+            let write_faults = inj.disk_write_error(now);
+            self.server.disk_mut().set_fault_write_errors(write_faults);
+        }
+        // Decode failures and misaddressed frames just vanish, like on
+        // a real wire; queue-full drops are counted by the server.
+        let _ = self.server.enqueue(machine, payload);
+        self.pump_server(now);
+    }
+
+    /// Total egress backlog at `now`, in serialization time: what the
+    /// link still has to put on the wire, plus replies dispatched but
+    /// whose [`FleetEvent::ReplyTx`] has not executed yet.
+    fn egress_backlog(&self, now: SimTime) -> SimDuration {
+        let queued = self.egress.next_free().saturating_duration_since(now);
+        let inflight = SimDuration::from_nanos(
+            self.egress_inflight_bytes * 8 * 1_000_000_000 / self.cfg.egress_bps.max(1),
+        );
+        queued + inflight
+    }
+
+    /// Lets the DRR scheduler dispatch everything it can at `now`, then
+    /// books a wake-up for the next worker-free instant.
+    ///
+    /// Dispatch also stalls while the egress backlog exceeds
+    /// [`FleetConfig::egress_queue_cap`] (with at least two clients on
+    /// record): the disk cache can serve retransmit bursts orders of
+    /// magnitude faster than a saturated wire drains them, and without
+    /// NIC backpressure that difference accumulates as an unbounded
+    /// reply queue. Requests wait in the bounded per-client queues
+    /// instead, where the busy hint and queue-full drops do their work.
+    fn pump_server(&mut self, now: SimTime) {
+        let cap = self.cfg.egress_queue_cap;
+        loop {
+            let backlog = self.egress_backlog(now);
+            if self.server.clients() >= 2 && backlog > cap {
+                if self.server.queued_total() > 0 {
+                    let resume = now + (backlog - cap);
+                    if self.pending_dispatch.is_none_or(|p| resume < p) {
+                        self.pending_dispatch = Some(resume);
+                        self.push(resume, FleetEvent::Dispatch);
+                    }
+                }
+                return;
+            }
+            let Some((client, reply)) = self.server.dispatch(now) else {
+                break;
+            };
+            self.egress_inflight_bytes += reply
+                .frames
+                .iter()
+                .map(|f| f.len() as u64 + hwsim::eth::FRAME_OVERHEAD as u64)
+                .sum::<u64>();
+            self.push(
+                reply.ready_at.max(now),
+                FleetEvent::ReplyTx {
+                    machine: client,
+                    frames: reply.frames,
+                },
+            );
+        }
+        if let Some(at) = self.server.next_dispatch_at() {
+            if self.pending_dispatch.is_none_or(|p| at < p) {
+                self.pending_dispatch = Some(at);
+                self.push(at, FleetEvent::Dispatch);
+            }
+        }
+    }
+
+    /// Reply frames leave the server: per-frame fault verdicts, the
+    /// reply-path loss draw, and serialization on the shared egress
+    /// link (the server NIC — replies to different machines queue
+    /// behind each other here).
+    fn reply_tx(&mut self, now: SimTime, machine: usize, frames: Vec<FrameBytes>) {
+        for payload in frames {
+            // The bytes move from "dispatched, pending" to the link's
+            // own horizon (or vanish to a fault verdict) — either way
+            // they leave the in-flight tally.
+            let wire = payload.len() as u64 + hwsim::eth::FRAME_OVERHEAD as u64;
+            self.egress_inflight_bytes = self.egress_inflight_bytes.saturating_sub(wire);
+            let verdict = match self.faults.as_mut() {
+                Some(inj) => inj.link_verdict_rx(now),
+                None => LinkVerdict::Deliver,
+            };
+            let (payload, copies, extra) = match verdict {
+                LinkVerdict::Drop => continue,
+                LinkVerdict::Corrupt { entropy } => {
+                    (corrupt_frame_bytes(&payload, entropy), 1, SimDuration::ZERO)
+                }
+                LinkVerdict::Duplicate => (payload, 2, SimDuration::ZERO),
+                LinkVerdict::Delay(extra) => (payload, 1, extra),
+                LinkVerdict::Deliver => (payload, 1, SimDuration::ZERO),
+            };
+            for _ in 0..copies {
+                if self.cfg.fabric_loss_rate > 0.0
+                    && self.reply_prng.chance(self.cfg.fabric_loss_rate)
+                {
+                    continue;
+                }
+                let wire = payload.len() as u32 + hwsim::eth::FRAME_OVERHEAD;
+                let at = self.egress.transmit(now, wire) + extra;
+                self.push(
+                    at,
+                    FleetEvent::Deliver {
+                        machine,
+                        payload: payload.clone(),
+                    },
+                );
+            }
+        }
+        // In-flight bytes just became link horizon (or fault-verdict
+        // losses); a backpressure-deferred dispatch may be admissible
+        // earlier than its booked resume. Outside backpressure this is
+        // a no-op: any free-worker dispatch at or before this instant
+        // already ran from its own event.
+        if self.server.queued_total() > 0 {
+            self.pump_server(now);
+        }
+    }
+
+    fn record_fleet_sample(&self, now: SimTime) {
+        if !self.fleet_sampler.is_enabled() {
+            return;
+        }
+        let min_fill = self
+            .machines
+            .iter()
+            .map(|(m, _)| m.deployment_progress())
+            .fold(1.0f64, f64::min);
+        self.fleet_sampler.record_row(
+            now,
+            vec![
+                ("server.cache.hit_ratio", self.server.cache_hit_ratio()),
+                ("server.cache.hits", self.server.cache_hits() as f64),
+                ("server.cache.misses", self.server.cache_misses() as f64),
+                ("server.cache.evictions", self.server.cache_evictions() as f64),
+                ("server.queue.total", self.server.queued_total() as f64),
+                (
+                    "server.queue.max_client",
+                    self.server.max_client_queue_depth() as f64,
+                ),
+                ("server.queue.drops", self.server.queue_drops() as f64),
+                ("server.queue.dedups", self.server.queue_dedups() as f64),
+                ("server.busy_replies", self.server.busy_replies() as f64),
+                ("fleet.machines_booted", self.booted_count() as f64),
+                ("fleet.min_fill_pct", min_fill * 100.0),
+            ],
+        );
+    }
+
+    /// How many members have finished their guest program.
+    pub fn booted_count(&self) -> usize {
+        self.startup.iter().filter(|t| t.is_some()).count()
+    }
+
+    /// Per-machine boot-finish times (index-aligned; `None` while a
+    /// member is still booting).
+    pub fn startup_times(&self) -> &[Option<SimTime>] {
+        &self.startup
+    }
+
+    /// The shared storage server (cache and scheduler counters).
+    pub fn server(&self) -> &AoeServer {
+        &self.server
+    }
+
+    /// Member `i`.
+    pub fn machine(&self, i: usize) -> &Machine {
+        &self.machines[i].0
+    }
+
+    /// Number of members.
+    pub fn len(&self) -> usize {
+        self.machines.len()
+    }
+
+    /// Whether the fleet has no members (never true — construction
+    /// requires `n >= 1`).
+    pub fn is_empty(&self) -> bool {
+        self.machines.is_empty()
+    }
+
+    /// Current fleet-wide virtual time (the latest executed event).
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Total bytes the server put on the wire (reads served, cache hits
+    /// included): the scale-out figure's "aggregate bytes moved".
+    pub fn server_bytes_read(&self) -> u64 {
+        self.server.sectors_read() * 512
+    }
+
+    /// Aggregate metrics snapshot (`None` unless
+    /// [`Fleet::enable_telemetry`] ran). Server cache and queue gauges
+    /// are included — `server.cache.{hits,misses,evictions}`,
+    /// `server.queue.{total,max_client}` — so the snapshot alone tells
+    /// the scale-out story.
+    pub fn metrics_snapshot(&self) -> Option<MetricsSnapshot> {
+        self.metrics.snapshot()
+    }
+
+    /// The fleet-level timeline sampler (enabled by
+    /// [`Fleet::enable_flight_recorder`]).
+    pub fn fleet_sampler(&self) -> &Sampler {
+        &self.fleet_sampler
+    }
+
+    /// Per-machine `(spans, sampler)` recorders (empty unless
+    /// [`Fleet::enable_flight_recorder`] ran).
+    pub fn recorders(&self) -> &[(Spans, Sampler)] {
+        &self.recorders
+    }
+
+    /// Exports the whole fleet as one Chrome trace: one Perfetto
+    /// process per machine (named `machine<i>`) plus a `fleet` process
+    /// carrying the server's spans and the fleet timeline.
+    pub fn chrome_trace(&self) -> String {
+        let mut names: Vec<String> = Vec::new();
+        let mut processes = Vec::new();
+        for (i, (spans, sampler)) in self.recorders.iter().enumerate() {
+            names.push(format!("machine{i}"));
+            processes.push((spans.finished(), sampler.rows()));
+        }
+        names.push("fleet".to_string());
+        processes.push((self.server_spans.finished(), self.fleet_sampler.rows()));
+        let refs: Vec<(&str, &[Span], &[SampleRow])> = names
+            .iter()
+            .zip(&processes)
+            .map(|(n, (s, r))| (n.as_str(), s.as_slice(), r.as_slice()))
+            .collect();
+        simkit::export::chrome_trace_json_multi(&refs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::programs::BootProgram;
+    use guestsim::os::BootProfile;
+
+    fn small_cfg(n: usize) -> FleetConfig {
+        FleetConfig {
+            n,
+            spec: MachineSpec {
+                capacity_sectors: (1u64 << 28) / 512,
+                image_sectors: (1u64 << 27) / 512,
+                ..MachineSpec::default()
+            },
+            ..FleetConfig::default()
+        }
+    }
+
+    fn boot_fleet(cfg: FleetConfig) -> (Fleet, Vec<SimTime>) {
+        let mut fleet = Fleet::new(cfg);
+        fleet.start(|_| Box::new(BootProgram::new(BootProfile::tiny(7))));
+        let startups = fleet
+            .run_to_all_booted(SimTime::from_secs(3600))
+            .expect("fleet boots");
+        (fleet, startups)
+    }
+
+    #[test]
+    fn a_pair_boots_and_the_follower_hits_the_cache() {
+        let (fleet, startups) = boot_fleet(small_cfg(2));
+        assert_eq!(startups.len(), 2);
+        assert!(fleet.server.cache_hits() > 0, "second machine should hit");
+        assert!(fleet.server_bytes_read() > 0);
+    }
+
+    #[test]
+    fn same_seed_runs_are_event_for_event_identical() {
+        let (fleet_a, a) = boot_fleet(small_cfg(3));
+        let (fleet_b, b) = boot_fleet(small_cfg(3));
+        assert_eq!(a, b);
+        assert_eq!(fleet_a.server.cache_hits(), fleet_b.server.cache_hits());
+        assert_eq!(fleet_a.server.requests(), fleet_b.server.requests());
+    }
+
+    #[test]
+    fn different_seeds_still_boot() {
+        let mut cfg = small_cfg(2);
+        cfg.seed = 42;
+        let (_, startups) = boot_fleet(cfg);
+        assert_eq!(startups.len(), 2);
+    }
+
+    #[test]
+    fn chaos_fleet_is_deterministic_and_recovers() {
+        let mut cfg = small_cfg(2);
+        cfg.faults = FaultPlan::preset("chaos", 7);
+        let (fleet_a, a) = boot_fleet(cfg.clone());
+        let (fleet_b, b) = boot_fleet(cfg);
+        assert_eq!(a, b, "chaos runs with one seed must agree");
+        assert_eq!(fleet_a.server.requests(), fleet_b.server.requests());
+        let counters = fleet_a.faults.as_ref().expect("plan installed").counters();
+        assert!(
+            counters.link_dropped
+                + counters.link_corrupted
+                + counters.link_duplicated
+                + counters.server_dropped
+                > 0,
+            "the chaos plan actually fired"
+        );
+    }
+
+    #[test]
+    fn flight_recorder_exports_one_process_per_machine() {
+        let mut fleet = Fleet::new(small_cfg(2));
+        fleet.enable_telemetry();
+        fleet.enable_flight_recorder(FlightRecorderConfig::default());
+        fleet.start(|_| Box::new(BootProgram::new(BootProfile::tiny(7))));
+        fleet
+            .run_to_all_booted(SimTime::from_secs(3600))
+            .expect("fleet boots");
+        let trace = fleet.chrome_trace();
+        assert!(trace.contains("\"machine0\""));
+        assert!(trace.contains("\"machine1\""));
+        assert!(trace.contains("\"fleet\""));
+        let snap = fleet.metrics_snapshot().expect("telemetry on");
+        assert!(snap.counter("server.cache.hits") > 0);
+        let rows = fleet.fleet_sampler().rows();
+        assert!(!rows.is_empty(), "fleet timeline sampled");
+        assert!(rows
+            .iter()
+            .any(|r| r.value("server.cache.hit_ratio").is_some()));
+    }
+}

@@ -22,6 +22,7 @@
 //! | [`netdrv`] | §4.3 | polled drivers for the dedicated NIC |
 //! | [`machine`] | §3–4 | the full machine: bus, exits, event chains |
 //! | [`deploy`] | §3.1 | deployment phases, timelines, the [`deploy::Runner`] |
+//! | [`fleet`] | §5.7 | N-machine concurrent deployment over one shared fabric |
 //! | [`programs`] | §5 | guest programs: boot, fio, ioping, streams |
 //!
 //! # Quick start
@@ -47,6 +48,7 @@ pub mod bitmap;
 pub mod config;
 pub mod deploy;
 pub mod devirt;
+pub mod fleet;
 pub mod machine;
 pub mod mediator;
 pub mod netdrv;
@@ -56,4 +58,5 @@ pub use bitmap::BlockBitmap;
 pub use config::{BmcastConfig, ControllerKind, Moderation};
 pub use deploy::Runner;
 pub use devirt::Phase;
+pub use fleet::{Fleet, FleetConfig};
 pub use machine::{DeployError, Machine, MachineSpec};

@@ -625,6 +625,20 @@ impl Machine {
         }
     }
 
+    /// A BMcast machine for fleet runs: same hardware, VMM, and guest as
+    /// [`Machine::bmcast`], but no private fabric — the fleet owns the
+    /// shared switch and storage server, harvests TX frames after each
+    /// step with [`fleet_harvest_tx`], and delivers replies through
+    /// [`fleet_deliver_rx`]. Fault injection likewise moves to the fleet
+    /// (faults live on the shared fabric and server, not inside one
+    /// machine), so any per-machine plan in `cfg` is ignored.
+    pub fn bmcast_fleet(spec: &MachineSpec, cfg: BmcastConfig) -> Machine {
+        let mut m = Machine::bmcast(spec, cfg);
+        m.net = None;
+        m.faults = None;
+        m
+    }
+
     /// Attaches observability handles to every instrumented component —
     /// the device mediators, the background copy, the AoE endpoints, and
     /// the machine's own counters. All clones share one registry/ring, so
@@ -1394,7 +1408,7 @@ fn send_vmm_frames(m: &mut Machine, sim: &mut MachineSim, frames: Vec<FrameBytes
 
 /// Applies a corruption verdict: flip one payload byte picked by the
 /// injector's entropy (the mask is forced non-zero so the flip is real).
-fn corrupt_frame_bytes(payload: &FrameBytes, entropy: u64) -> FrameBytes {
+pub(crate) fn corrupt_frame_bytes(payload: &FrameBytes, entropy: u64) -> FrameBytes {
     let mut bytes = payload.to_vec();
     if !bytes.is_empty() {
         let idx = (entropy as usize) % bytes.len();
@@ -1489,6 +1503,35 @@ fn server_rx(m: &mut Machine, sim: &mut MachineSim, payload: FrameBytes) {
             }
         });
     }
+}
+
+/// Drains the VMM NIC's TX ring for a fleet-run machine (one built by
+/// [`Machine::bmcast_fleet`], whose `net` is `None` so [`pump_vmm_tx`]
+/// is a no-op), performing exactly the per-frame bookkeeping the
+/// single-machine pump does — stats, metrics, per-frame CPU — and
+/// returning the payloads for the fleet to put on the shared fabric.
+/// Call it after every step of this machine's sim: frames queued during
+/// the step are then forwarded at the step's own timestamp, matching
+/// the single-machine path where the pump runs inside the event.
+pub fn fleet_harvest_tx(m: &mut Machine) -> Vec<FrameBytes> {
+    let Some(vmm) = m.vmm.as_mut() else {
+        return Vec::new();
+    };
+    let mut out = Vec::new();
+    while let Some(frame) = vmm.nic.nic_mut().pop_tx() {
+        m.stats.frames_tx += 1;
+        m.metrics.inc("machine.frames_tx");
+        vmm.cpu_time += SimDuration::from_micros(3);
+        out.push(frame.payload);
+    }
+    out
+}
+
+/// Delivers one reply frame from the fleet fabric into this machine's
+/// VMM NIC — the fleet-side twin of the internal switch delivery path
+/// (same NIC deposit, same half-poll-interval pickup slack).
+pub fn fleet_deliver_rx(m: &mut Machine, sim: &mut MachineSim, payload: FrameBytes) {
+    vmm_nic_rx(m, sim, payload);
 }
 
 fn vmm_nic_rx(m: &mut Machine, sim: &mut MachineSim, payload: FrameBytes) {
@@ -1729,6 +1772,22 @@ fn retriever_fire(m: &mut Machine, sim: &mut MachineSim) {
             retriever_fire(m, sim);
         });
         return;
+    }
+    // Fleet-aware moderation: a recent reply carried the server's busy
+    // hint, so other machines' copy-on-read is queueing behind elastic
+    // traffic. Background fetches yield the backoff window; redirects
+    // (a blocked guest) are never gated here.
+    let busy_backoff = vmm.cfg.moderation.server_busy_backoff;
+    if busy_backoff > SimDuration::ZERO {
+        if let Some(busy_at) = vmm.client.server_busy_at() {
+            let until = busy_at + busy_backoff;
+            if until > sim.now() {
+                sim.schedule_at(until, |m: &mut Machine, sim| {
+                    retriever_fire(m, sim);
+                });
+                return;
+            }
+        }
     }
     let mut frames = Vec::new();
     while let Some(range) = vmm.bg.next_fetch_at(sim.now(), &vmm.bitmap) {

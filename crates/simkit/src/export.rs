@@ -137,6 +137,84 @@ pub fn chrome_trace_json(spans: &[Span], samples: &[SampleRow]) -> String {
     out
 }
 
+/// Renders several recorders as one Chrome trace with one *process*
+/// per entry — the multi-machine (fleet) form of
+/// [`chrome_trace_json`]. Each `(name, spans, samples)` tuple becomes
+/// pid `i + 1` with a `process_name` metadata event, its span tracks
+/// numbered per-process, and its counter tracks scoped to its pid, so
+/// Perfetto shows `machine0`, `machine1`, ... side by side.
+pub fn chrome_trace_json_multi(processes: &[(&str, &[Span], &[SampleRow])]) -> String {
+    let mut events: Vec<String> = Vec::new();
+    for (i, (name, spans, samples)) in processes.iter().enumerate() {
+        let pid = i + 1;
+        events.push(format!(
+            "{{\"name\": \"process_name\", \"ph\": \"M\", \"pid\": {}, \
+             \"args\": {{\"name\": \"{}\"}}}}",
+            pid,
+            json_escape(name)
+        ));
+        let mut tracks: Vec<&'static str> = Vec::new();
+        for s in *spans {
+            if !tracks.contains(&s.track) {
+                tracks.push(s.track);
+            }
+        }
+        let tid_of = |track: &str| tracks.iter().position(|t| *t == track).unwrap() + 1;
+        for (j, track) in tracks.iter().enumerate() {
+            events.push(format!(
+                "{{\"name\": \"thread_name\", \"ph\": \"M\", \"pid\": {}, \"tid\": {}, \
+                 \"args\": {{\"name\": \"{}\"}}}}",
+                pid,
+                j + 1,
+                json_escape(track)
+            ));
+        }
+        for s in *spans {
+            let dur_ns = s.duration().as_nanos();
+            let mut args = format!("\"id\": {}", s.id.0);
+            if s.parent != NO_SPAN {
+                let _ = write!(args, ", \"parent\": {}", s.parent.0);
+            }
+            if !s.detail.is_empty() {
+                let _ = write!(args, ", \"detail\": \"{}\"", json_escape(&s.detail));
+            }
+            events.push(format!(
+                "{{\"name\": \"{}\", \"cat\": \"{}\", \"ph\": \"X\", \"ts\": {}, \
+                 \"dur\": {}.{:03}, \"pid\": {}, \"tid\": {}, \"args\": {{{}}}}}",
+                json_escape(s.kind),
+                json_escape(s.track),
+                ts_micros(s.start),
+                dur_ns / 1_000,
+                dur_ns % 1_000,
+                pid,
+                tid_of(s.track),
+                args
+            ));
+        }
+        for row in *samples {
+            for (name, value) in &row.values {
+                events.push(format!(
+                    "{{\"name\": \"{}\", \"ph\": \"C\", \"ts\": {}, \"pid\": {}, \
+                     \"args\": {{\"value\": {}}}}}",
+                    json_escape(name),
+                    ts_micros(row.at),
+                    pid,
+                    fmt_value(*value)
+                ));
+            }
+        }
+    }
+
+    let mut out = String::from("{\"traceEvents\": [\n");
+    for (i, ev) in events.iter().enumerate() {
+        out.push_str("  ");
+        out.push_str(ev);
+        out.push_str(if i + 1 < events.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("], \"displayTimeUnit\": \"ms\"}\n");
+    out
+}
+
 /// Renders the timeline alone as a line-oriented JSON document
 /// (`{"rows": [{"t_s": ..., "series": {...}}, ...]}`) — the artifact
 /// `check_figures.py --trace` validates for monotone bitmap fill.

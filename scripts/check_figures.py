@@ -20,9 +20,17 @@ With `--trace`, validates a flight-recorder artifact directory
 and `trace.json` must be valid JSON with a non-empty `traceEvents`
 array.
 
+With `--scaleout`, validates a measured fleet scale-out artifact
+(`reproduce --scaleout` writes `BENCH_scaleout.json`): startup p99 must
+be monotone non-decreasing in fleet size (small tolerance for sim
+noise), BMcast must beat the analytic image-copy baseline at every
+point, and the server block cache must carry at least half the reads at
+n >= 8.
+
 Usage: scripts/check_figures.py BENCH_reproduce.json reproduce_output.txt
        scripts/check_figures.py --faults BENCH_reproduce.json
        scripts/check_figures.py --trace TRACE_DIR
+       scripts/check_figures.py --scaleout BENCH_scaleout.json
 """
 
 import json
@@ -128,12 +136,57 @@ def check_trace(trace_dir):
         sys.exit(1)
 
 
+def check_scaleout(bench_path):
+    """Validate a measured fleet scale-out run (BENCH_scaleout.json)."""
+    with open(bench_path, encoding="utf-8") as f:
+        points = json.load(f)["points"]
+    failed = False
+    if len(points) < 2:
+        print(f"FAIL: only {len(points)} scale-out points in {bench_path}")
+        sys.exit(1)
+
+    ns = [p["n"] for p in points]
+    p99 = [p["startup_p99_s"] for p in points]
+    for i in range(1, len(points)):
+        if p99[i] < p99[i - 1] * 0.999:
+            print(f"FAIL monotone: p99 {p99[i - 1]:.2f}s at n={ns[i - 1]}"
+                  f" -> {p99[i]:.2f}s at n={ns[i]}")
+            failed = True
+    if not failed:
+        print(f"ok   p99 monotone over n={ns}")
+
+    slow = [p for p in points if p["startup_p99_s"] >= p["image_copy_s"]]
+    if slow:
+        for p in slow:
+            print(f"FAIL n={p['n']}: BMcast {p['startup_p99_s']:.1f}s not"
+                  f" under image copy {p['image_copy_s']:.1f}s")
+        failed = True
+    else:
+        print(f"ok   BMcast under image copy at all {len(points)} points")
+
+    big = [p for p in points if p["n"] >= 8]
+    for p in big:
+        if p["cache_hit_ratio"] < 0.5:
+            print(f"FAIL n={p['n']}: cache hit ratio"
+                  f" {p['cache_hit_ratio']:.3f} < 0.5")
+            failed = True
+    if big and not failed:
+        print(f"ok   cache hit ratio >= 0.5 at n >= 8"
+              f" (best {max(p['cache_hit_ratio'] for p in big):.3f})")
+
+    if failed:
+        sys.exit(1)
+
+
 def main():
     if len(sys.argv) == 3 and sys.argv[1] == "--faults":
         check_faults(sys.argv[2])
         return
     if len(sys.argv) == 3 and sys.argv[1] == "--trace":
         check_trace(sys.argv[2])
+        return
+    if len(sys.argv) == 3 and sys.argv[1] == "--scaleout":
+        check_scaleout(sys.argv[2])
         return
     if len(sys.argv) != 3 or sys.argv[1].startswith("--"):
         sys.exit("\n".join(__doc__.strip().splitlines()[-2:]))

@@ -25,6 +25,7 @@ proptest! {
         lba in 0u64..(1 << 48),
         sectors in 1u32..64,
         write in any::<bool>(),
+        busy in any::<bool>(),
         payload_seed in any::<u64>(),
     ) {
         let data = (write || response).then(|| {
@@ -37,6 +38,7 @@ proptest! {
             slot,
             tag: Tag::new(req_id, frag),
             write,
+            busy,
             range: BlockRange::new(Lba(lba), sectors),
             data,
         };
@@ -267,6 +269,7 @@ proptest! {
                 guest_io_threshold_per_sec: f64::INFINITY,
                 vmm_write_interval: SimDuration::from_micros(interval_us),
                 vmm_write_suspend_interval: SimDuration::from_micros(interval_us),
+                ..Moderation::default()
             },
             ..BmcastConfig::default()
         };
