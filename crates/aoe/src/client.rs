@@ -21,6 +21,18 @@
 //! Without both, a fleet-scale burst collapses — every queued-but-slow
 //! request is retransmitted, re-served, and finally *failed*, killing
 //! deployments against a perfectly healthy server.
+//!
+//! The client can read from a *set* of server endpoints (a replicated
+//! image store, plus any rack-local serving peers registered at runtime).
+//! Reads are steered by LBA stripe ([`ClientConfig::stripe_sectors`]) so
+//! each endpoint sees a disjoint, stable working set and its block cache
+//! stays hot; writes always go to the primary endpoint (the configured
+//! shelf/slot), which is the single write-ordering point. Every pending
+//! request remembers the endpoint it was issued to: retransmissions go
+//! back to the same endpoint byte-identically, and the busy/liveness
+//! latch is kept *per endpoint* — a busy hint from a live server proves
+//! that server alive, not the rest of the fleet, so it holds the retry
+//! budget open only for requests pending on that endpoint.
 
 use crate::wire::{sectors_per_frame, AoePdu, FrameBytes, Tag};
 use hwsim::block::{BlockRange, SectorData};
@@ -51,8 +63,15 @@ pub struct ClientConfig {
     /// hint is proof of life, so while one is fresh an exhausted request
     /// keeps retransmitting at the capped RTO instead of failing — the
     /// alternative under fleet-scale congestion is a wave of spurious
-    /// failures against a server that was merely backlogged.
+    /// failures against a server that was merely backlogged. Liveness is
+    /// tracked per endpoint: only hints from the endpoint a request is
+    /// pending on hold that request's budget.
     pub busy_grace: SimDuration,
+    /// Read-striping granularity in sectors across the endpoint set: the
+    /// endpoint for a read is `endpoints[(lba / stripe_sectors) % k]`.
+    /// Aligned with the background copier's block size by default so each
+    /// copy block maps to exactly one endpoint.
+    pub stripe_sectors: u32,
 }
 
 impl Default for ClientConfig {
@@ -65,6 +84,7 @@ impl Default for ClientConfig {
             max_rto: SimDuration::from_millis(500),
             max_retries: 8,
             busy_grace: SimDuration::from_secs(2),
+            stripe_sectors: 2048,
         }
     }
 }
@@ -100,6 +120,15 @@ pub struct Completion {
 struct Pending {
     range: BlockRange,
     is_write: bool,
+    /// The endpoint this request was issued to. Retransmissions go back
+    /// to the same endpoint (byte-identical for full-loss reads, so the
+    /// server's dedup and cache keys still match), and the busy-hint
+    /// budget hold consults this endpoint's latch only.
+    shelf: u16,
+    slot: u8,
+    /// Whether the request carried the completion-priority flag; kept so
+    /// retransmissions re-encode the original bytes exactly.
+    sprint: bool,
     /// Per-fragment reassembly slots (reads) or ack flags (writes).
     frags: Vec<Option<Vec<SectorData>>>,
     /// Write fragments kept for retransmission, shared with the frames
@@ -160,9 +189,15 @@ pub struct AoeClient {
     completions: u64,
     stale_replies: u64,
     decode_errors: u64,
-    /// Last instant a reply carried the server-busy hint, if any. Fed
-    /// into the background-copy throttle by fleet-aware moderation.
-    last_busy_at: Option<SimTime>,
+    /// Read endpoints in registration order: the primary (configured
+    /// shelf/slot) first, then replicas and runtime-registered peers.
+    endpoints: Vec<(u16, u8)>,
+    /// Last instant a reply from each endpoint carried the server-busy
+    /// hint. Fed into the background-copy throttle by fleet-aware
+    /// moderation, and consulted per endpoint by the retry-budget hold.
+    busy_at: BTreeMap<(u16, u8), SimTime>,
+    /// When set, reads carry the completion-priority (sprint) flag.
+    sprint: bool,
     failures: Vec<u32>,
     metrics: Metrics,
     tracer: Tracer,
@@ -173,8 +208,10 @@ impl AoeClient {
     /// Creates a client.
     pub fn new(cfg: ClientConfig) -> AoeClient {
         let seed = 0xA0EC_11E7_u64 ^ ((cfg.shelf as u64) << 8) ^ cfg.slot as u64;
+        let endpoints = vec![(cfg.shelf, cfg.slot)];
         AoeClient {
             cfg,
+            endpoints,
             next_id: 1,
             pending: BTreeMap::new(),
             retired: BTreeSet::new(),
@@ -184,7 +221,8 @@ impl AoeClient {
             completions: 0,
             stale_replies: 0,
             decode_errors: 0,
-            last_busy_at: None,
+            busy_at: BTreeMap::new(),
+            sprint: false,
             failures: Vec::new(),
             metrics: Metrics::disabled(),
             tracer: Tracer::disabled(),
@@ -237,11 +275,67 @@ impl AoeClient {
         self.decode_errors
     }
 
-    /// Last instant a reply carried the server-busy hint, if any ever
-    /// did. Moderation compares this against its backoff window to
-    /// decide whether elastic traffic should yield.
+    /// Last instant a reply from *any* endpoint carried the server-busy
+    /// hint, if any ever did. Moderation compares this against its
+    /// backoff window to decide whether elastic traffic should yield —
+    /// congestion anywhere in the store is reason to yield everywhere.
     pub fn server_busy_at(&self) -> Option<SimTime> {
-        self.last_busy_at
+        self.busy_at.values().max().copied()
+    }
+
+    /// Last busy hint from one specific endpoint — the per-endpoint
+    /// liveness latch that the retry-budget hold consults.
+    pub fn server_busy_at_endpoint(&self, endpoint: (u16, u8)) -> Option<SimTime> {
+        self.busy_at.get(&endpoint).copied()
+    }
+
+    /// The current read endpoints, primary first.
+    pub fn read_endpoints(&self) -> &[(u16, u8)] {
+        &self.endpoints
+    }
+
+    /// Replaces the read-endpoint set (a replicated store's shelves).
+    /// Affects only requests issued afterwards.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `endpoints` is empty.
+    pub fn set_read_endpoints(&mut self, endpoints: Vec<(u16, u8)>) {
+        assert!(!endpoints.is_empty(), "a client needs at least one endpoint");
+        self.endpoints = endpoints;
+    }
+
+    /// Registers an additional read endpoint (a peer that just turned
+    /// serving) unless already present. Affects only future reads:
+    /// outstanding requests keep retransmitting to their issue endpoint.
+    pub fn add_read_endpoint(&mut self, endpoint: (u16, u8)) {
+        if !self.endpoints.contains(&endpoint) {
+            self.endpoints.push(endpoint);
+        }
+    }
+
+    /// Overrides the read-striping granularity (keep aligned with the
+    /// background copier's block size).
+    pub fn set_stripe_sectors(&mut self, sectors: u32) {
+        assert!(sectors > 0, "stripe must cover at least one sector");
+        self.cfg.stripe_sectors = sectors;
+    }
+
+    /// Turns the completion-priority (sprint) flag on or off for future
+    /// reads. Set once the deployment enters its post-boot endgame: the
+    /// server weights flagged clients up so they convert into serving
+    /// peers sooner.
+    pub fn set_sprint(&mut self, sprint: bool) {
+        self.sprint = sprint;
+    }
+
+    /// The endpoint a read of `range` will be issued to under the
+    /// current endpoint set: stable LBA striping so each endpoint keeps
+    /// a disjoint, cache-friendly share of the image.
+    pub fn endpoint_for(&self, range: BlockRange) -> (u16, u8) {
+        let stripe = self.cfg.stripe_sectors as u64;
+        let idx = (range.lba.0 / stripe) % self.endpoints.len() as u64;
+        self.endpoints[idx as usize]
     }
 
     /// Replaces the jitter PRNG stream. Fleet machines share one client
@@ -304,18 +398,24 @@ impl AoeClient {
     ) -> (u32, Vec<FrameBytes>) {
         self.metrics.inc("aoe.client.reads");
         let id = self.alloc_id();
-        let pdu = AoePdu::read_request(self.cfg.shelf, self.cfg.slot, Tag::new(id, 0), range);
+        let (shelf, slot) = self.endpoint_for(range);
+        let sprint = self.sprint;
+        let mut pdu = AoePdu::read_request(shelf, slot, Tag::new(id, 0), range);
+        pdu.sprint = sprint;
         let frames = vec![pdu.encode_frame()];
         let nfrags = self.fragment_count(range.sectors);
         let deadline = now + self.cfg.backoff(0) + jitter(&mut self.prng, self.cfg.rto);
         let span = self.spans.begin(now, "aoe.client", "aoe.rtt", parent, || {
-            format!("read req {id} lba {} x{}", range.lba.0, range.sectors)
+            format!("read req {id} lba {} x{} @ {shelf}.{slot}", range.lba.0, range.sectors)
         });
         self.pending.insert(
             id,
             Pending {
                 range,
                 is_write: false,
+                shelf,
+                slot,
+                sprint,
                 frags: vec![None; nfrags as usize],
                 // Reads keep nothing: retransmission re-encodes exactly
                 // the missing subranges (see `poll_retransmit`).
@@ -390,6 +490,11 @@ impl AoeClient {
             Pending {
                 range,
                 is_write: true,
+                // Writes always target the primary: one write-ordering
+                // point keeps the replicated store trivially consistent.
+                shelf: self.cfg.shelf,
+                slot: self.cfg.slot,
+                sprint: false,
                 frags: vec![None; frag as usize],
                 // Shares the allocations just handed to the wire.
                 request_frames: frames.clone(),
@@ -419,8 +524,9 @@ impl AoeClient {
         if pdu.response && pdu.busy {
             // Latch the busy hint even off error replies or stale
             // duplicates: congestion news is news regardless of which
-            // request carried it.
-            self.last_busy_at = Some(now);
+            // request carried it — but it is news about one endpoint,
+            // so it latches under that endpoint's key only.
+            self.busy_at.insert((pdu.shelf, pdu.slot), now);
             self.metrics.inc("aoe.client.busy_hints");
         }
         if !pdu.response || pdu.error.is_some() {
@@ -481,11 +587,6 @@ impl AoeClient {
         let mut out = Vec::new();
         let max = self.cfg.max_retries;
         let mut dead = Vec::new();
-        // A fresh busy hint means the server is alive and shedding load,
-        // not gone: hold the retry budget rather than declaring death.
-        let busy_recent = self
-            .last_busy_at
-            .is_some_and(|t| now.saturating_duration_since(t) <= self.cfg.busy_grace);
         // Split the borrows so the telemetry handles are used in place:
         // this runs once per simulated tick, and cloning them every call
         // would churn two reference counts per poll for nothing.
@@ -494,6 +595,7 @@ impl AoeClient {
             pending,
             prng,
             retransmits,
+            busy_at,
             metrics,
             tracer,
             spans,
@@ -504,11 +606,18 @@ impl AoeClient {
                 continue;
             }
             if p.retries >= max {
+                // A fresh busy hint means a server is alive and shedding
+                // load, not gone — but only a hint from *this* request's
+                // endpoint is proof of that endpoint's life. A live
+                // replica must not hold the budget open for a dead one.
+                let busy_recent = busy_at
+                    .get(&(p.shelf, p.slot))
+                    .is_some_and(|&t| now.saturating_duration_since(t) <= cfg.busy_grace);
                 if !busy_recent {
                     dead.push(id);
                     continue;
                 }
-                // Budget spent but the server is provably alive: keep
+                // Budget spent but the endpoint is provably alive: keep
                 // retransmitting at the capped cadence until the busy
                 // news goes stale.
                 metrics.inc("aoe.client.budget_holds");
@@ -530,12 +639,13 @@ impl AoeClient {
                     }
                 }
             } else if p.frags.iter().all(|f| f.is_none()) {
-                // Nothing arrived: resend the original full-range read.
-                // Identical bytes mean the server sees the same cache
-                // key (a drop-then-retransmit still shares the fleet
-                // block cache) and can dedup it against a still-queued
-                // first copy.
-                let pdu = AoePdu::read_request(cfg.shelf, cfg.slot, Tag::new(id, 0), p.range);
+                // Nothing arrived: resend the original full-range read to
+                // its original endpoint. Identical bytes mean the server
+                // sees the same cache key (a drop-then-retransmit still
+                // shares the fleet block cache) and can dedup it against
+                // a still-queued first copy.
+                let mut pdu = AoePdu::read_request(p.shelf, p.slot, Tag::new(id, 0), p.range);
+                pdu.sprint = p.sprint;
                 out.push(pdu.encode_frame());
                 *retransmits += 1;
                 metrics.inc("aoe.client.retransmits");
@@ -552,8 +662,9 @@ impl AoeClient {
                     let offset = i as u32 * spf;
                     let sectors = spf.min(p.range.sectors - offset);
                     let sub = BlockRange::new(p.range.lba + offset as u64, sectors);
-                    let pdu =
-                        AoePdu::read_request(cfg.shelf, cfg.slot, Tag::new(id, i as u32), sub);
+                    let mut pdu =
+                        AoePdu::read_request(p.shelf, p.slot, Tag::new(id, i as u32), sub);
+                    pdu.sprint = p.sprint;
                     out.push(pdu.encode_frame());
                     *retransmits += 1;
                     metrics.inc("aoe.client.retransmits");
@@ -859,6 +970,110 @@ mod tests {
         let stale = now + SimDuration::from_secs(1);
         c.poll_retransmit(stale);
         assert_eq!(c.take_failures().len(), 1, "dead server detected");
+    }
+
+    #[test]
+    fn reads_stripe_across_endpoints_and_writes_stay_primary() {
+        let mut c = AoeClient::new(ClientConfig {
+            stripe_sectors: 8,
+            ..ClientConfig::default()
+        });
+        c.set_read_endpoints(vec![(0, 0), (1, 0), (2, 0)]);
+        for (lba, want_shelf) in [(0u64, 0u16), (8, 1), (16, 2), (24, 0), (7, 0), (9, 1)] {
+            let (_, frames) = c.read(SimTime::ZERO, BlockRange::new(Lba(lba), 1));
+            let pdu = AoePdu::decode(&frames[0]).unwrap();
+            assert_eq!(pdu.shelf, want_shelf, "lba {lba} steered to wrong endpoint");
+        }
+        // Writes ignore the stripe: the primary is the write-ordering point.
+        let (_, frames) = c.write(SimTime::ZERO, BlockRange::new(Lba(16), 1), &[SectorData(1)]);
+        assert_eq!(AoePdu::decode(&frames[0]).unwrap().shelf, 0);
+        // A peer registered mid-run only affects future reads.
+        c.add_read_endpoint((9, 0));
+        c.add_read_endpoint((9, 0)); // duplicate registration is a no-op
+        assert_eq!(c.read_endpoints().len(), 4);
+        let (_, frames) = c.read(SimTime::ZERO, BlockRange::new(Lba(24), 1));
+        assert_eq!(AoePdu::decode(&frames[0]).unwrap().shelf, 9);
+    }
+
+    #[test]
+    fn busy_hint_from_one_endpoint_does_not_hold_anothers_budget() {
+        // Regression: with k servers, the busy latch used to be one
+        // global timestamp, so a live server's hint kept requests to a
+        // dead server retransmitting forever instead of failing.
+        let cfg = ClientConfig {
+            rto: SimDuration::from_millis(1),
+            max_retries: 1,
+            busy_grace: SimDuration::from_millis(50),
+            stripe_sectors: 8,
+            ..ClientConfig::default()
+        };
+        let busy_from = |shelf: u16| {
+            let mut pdu =
+                AoePdu::read_request(shelf, 0, Tag::new(999, 0), BlockRange::new(Lba(0), 1));
+            pdu.response = true;
+            pdu.busy = true;
+            pdu.error = Some(1);
+            pdu.encode()
+        };
+        // Request pending on shelf 1, busy news from shelf 0: the budget
+        // verdict must land — shelf 0's life says nothing about shelf 1.
+        let mut c = AoeClient::new(cfg.clone());
+        c.set_read_endpoints(vec![(0, 0), (1, 0)]);
+        let (id, _) = c.read(SimTime::ZERO, BlockRange::new(Lba(8), 1));
+        let mut now = SimTime::ZERO;
+        while c.outstanding() > 0 {
+            assert!(c.on_frame(now, &busy_from(0)).is_none());
+            now = c.next_retransmit_at().unwrap();
+            c.poll_retransmit(now);
+        }
+        assert_eq!(c.take_failures(), vec![id], "dead endpoint not detected");
+        assert_eq!(c.server_busy_at_endpoint((1, 0)), None);
+        // Same shape, but the busy news comes from the pending request's
+        // own endpoint: the budget is held open.
+        let mut c = AoeClient::new(cfg);
+        c.set_read_endpoints(vec![(0, 0), (1, 0)]);
+        c.read(SimTime::ZERO, BlockRange::new(Lba(8), 1));
+        let mut now = SimTime::ZERO;
+        for _ in 0..4 {
+            assert!(c.on_frame(now, &busy_from(1)).is_none());
+            now = c.next_retransmit_at().unwrap();
+            assert!(!c.poll_retransmit(now).is_empty(), "kept retransmitting");
+            assert_eq!(c.outstanding(), 1);
+        }
+        assert!(c.take_failures().is_empty(), "live endpoint spuriously failed");
+        // The aggregate latch still reports the newest hint for moderation.
+        assert_eq!(c.server_busy_at(), c.server_busy_at_endpoint((1, 0)));
+    }
+
+    #[test]
+    fn retransmit_returns_to_the_issue_endpoint_with_the_sprint_flag() {
+        let mut c = AoeClient::new(ClientConfig {
+            stripe_sectors: 8,
+            ..ClientConfig::default()
+        });
+        c.set_read_endpoints(vec![(0, 0), (1, 0)]);
+        c.set_sprint(true);
+        let (_, frames) = c.read(SimTime::ZERO, BlockRange::new(Lba(8), 40));
+        let pdu = AoePdu::decode(&frames[0]).unwrap();
+        assert_eq!((pdu.shelf, pdu.sprint), (1, true));
+        // Even after the endpoint set and sprint mode change, a full-loss
+        // retransmit is byte-identical to the original frame.
+        c.set_read_endpoints(vec![(5, 0)]);
+        c.set_sprint(false);
+        let resent = c.poll_retransmit(c.next_retransmit_at().unwrap());
+        assert_eq!(resent.len(), 1);
+        assert_eq!(resent[0].as_ref(), frames[0].as_ref());
+        // Partial-loss subrange retransmits also stick to the endpoint.
+        let spf = sectors_per_frame(c.config().mtu);
+        let first = BlockRange::new(Lba(8), spf);
+        let rs = mk_response(
+            &frames[0],
+            &[(0, first, (0..spf as u64).map(SectorData).collect())],
+        );
+        assert!(c.on_frame(SimTime::ZERO, &rs[0]).is_none());
+        let resent = c.poll_retransmit(c.next_retransmit_at().unwrap());
+        let pdu = AoePdu::decode(&resent[0]).unwrap();
+        assert_eq!((pdu.shelf, pdu.sprint), (1, true));
     }
 
     #[test]

@@ -29,4 +29,4 @@ pub mod wire;
 
 pub use client::{AoeClient, ClientConfig, Completion};
 pub use server::{AoeServer, ServerConfig};
-pub use wire::{AoeCommand, AoePdu, FrameBytes, Tag, AOE_HEADER_BYTES};
+pub use wire::{peek_shelf_slot, AoeCommand, AoePdu, FrameBytes, Tag, AOE_HEADER_BYTES};

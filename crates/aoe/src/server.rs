@@ -29,8 +29,8 @@ pub struct ServerConfig {
     pub workers: usize,
     /// Per-request CPU cost (syscall + packetization).
     pub per_request_cpu: SimDuration,
-    /// Block-cache capacity in (lba, sectors) entries; 0 disables the
-    /// cache entirely (the single-machine default — one reader never
+    /// Block-cache capacity in (slot, lba, sectors) entries; 0 disables
+    /// the cache entirely (the single-machine default — one reader never
     /// re-reads a range, so a cache would only burn memory).
     pub cache_entries: usize,
     /// Per-client pending-queue bound on the queued (fleet) path;
@@ -44,6 +44,12 @@ pub struct ServerConfig {
     /// hint (only ever raised with two or more distinct clients, so a
     /// lone machine never throttles itself).
     pub busy_queue_threshold: usize,
+    /// DRR quantum multiplier for clients whose latest queued request
+    /// carries the completion-priority (sprint) flag: a machine whose
+    /// deployment bitmap is nearly full is about to become a serving
+    /// peer, and finishing it early *creates* capacity. 1 disables the
+    /// weighting (every client gets the plain quantum).
+    pub sprint_boost: u32,
 }
 
 impl Default for ServerConfig {
@@ -58,6 +64,7 @@ impl Default for ServerConfig {
             client_queue_limit: 256,
             drr_quantum_sectors: 64,
             busy_queue_threshold: 24,
+            sprint_boost: 1,
         }
     }
 }
@@ -89,22 +96,30 @@ pub enum Enqueued {
     NotForUs,
 }
 
+/// Cache key: the served volume (slot) plus the exact block range. The
+/// slot is part of the key because one server can export several volumes
+/// holding *different images* — without it, two tenants reading the same
+/// LBA of different images would share a timing entry, i.e. one tenant's
+/// warm blocks would price another tenant's cold ones as cache hits.
+type CacheKey = (u8, u64, u32);
+
 /// Deterministic LRU presence cache over served read ranges.
 ///
 /// Models the server's page cache: the first reader of a range pays the
-/// disk, every later reader of the *same* range is served from memory.
-/// Only timing is cached — payload bytes always come from the store, so
-/// the cache can never serve stale data it merely mis-prices. Keys are
-/// exact (lba, sectors) pairs: concurrent identical boots issue identical
-/// redirect/background ranges, which is precisely the fleet sharing this
-/// cache exists to exploit.
+/// disk, every later reader of the *same* range on the *same* volume is
+/// served from memory. Only timing is cached — payload bytes always come
+/// from the addressed volume's store, so the cache can never serve stale
+/// data it merely mis-prices. Keys are exact (slot, lba, sectors)
+/// triples: concurrent identical boots issue identical redirect/
+/// background ranges, which is precisely the fleet sharing this cache
+/// exists to exploit.
 #[derive(Debug, Default)]
 struct BlockCache {
     capacity: usize,
     /// Monotonic use counter; recency order without wall/sim time.
     stamp: u64,
-    by_key: BTreeMap<(u64, u32), u64>,
-    by_stamp: BTreeMap<u64, (u64, u32)>,
+    by_key: BTreeMap<CacheKey, u64>,
+    by_stamp: BTreeMap<u64, CacheKey>,
     hits: u64,
     misses: u64,
     evictions: u64,
@@ -118,14 +133,14 @@ impl BlockCache {
         }
     }
 
-    /// Looks up `range`, inserting it on a miss. Returns whether the
-    /// lookup hit. Disabled (capacity 0) caches always miss and store
-    /// nothing.
-    fn touch(&mut self, range: BlockRange) -> bool {
+    /// Looks up `range` on volume `slot`, inserting it on a miss.
+    /// Returns whether the lookup hit. Disabled (capacity 0) caches
+    /// always miss and store nothing.
+    fn touch(&mut self, slot: u8, range: BlockRange) -> bool {
         if self.capacity == 0 {
             return false;
         }
-        let key = (range.lba.0, range.sectors);
+        let key = (slot, range.lba.0, range.sectors);
         self.stamp += 1;
         if let Some(old) = self.by_key.insert(key, self.stamp) {
             self.by_stamp.remove(&old);
@@ -144,18 +159,21 @@ impl BlockCache {
         false
     }
 
-    /// Drops every entry overlapping `range` (a write landed there).
-    /// The deployment path never writes to the image server, so this is
-    /// a correctness backstop, not a hot path — a full scan is fine.
-    fn invalidate(&mut self, range: BlockRange) {
+    /// Drops every entry on volume `slot` overlapping `range` (a write
+    /// landed there). The deployment path never writes to the image
+    /// server, so this is a correctness backstop, not a hot path — a
+    /// full scan is fine.
+    fn invalidate(&mut self, slot: u8, range: BlockRange) {
         if self.by_key.is_empty() {
             return;
         }
         let (start, end) = (range.lba.0, range.lba.0 + range.sectors as u64);
-        let stale: Vec<((u64, u32), u64)> = self
+        let stale: Vec<(CacheKey, u64)> = self
             .by_key
             .iter()
-            .filter(|(&(lba, sectors), _)| lba < end && lba + sectors as u64 > start)
+            .filter(|(&(s, lba, sectors), _)| {
+                s == slot && lba < end && lba + sectors as u64 > start
+            })
             .map(|(&k, &s)| (k, s))
             .collect();
         for (key, stamp) in stale {
@@ -176,6 +194,9 @@ struct ClientQueue {
     queue: VecDeque<AoePdu>,
     /// Sectors of service this client may still consume this turn.
     deficit: u64,
+    /// Whether the client's latest queued request carried the
+    /// completion-priority flag; decides its DRR quantum weighting.
+    sprint: bool,
 }
 
 /// The AoE storage server.
@@ -201,6 +222,11 @@ struct ClientQueue {
 pub struct AoeServer {
     cfg: ServerConfig,
     disk: DiskModel,
+    /// Additional exported volumes by slot address — distinct images
+    /// behind one server. The primary volume stays at `cfg.slot` in
+    /// `disk`; every volume shares the worker pool and the (slot-keyed)
+    /// block cache.
+    volumes: BTreeMap<u8, DiskModel>,
     /// Busy-until time per worker.
     workers: Vec<SimTime>,
     cache: BlockCache,
@@ -239,6 +265,7 @@ impl AoeServer {
         AoeServer {
             cfg,
             disk,
+            volumes: BTreeMap::new(),
             workers,
             cache,
             queues: BTreeMap::new(),
@@ -291,14 +318,52 @@ impl AoeServer {
         &self.cfg
     }
 
-    /// The exported disk.
+    /// The exported primary disk (the volume at `cfg.slot`).
     pub fn disk(&self) -> &DiskModel {
         &self.disk
     }
 
-    /// Mutable access to the exported disk (fault injection hooks).
+    /// Mutable access to the exported primary disk (fault injection
+    /// hooks).
     pub fn disk_mut(&mut self) -> &mut DiskModel {
         &mut self.disk
+    }
+
+    /// Exports an additional volume at `slot` — a different image behind
+    /// the same server. All volumes share the worker pool; the block
+    /// cache keys entries by slot so their timing never cross-talks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slot` is the primary slot or already exported.
+    pub fn add_volume(&mut self, slot: u8, disk: DiskModel) {
+        assert_ne!(slot, self.cfg.slot, "slot {slot} is the primary volume");
+        assert!(
+            self.volumes.insert(slot, disk).is_none(),
+            "slot {slot} exported twice"
+        );
+    }
+
+    /// Whether this server answers requests addressed to `slot`.
+    pub fn serves_slot(&self, slot: u8) -> bool {
+        slot == self.cfg.slot || self.volumes.contains_key(&slot)
+    }
+
+    /// The volume exported at `slot`, if any.
+    pub fn volume(&self, slot: u8) -> Option<&DiskModel> {
+        if slot == self.cfg.slot {
+            Some(&self.disk)
+        } else {
+            self.volumes.get(&slot)
+        }
+    }
+
+    fn volume_mut(&mut self, slot: u8) -> &mut DiskModel {
+        if slot == self.cfg.slot {
+            &mut self.disk
+        } else {
+            self.volumes.get_mut(&slot).expect("addressed slot is served")
+        }
     }
 
     /// Requests served so far.
@@ -415,7 +480,7 @@ impl AoeServer {
     /// inside an `Ok` — they are simply not for us.
     pub fn handle(&mut self, now: SimTime, bytes: &[u8]) -> Result<Option<ServerReply>, DecodeError> {
         let pdu = AoePdu::decode(bytes)?;
-        if pdu.response || pdu.shelf != self.cfg.shelf || pdu.slot != self.cfg.slot {
+        if pdu.response || pdu.shelf != self.cfg.shelf || !self.serves_slot(pdu.slot) {
             return Ok(None);
         }
         Ok(Some(self.serve(now, pdu, false)))
@@ -461,9 +526,11 @@ impl AoeServer {
     fn handle_read(&mut self, now: SimTime, pdu: AoePdu, busy: bool) -> ServerReply {
         // A cached range skips the disk and costs only the per-request
         // CPU; the payload still comes from the store either way (the
-        // cache prices reads, it does not hold bytes).
+        // cache prices reads, it does not hold bytes). The key carries
+        // the slot: volumes hold different images, so a warm range on
+        // one volume says nothing about the same LBAs on another.
         let evictions_before = self.cache.evictions;
-        let hit = self.cache.touch(pdu.range);
+        let hit = self.cache.touch(pdu.slot, pdu.range);
         if self.cache.capacity > 0 {
             self.metrics
                 .inc(if hit { "server.cache.hits" } else { "server.cache.misses" });
@@ -474,7 +541,7 @@ impl AoeServer {
         let disk_time = if hit {
             SimDuration::ZERO
         } else {
-            self.disk.access_time(DiskOp::Read, pdu.range)
+            self.volume_mut(pdu.slot).access_time(DiskOp::Read, pdu.range)
         };
         let ready_at = self.assign_worker(now, self.cfg.per_request_cpu + disk_time);
         self.sectors_read += pdu.range.sectors as u64;
@@ -500,10 +567,15 @@ impl AoeServer {
             );
             reply.response = true;
             reply.busy = busy;
-            // Each fragment is read straight from the store into its own
-            // payload: no whole-request staging buffer, no re-slicing
-            // copy per fragment.
-            reply.data = Some(self.disk.store().read_range(sub));
+            // Each fragment is read straight from the addressed volume's
+            // store into its own payload: no whole-request staging
+            // buffer, no re-slicing copy per fragment.
+            reply.data = Some(
+                self.volume(pdu.slot)
+                    .expect("addressed slot is served")
+                    .store()
+                    .read_range(sub),
+            );
             frames.push(reply.encode_frame());
             offset += n;
             frag += 1;
@@ -512,13 +584,13 @@ impl AoeServer {
     }
 
     fn handle_write(&mut self, now: SimTime, pdu: AoePdu, busy: bool) -> ServerReply {
-        let disk_time = self.disk.access_time(DiskOp::Write, pdu.range);
+        let disk_time = self.volume_mut(pdu.slot).access_time(DiskOp::Write, pdu.range);
         let ready_at = self.assign_worker(now, self.cfg.per_request_cpu + disk_time);
         let mut ack = pdu.clone();
         ack.response = true;
         ack.busy = busy;
         ack.data = None;
-        if self.disk.write_faulted() {
+        if self.volume_mut(pdu.slot).write_faulted() {
             // Injected write fault: the media rejected the write. Nothing
             // is committed; the error ack tells the client, whose
             // retransmission retries once the fault clears.
@@ -526,8 +598,8 @@ impl AoeServer {
             self.metrics.inc("aoe.server.write_errors");
             ack.error = Some(AOE_ERR_DEVICE_UNAVAILABLE);
         } else if let Some(data) = &pdu.data {
-            self.disk.store_mut().write_range(pdu.range, data);
-            self.cache.invalidate(pdu.range);
+            self.volume_mut(pdu.slot).store_mut().write_range(pdu.range, data);
+            self.cache.invalidate(pdu.slot, pdu.range);
             self.sectors_written += pdu.range.sectors as u64;
             self.metrics
                 .add("aoe.server.sectors_written", pdu.range.sectors as u64);
@@ -565,7 +637,7 @@ impl AoeServer {
         bytes: &[u8],
     ) -> Result<Enqueued, DecodeError> {
         let pdu = AoePdu::decode(bytes)?;
-        if pdu.response || pdu.shelf != self.cfg.shelf || pdu.slot != self.cfg.slot {
+        if pdu.response || pdu.shelf != self.cfg.shelf || !self.serves_slot(pdu.slot) {
             return Ok(Enqueued::NotForUs);
         }
         let limit = self.cfg.client_queue_limit;
@@ -588,6 +660,10 @@ impl AoeServer {
             return Ok(Enqueued::Dropped);
         }
         let was_empty = q.queue.is_empty();
+        // The latest request's flag decides the client's DRR weighting:
+        // a machine in its post-boot endgame flags everything, one still
+        // booting flags nothing, so the latch tracks the phase change.
+        q.sprint = pdu.sprint;
         q.queue.push_back(pdu);
         self.queued_total += 1;
         if was_empty {
@@ -635,7 +711,16 @@ impl AoeServer {
                 .sectors
                 .max(1) as u64;
             if q.deficit < cost {
-                q.deficit += self.cfg.drr_quantum_sectors.max(1) as u64;
+                // Sprinting clients earn a boosted quantum per turn:
+                // finishing a nearly-full bitmap converts that machine
+                // into a serving peer, which grows fleet capacity faster
+                // than strict fairness would.
+                let boost = if q.sprint {
+                    self.cfg.sprint_boost.max(1) as u64
+                } else {
+                    1
+                };
+                q.deficit += self.cfg.drr_quantum_sectors.max(1) as u64 * boost;
                 let turn = self.drr_ring.pop_front().expect("non-empty");
                 self.drr_ring.push_back(turn);
                 continue;
@@ -904,6 +989,170 @@ mod tests {
         assert_eq!(s.cache_hits(), 0);
         assert_eq!(s.cache_misses(), 0, "disabled cache counts nothing");
         assert_eq!(s.cache_hit_ratio(), 0.0);
+    }
+
+    fn image_disk(seed: u64) -> DiskModel {
+        let params = DiskParams {
+            capacity_sectors: 1 << 18,
+            ..DiskParams::default()
+        };
+        DiskModel::new(params.clone(), BlockStore::image(params.capacity_sectors, seed))
+    }
+
+    #[test]
+    fn cache_never_leaks_blocks_across_volumes() {
+        // Regression: the cache used to be keyed (lba, sectors) only, so
+        // with two exported images the second tenant's cold read of an
+        // LBA the first tenant had warmed was priced as a hit — one
+        // tenant's working set leaking into another's timing — and
+        // before per-volume stores, served the wrong image's bytes.
+        let mut s = AoeServer::new(
+            ServerConfig {
+                workers: 1,
+                cache_entries: 64,
+                ..ServerConfig::default()
+            },
+            image_disk(0xAAAA),
+        );
+        s.add_volume(1, image_disk(0xBBBB));
+        assert!(s.serves_slot(0) && s.serves_slot(1) && !s.serves_slot(2));
+
+        let req = |slot: u8, id: u32| {
+            AoePdu::read_request(0, slot, Tag::new(id, 0), BlockRange::new(Lba(100), 8)).encode()
+        };
+        // Tenant A warms (100, 8) on its volume.
+        let a = s.handle(SimTime::ZERO, &req(0, 1)).unwrap().unwrap();
+        assert_eq!((s.cache_hits(), s.cache_misses()), (0, 1));
+        // Tenant B reads the same range on a *different* image: must be
+        // a miss, and must carry B's image bytes, not A's.
+        let b = s.handle(SimTime::ZERO, &req(1, 2)).unwrap().unwrap();
+        assert_eq!((s.cache_hits(), s.cache_misses()), (0, 2), "cross-image leak");
+        assert_eq!(
+            AoePdu::decode(&b.frames[0]).unwrap().data.unwrap()[0],
+            BlockStore::image_content(0xBBBB, Lba(100)),
+            "served the wrong tenant's blocks"
+        );
+        assert_ne!(
+            AoePdu::decode(&a.frames[0]).unwrap().data,
+            AoePdu::decode(&b.frames[0]).unwrap().data
+        );
+        // Each tenant's own re-read is the hit the cache exists for.
+        s.handle(SimTime::ZERO, &req(0, 3)).unwrap().unwrap();
+        s.handle(SimTime::ZERO, &req(1, 4)).unwrap().unwrap();
+        assert_eq!((s.cache_hits(), s.cache_misses()), (2, 2));
+    }
+
+    #[test]
+    fn writes_land_on_the_addressed_volume_and_invalidate_only_it() {
+        let mut s = AoeServer::new(
+            ServerConfig {
+                workers: 1,
+                cache_entries: 64,
+                ..ServerConfig::default()
+            },
+            image_disk(0xAAAA),
+        );
+        s.add_volume(1, image_disk(0xBBBB));
+        let read = |slot: u8, id: u32| {
+            AoePdu::read_request(0, slot, Tag::new(id, 0), BlockRange::new(Lba(7), 1)).encode()
+        };
+        s.handle(SimTime::ZERO, &read(0, 1)).unwrap();
+        s.handle(SimTime::ZERO, &read(1, 2)).unwrap();
+        let w = AoePdu::write_request(
+            0,
+            1,
+            Tag::new(3, 0),
+            BlockRange::new(Lba(7), 1),
+            vec![SectorData(4242)],
+        );
+        s.handle(SimTime::ZERO, &w.encode()).unwrap();
+        assert_eq!(s.volume(1).unwrap().store().read(Lba(7)), SectorData(4242));
+        assert_eq!(
+            s.disk().store().read(Lba(7)),
+            BlockStore::image_content(0xAAAA, Lba(7)),
+            "write bled onto the primary volume"
+        );
+        // Volume 0's entry survived the invalidation; volume 1's did not.
+        s.handle(SimTime::ZERO, &read(0, 4)).unwrap();
+        s.handle(SimTime::ZERO, &read(1, 5)).unwrap();
+        assert_eq!((s.cache_hits(), s.cache_misses()), (1, 3));
+    }
+
+    #[test]
+    #[should_panic(expected = "primary volume")]
+    fn exporting_the_primary_slot_twice_panics() {
+        let mut s = server(1);
+        s.add_volume(0, image_disk(1));
+    }
+
+    #[test]
+    fn sprint_clients_earn_a_boosted_quantum() {
+        let params = DiskParams {
+            capacity_sectors: 1 << 18,
+            ..DiskParams::default()
+        };
+        let disk = DiskModel::new(
+            params.clone(),
+            BlockStore::image(params.capacity_sectors, 0xCAFE),
+        );
+        let mut s = AoeServer::new(
+            ServerConfig {
+                workers: 1,
+                drr_quantum_sectors: 64,
+                sprint_boost: 4,
+                ..ServerConfig::default()
+            },
+            disk,
+        );
+        // Two equal backlogs of 32-sector reads; client 1's carry the
+        // completion-priority flag.
+        for i in 0..16u32 {
+            s.enqueue(0, &read_req(i + 1, (i as u64) * 1024, 32)).unwrap();
+            let mut pdu = AoePdu::read_request(
+                0,
+                0,
+                Tag::new(i + 101, 0),
+                BlockRange::new(Lba(130_000 + (i as u64) * 1024), 32),
+            );
+            pdu.sprint = true;
+            s.enqueue(1, &pdu.encode()).unwrap();
+        }
+        let mut now = SimTime::ZERO;
+        let mut served = [0usize; 2];
+        while served[1] < 16 {
+            match s.dispatch(now) {
+                Some((client, _)) => served[client] += 1,
+                None => now = s.next_dispatch_at().expect("work remains"),
+            }
+        }
+        // Boost 4 ⇒ client 1 serves ~4 requests per turn to client 0's
+        // ~2 (quantum 64 covers two 32-sector reads).
+        assert!(
+            served[1] >= 2 * served[0],
+            "sprint client not prioritized: {served:?}"
+        );
+        // And with the default boost of 1 the same workload stays fair.
+        let mut s = server(1);
+        for i in 0..16u32 {
+            s.enqueue(0, &read_req(i + 1, (i as u64) * 1024, 32)).unwrap();
+            let mut pdu = AoePdu::read_request(
+                0,
+                0,
+                Tag::new(i + 101, 0),
+                BlockRange::new(Lba(130_000 + (i as u64) * 1024), 32),
+            );
+            pdu.sprint = true;
+            s.enqueue(1, &pdu.encode()).unwrap();
+        }
+        let mut now = SimTime::ZERO;
+        let mut served = [0usize; 2];
+        while s.queued_total() > 0 {
+            match s.dispatch(now) {
+                Some((client, _)) => served[client] += 1,
+                None => now = s.next_dispatch_at().expect("work remains"),
+            }
+        }
+        assert_eq!(served, [16, 16], "boost 1 must stay strictly fair");
     }
 
     #[test]

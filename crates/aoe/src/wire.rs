@@ -137,6 +137,11 @@ pub struct AoePdu {
     pub tag: Tag,
     /// True for writes (device receives data), false for reads.
     pub write: bool,
+    /// Completion-priority hint on requests (aflags bit 1): the sender's
+    /// deployment bitmap is nearly full and finishing it converts the
+    /// machine into a serving peer, so the server may weight this
+    /// client's scheduling quantum up. Never set on responses.
+    pub sprint: bool,
     /// Server-busy hint piggybacked on responses (spare err/feature
     /// byte): the server is congested and elastic traffic — the
     /// background copy — should back off. Never set on requests.
@@ -158,6 +163,7 @@ impl AoePdu {
             slot,
             tag,
             write: false,
+            sprint: false,
             busy: false,
             range,
             data: None,
@@ -184,6 +190,7 @@ impl AoePdu {
             slot,
             tag,
             write: true,
+            sprint: false,
             busy: false,
             range,
             data: Some(data),
@@ -212,7 +219,8 @@ impl AoePdu {
         out.push(0); // command: ATA
         out.extend_from_slice(&self.tag.raw().to_be_bytes());
         // ATA argument section.
-        out.push(if self.write { 0x01 } else { 0x00 }); // aflags: direction
+        // aflags: bit 0 direction, bit 1 completion-priority (sprint).
+        out.push(if self.write { 0x01 } else { 0x00 } | if self.sprint { 0x02 } else { 0x00 });
         out.push(if self.busy { 0x01 } else { 0x00 }); // err/feature: busy hint
         out.extend_from_slice(&self.range.sectors.to_be_bytes());
         let lba = self.range.lba.0.to_be_bytes();
@@ -266,6 +274,7 @@ impl AoePdu {
         let slot = bytes[4];
         let tag = Tag::from_raw(u32::from_be_bytes([bytes[6], bytes[7], bytes[8], bytes[9]]));
         let write = bytes[10] & 0x01 != 0;
+        let sprint = bytes[10] & 0x02 != 0;
         let busy = bytes[11] & 0x01 != 0;
         let sectors = u32::from_be_bytes([bytes[12], bytes[13], bytes[14], bytes[15]]);
         if sectors == 0 {
@@ -300,11 +309,23 @@ impl AoePdu {
             slot,
             tag,
             write,
+            sprint,
             busy,
             range,
             data,
         })
     }
+}
+
+/// Reads the shelf/slot address out of an encoded frame without a full
+/// decode — the fabric's routing peek. Returns `None` when the frame is
+/// shorter than the fixed header or carries an unknown version; checksum
+/// validation is left to the addressed server's real decode.
+pub fn peek_shelf_slot(bytes: &[u8]) -> Option<(u16, u8)> {
+    if bytes.len() < AOE_HEADER_BYTES as usize || bytes[0] >> 4 != AOE_VERSION {
+        return None;
+    }
+    Some((u16::from_be_bytes([bytes[2], bytes[3]]), bytes[4]))
 }
 
 /// Errors from [`AoePdu::decode`].
@@ -407,6 +428,35 @@ mod tests {
             AoePdu::decode(&mutated),
             Err(DecodeError::BadChecksum { .. })
         ));
+    }
+
+    #[test]
+    fn sprint_flag_round_trips_and_is_checksummed() {
+        let mut pdu = AoePdu::read_request(0, 0, Tag::new(4, 0), BlockRange::new(Lba(128), 8));
+        pdu.sprint = true;
+        let bytes = pdu.encode();
+        assert_eq!(bytes[10], 0x02, "sprint rides aflags bit 1");
+        assert!(AoePdu::decode(&bytes).unwrap().sprint);
+        let mut mutated = bytes.clone();
+        mutated[10] ^= 0x02;
+        assert!(matches!(
+            AoePdu::decode(&mutated),
+            Err(DecodeError::BadChecksum { .. })
+        ));
+        // A plain request encodes exactly as before the flag existed.
+        pdu.sprint = false;
+        assert_eq!(pdu.encode()[10], 0x00);
+    }
+
+    #[test]
+    fn peek_shelf_slot_matches_full_decode() {
+        let pdu = AoePdu::read_request(0x1042, 3, Tag::new(7, 0), BlockRange::new(Lba(9), 4));
+        let bytes = pdu.encode();
+        assert_eq!(peek_shelf_slot(&bytes), Some((0x1042, 3)));
+        assert_eq!(peek_shelf_slot(&bytes[..10]), None, "short frame");
+        let mut v1 = bytes.clone();
+        v1[0] = 0x10;
+        assert_eq!(peek_shelf_slot(&v1), None, "unknown version");
     }
 
     #[test]

@@ -2,11 +2,16 @@
 //! progress every simulated slice, to tell "slow but converging" apart
 //! from "wedged". Not part of the figure pipeline.
 //!
-//! Usage: `fleet_probe [n] [slice_secs] [limit_secs]`
+//! Usage: `fleet_probe [n] [slice_secs] [limit_secs] [single|multi|p2p]`
+//!
+//! The optional topology argument uses the `--scaleout` figure's exact
+//! per-topology fleet configuration (stagger, sharding, peer serving,
+//! admission ramp).
 
 use bmcast::fleet::{Fleet, FleetConfig};
 use bmcast::machine::MachineSpec;
 use bmcast::programs::BootProgram;
+use bmcast_bench::ext_scaleout::{topology_fleet_cfg, Topology};
 use guestsim::os::BootProfile;
 use simkit::SimTime;
 
@@ -15,15 +20,23 @@ fn main() {
     let n: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(16);
     let slice: u64 = args.next().and_then(|a| a.parse().ok()).unwrap_or(100);
     let limit: u64 = args.next().and_then(|a| a.parse().ok()).unwrap_or(36_000);
+    let topology = args.next();
 
-    let cfg = FleetConfig {
-        n,
-        spec: MachineSpec {
-            capacity_sectors: (1u64 << 28) / 512,
-            image_sectors: (1u64 << 27) / 512,
-            ..MachineSpec::default()
+    let spec = MachineSpec {
+        capacity_sectors: (1u64 << 28) / 512,
+        image_sectors: (1u64 << 27) / 512,
+        ..MachineSpec::default()
+    };
+    let cfg = match topology.as_deref() {
+        None => FleetConfig {
+            n,
+            spec,
+            ..FleetConfig::default()
         },
-        ..FleetConfig::default()
+        Some("single") => topology_fleet_cfg(Topology::SingleServer, n as u32, &spec),
+        Some("multi") => topology_fleet_cfg(Topology::MultiServer, n as u32, &spec),
+        Some("p2p") => topology_fleet_cfg(Topology::PeerToPeer, n as u32, &spec),
+        Some(other) => panic!("unknown topology {other:?} (single|multi|p2p)"),
     };
     let image_sectors = cfg.spec.image_sectors;
     let mut fleet = Fleet::new(cfg);
@@ -49,11 +62,12 @@ fn main() {
         let min_fill = fills.iter().min().copied().unwrap_or(0);
         let max_fill = fills.iter().max().copied().unwrap_or(0);
         println!(
-            "sim {:>6}s booted {:>2}/{} fill {:>5.1}%..{:>5.1}% q={} busy={} drops={} \
+            "sim {:>6}s booted {:>2}/{} peers {:>3} fill {:>5.1}%..{:>5.1}% q={} busy={} drops={} \
              hits={} misses={} retx={} failures={} deploy_errors={} busy_hints={}",
             fleet.now().as_secs_f64(),
             fleet.booted_count(),
             fleet.len(),
+            fleet.peers_active(),
             100.0 * min_fill as f64 / image_sectors as f64,
             100.0 * max_fill as f64 / image_sectors as f64,
             fleet.server().queued_total(),
@@ -66,19 +80,35 @@ fn main() {
             snap.counter("machine.deploy_errors"),
             snap.counter("aoe.client.busy_hints"),
         );
-        if let Some(startups) = done {
-            let mut secs: Vec<f64> = startups.iter().map(|t| t.as_secs_f64()).collect();
-            secs.sort_by(|a, b| a.partial_cmp(b).unwrap());
-            println!(
-                "ALL BOOTED: min {:.2}s max {:.2}s",
-                secs[0],
-                secs[secs.len() - 1]
-            );
-            break;
-        }
-        if at >= limit {
-            println!("LIMIT {limit}s REACHED without full boot");
-            break;
+        match done {
+            Ok(startups) => {
+                let mut secs: Vec<f64> = startups.iter().map(|t| t.as_secs_f64()).collect();
+                secs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+                let mut durs: Vec<f64> = fleet
+                    .startup_durations()
+                    .iter()
+                    .map(|d| d.expect("all booted").as_secs_f64())
+                    .collect();
+                durs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+                let pct = |v: &[f64], p: f64| v[((v.len() as f64 * p).ceil() as usize).min(v.len()) - 1];
+                println!(
+                    "ALL BOOTED: finish min {:.2}s max {:.2}s | per-machine startup \
+                     p50 {:.2}s p99 {:.2}s max {:.2}s",
+                    secs[0],
+                    secs[secs.len() - 1],
+                    pct(&durs, 0.50),
+                    pct(&durs, 0.99),
+                    durs[durs.len() - 1],
+                );
+                break;
+            }
+            // A slice-limit stall is just "not done yet"; a wedged
+            // fleet or terminal deploy failures will never finish.
+            Err(stall) if stall.wedged || at >= limit => {
+                println!("STOPPED: {stall}");
+                break;
+            }
+            Err(_) => {}
         }
     }
 }

@@ -15,12 +15,15 @@
 //!   not plateau).
 //! - [`run_scaleout`] (the `reproduce --scaleout` path) **measures**:
 //!   every point is a real [`Fleet`] run — `n` full machines on one
-//!   shared switch/server with the block cache and DRR scheduler — and
-//!   the analytic curve appears only as a validation column
-//!   (calibrated from the measured n=1 baseline, never substituted for
-//!   a measurement). Points run concurrently on a bounded pool; the
-//!   artifact `BENCH_scaleout.json` is byte-identical across same-seed
-//!   runs.
+//!   shared switch against a distributed image store, with the block
+//!   cache and DRR scheduler on — across three topology columns
+//!   (one origin server, [`TOPOLOGY_SERVERS`] striped replicas, and
+//!   peer-to-peer, where finished members convert into serving
+//!   peers). The analytic curve appears only as a validation column
+//!   on the 1-server points (calibrated from the measured n=1
+//!   baseline, never substituted for a measurement). Points run
+//!   concurrently on a bounded pool; the artifact
+//!   `BENCH_scaleout.json` is byte-identical across same-seed runs.
 
 use crate::{Check, Figure, Row, Scale};
 use bmcast::fleet::{Fleet, FleetConfig};
@@ -29,7 +32,7 @@ use bmcast::programs::BootProgram;
 use bmcast::deploy::Runner;
 use bmcast_baselines::image_copy::ImageCopyPlan;
 use guestsim::os::BootProfile;
-use simkit::SimTime;
+use simkit::{SimDuration, SimTime};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
@@ -150,26 +153,97 @@ pub fn run(_scale: Scale) -> Figure {
 
 // ------------------------- measured fleet path -------------------------
 
+/// Storage topology of one measured fleet (the figure's third axis,
+/// next to `n` and the startup percentiles).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Topology {
+    /// One origin server holds the image — the original scale-out
+    /// setup and the baseline column.
+    SingleServer,
+    /// [`TOPOLOGY_SERVERS`] origin replicas; clients stripe reads
+    /// across them by LBA.
+    MultiServer,
+    /// One origin, but every machine that finishes its deployment
+    /// becomes a read-only serving peer (with post-boot sprint and a
+    /// boosted DRR quantum so conversions happen early).
+    PeerToPeer,
+}
+
+impl Topology {
+    /// Column label used in rows, JSON, and `check_figures.py`.
+    pub fn label(self) -> &'static str {
+        match self {
+            Topology::SingleServer => "1-server",
+            Topology::MultiServer => "k-server",
+            Topology::PeerToPeer => "p2p",
+        }
+    }
+}
+
+/// Origin replicas in the `k-server` topology.
+pub const TOPOLOGY_SERVERS: usize = 4;
+
+/// Arrival stagger between consecutive machines, used by every
+/// topology column so their arrival patterns are comparable. Models
+/// rolling power-on (a rack does not press 256 buttons in the same
+/// microsecond) and is what lets the first finishers seed the
+/// peer-serving snowball; per-machine startup is measured from each
+/// machine's own start, so the stagger is not counted as latency.
+pub const ARRIVAL_STAGGER: SimDuration = SimDuration::from_millis(50);
+
+/// DRR quantum boost for sprinting clients in the `p2p` column: a
+/// nearly-done machine is about to add a whole server's worth of
+/// capacity, so finishing it early is worth ~8 ordinary turns.
+pub const P2P_SPRINT_BOOST: u32 = 8;
+
+/// Admission ramp for the `p2p` column: machines released up front.
+/// Eight concurrent boots keep the lone origin busy without
+/// saturating it, so the first peers convert on schedule. A plain
+/// 50 ms grid would put ~90 machines on the origin before the first
+/// conversion is even possible — the bootstrap alone destroys the
+/// column. Sized so the ramp engages exactly where the single server
+/// starts to strain (1-server p99 first climbs at n = 16); inert at
+/// n ≤ 8, so the small-n points (and the n = 1 degeneracy) are
+/// identical to the other columns'.
+pub const P2P_ADMISSION_BASE: usize = 8;
+
+/// Further machines released per converted peer (the rollout grows
+/// with serving capacity — see [`FleetConfig::admission_base`]).
+pub const P2P_ADMISSION_PER_PEER: usize = 8;
+
 /// One measured scale-out point: `n` machines booted concurrently on a
 /// shared fabric by the [`Fleet`] simulator.
 #[derive(Debug, Clone)]
 pub struct ScaleoutPoint {
+    /// Topology column label ([`Topology::label`]).
+    pub topology: &'static str,
     /// Fleet size.
     pub n: u32,
-    /// Median per-machine boot-finish time, seconds.
+    /// Origin servers in this fleet.
+    pub servers: u32,
+    /// Members converted into serving peers by the time the last
+    /// machine booted (always 0 outside the `p2p` column).
+    pub peers: u32,
+    /// Median per-machine startup (boot finish minus that machine's
+    /// own staggered start), seconds.
     pub startup_p50_s: f64,
-    /// p99 (max, at these fleet sizes) boot-finish time, seconds.
+    /// p99 per-machine startup, seconds.
     pub startup_p99_s: f64,
     /// Slowest / fastest member startup (the fairness spread).
     pub fairness_ratio: f64,
-    /// Server block-cache hit ratio over the whole run.
+    /// Aggregate block-cache hit ratio across every server node.
     pub cache_hit_ratio: f64,
-    /// Bytes the server put on the wire (cache hits included).
+    /// Bytes all server nodes put on the wire (cache hits included).
     pub bytes_moved: u64,
+    /// Queue-full drops across every server node (the "no drops at
+    /// scale" claim).
+    pub queue_drops: u64,
     /// Analytic model's prediction, calibrated from the measured n=1
-    /// baseline (validation only — never substituted for a measurement).
+    /// baseline (validation only — never substituted for a
+    /// measurement; 0 outside the 1-server column, where the model
+    /// does not apply).
     pub analytic_s: f64,
-    /// `|analytic - p50| / p50`.
+    /// `|analytic - p50| / p50` (1-server column only).
     pub rel_err: f64,
     /// Analytic image-copy startup for the same image and `n`.
     pub image_copy_s: f64,
@@ -197,66 +271,122 @@ fn scaleout_boot_profile() -> BootProfile {
 /// tiny images the n = 2 cache savings outweigh the fabric contention
 /// and the curve inverts below n = 1; same-spec points keep every
 /// quick value bit-identical to the paper run's prefix.
-fn fleet_geometry(scale: Scale) -> (MachineSpec, BootProfile, Vec<u32>) {
+fn fleet_geometry() -> (MachineSpec, BootProfile) {
     let spec = MachineSpec {
         capacity_sectors: (1u64 << 28) / 512,
         image_sectors: (1u64 << 27) / 512,
         ..MachineSpec::default()
     };
-    let ns = match scale {
-        Scale::Paper => vec![1, 2, 4, 8, 16, 32, 64],
-        Scale::Quick => vec![1, 2, 4, 8],
-    };
-    (spec, scaleout_boot_profile(), ns)
+    (spec, scaleout_boot_profile())
 }
 
-/// Boots one fleet of `n` and reduces it to a [`ScaleoutPoint`] (the
-/// analytic columns are filled in later, once the n=1 baseline is
-/// known).
-fn measure_point(n: u32, spec: &MachineSpec, profile: &BootProfile) -> ScaleoutPoint {
-    let cfg = FleetConfig {
+/// The `(topology, n)` grid measured for `scale`. The server-bound
+/// columns stop where the single pipe turns startups glacial; the
+/// `p2p` column keeps going — its whole claim is that supply grows
+/// with demand, so it must be shown at fleet sizes the baseline
+/// cannot reach.
+fn topology_grid(scale: Scale) -> Vec<(Topology, Vec<u32>)> {
+    match scale {
+        Scale::Paper => vec![
+            (Topology::SingleServer, vec![1, 2, 4, 8, 16, 32, 64]),
+            (Topology::MultiServer, vec![1, 2, 4, 8, 16, 32, 64]),
+            (Topology::PeerToPeer, vec![1, 2, 4, 8, 16, 32, 64, 128, 256]),
+        ],
+        Scale::Quick => vec![
+            (Topology::SingleServer, vec![1, 2, 4, 8]),
+            (Topology::MultiServer, vec![1, 2, 4, 8]),
+            (Topology::PeerToPeer, vec![1, 2, 4, 8, 64, 256]),
+        ],
+    }
+}
+
+/// The fleet configuration for one `(topology, n)` point. Every
+/// topology uses the same arrival stagger; the `p2p` column adds the
+/// peer-aware admission ramp, which is part of the system under test —
+/// a peer-to-peer rollout controls its release rate by the serving
+/// capacity it has grown (the server-bound columns have no such
+/// signal: their capacity is fixed).
+pub fn topology_fleet_cfg(topology: Topology, n: u32, spec: &MachineSpec) -> FleetConfig {
+    let mut cfg = FleetConfig {
         n: n as usize,
         spec: spec.clone(),
+        start_stagger: ARRIVAL_STAGGER,
         ..FleetConfig::default()
     };
+    match topology {
+        Topology::SingleServer => {}
+        Topology::MultiServer => cfg.servers = TOPOLOGY_SERVERS,
+        Topology::PeerToPeer => {
+            cfg.peer_serving = true;
+            cfg.machine_cfg.moderation.post_boot_sprint = true;
+            cfg.server_cfg.sprint_boost = P2P_SPRINT_BOOST;
+            cfg.admission_base = P2P_ADMISSION_BASE;
+            cfg.admission_per_peer = P2P_ADMISSION_PER_PEER;
+        }
+    }
+    cfg
+}
+
+/// Boots one fleet of `n` under `topology` and reduces it to a
+/// [`ScaleoutPoint`] (the analytic columns are filled in later, once
+/// the n=1 baseline is known).
+fn measure_point(topology: Topology, n: u32, spec: &MachineSpec, profile: &BootProfile) -> ScaleoutPoint {
+    let cfg = topology_fleet_cfg(topology, n, spec);
+    let servers = cfg.servers as u32;
     let mut fleet = Fleet::new(cfg);
     let p = profile.clone();
     fleet.start(move |_| Box::new(BootProgram::new(p.clone())));
-    let startups = fleet
+    fleet
         .run_to_all_booted(SimTime::from_secs(36_000))
         .expect("fleet boots within limit");
-    let mut secs: Vec<f64> = startups.iter().map(|t| t.as_secs_f64()).collect();
+    // Per-machine elapsed startup: finish minus that machine's own
+    // staggered start (identical to the finish instant at zero
+    // stagger).
+    let mut secs: Vec<f64> = fleet
+        .startup_durations()
+        .iter()
+        .map(|d| d.expect("all booted").as_secs_f64())
+        .collect();
     secs.sort_by(|a, b| a.partial_cmp(b).unwrap());
     let p50 = secs[secs.len() / 2];
     let p99 = secs[((secs.len() as f64 * 0.99).ceil() as usize).min(secs.len()) - 1];
     ScaleoutPoint {
+        topology: topology.label(),
         n,
+        servers,
+        peers: fleet.peers_active() as u32,
         startup_p50_s: p50,
         startup_p99_s: p99,
         fairness_ratio: secs[secs.len() - 1] / secs[0],
-        cache_hit_ratio: fleet.server().cache_hit_ratio(),
+        cache_hit_ratio: fleet.cache_hit_ratio(),
         bytes_moved: fleet.server_bytes_read(),
+        queue_drops: fleet.queue_drops_total(),
         analytic_s: 0.0,
         rel_err: 0.0,
         image_copy_s: 0.0,
     }
 }
 
-/// Measures every fleet size for `scale` on at most `jobs` worker
-/// threads (each point owns its whole simulated world), then calibrates
-/// the analytic validation column from the measured n=1 baseline and a
-/// bare-metal boot of the same profile.
+/// Measures every `(topology, n)` point for `scale` on at most `jobs`
+/// worker threads (each point owns its whole simulated world), then
+/// calibrates the analytic validation column from the measured
+/// 1-server n=1 baseline and a bare-metal boot of the same profile.
+/// Points come back grouped by topology in grid order.
 pub fn measure_scaleout(scale: Scale, jobs: usize) -> Vec<ScaleoutPoint> {
-    let (spec, profile, ns) = fleet_geometry(scale);
+    let (spec, profile) = fleet_geometry();
+    let work: Vec<(Topology, u32)> = topology_grid(scale)
+        .into_iter()
+        .flat_map(|(t, ns)| ns.into_iter().map(move |n| (t, n)))
+        .collect();
 
     let next = AtomicUsize::new(0);
-    let slots: Vec<Mutex<Option<ScaleoutPoint>>> = ns.iter().map(|_| Mutex::new(None)).collect();
+    let slots: Vec<Mutex<Option<ScaleoutPoint>>> = work.iter().map(|_| Mutex::new(None)).collect();
     std::thread::scope(|scope| {
-        for _ in 0..jobs.min(ns.len()).max(1) {
+        for _ in 0..jobs.min(work.len()).max(1) {
             scope.spawn(|| loop {
                 let i = next.fetch_add(1, Ordering::Relaxed);
-                let Some(&n) = ns.get(i) else { break };
-                *slots[i].lock().unwrap() = Some(measure_point(n, &spec, &profile));
+                let Some(&(t, n)) = work.get(i) else { break };
+                *slots[i].lock().unwrap() = Some(measure_point(t, n, &spec, &profile));
             });
         }
     });
@@ -265,11 +395,16 @@ pub fn measure_scaleout(scale: Scale, jobs: usize) -> Vec<ScaleoutPoint> {
         .map(|s| s.into_inner().unwrap().expect("point slot filled"))
         .collect();
 
-    // Calibrate the analytic model from the measured n=1 run: redirect
-    // count and volume from the fleet's own stats, the CPU share from a
-    // bare-metal boot of the same profile (local reads are fast enough
-    // to fold into it), the per-read base latency from the difference.
-    let t1 = points[0].startup_p50_s;
+    // Calibrate the analytic model from the measured 1-server n=1 run:
+    // redirect count and volume from the fleet's own stats, the CPU
+    // share from a bare-metal boot of the same profile (local reads
+    // are fast enough to fold into it), the per-read base latency from
+    // the difference.
+    let t1 = points
+        .iter()
+        .find(|p| p.topology == Topology::SingleServer.label() && p.n == 1)
+        .expect("grid contains the 1-server baseline")
+        .startup_p50_s;
     // The demand stream is the profile itself: that is what each
     // machine reads, wherever the sectors end up coming from.
     let reads = profile.steps().iter().filter(|s| s.read.is_some()).count() as f64;
@@ -288,9 +423,14 @@ pub fn measure_scaleout(scale: Scale, jobs: usize) -> Vec<ScaleoutPoint> {
         ..ImageCopyPlan::default()
     };
     for p in &mut points {
-        p.analytic_s =
-            analytic_bmcast_startup_secs(p.n, boot_cpu_s, reads, read_mb, base_read_ms);
-        p.rel_err = (p.analytic_s - p.startup_p50_s).abs() / p.startup_p50_s;
+        // The M/M/1 + serialization model describes one shared origin;
+        // it has nothing honest to say about striped replicas or a
+        // growing peer set, so the validation column stays blank there.
+        if p.topology == Topology::SingleServer.label() {
+            p.analytic_s =
+                analytic_bmcast_startup_secs(p.n, boot_cpu_s, reads, read_mb, base_read_ms);
+            p.rel_err = (p.analytic_s - p.startup_p50_s).abs() / p.startup_p50_s;
+        }
         p.image_copy_s = analytic_image_copy_startup_secs(p.n, &plan, boot_cpu_s);
     }
     points
@@ -304,12 +444,14 @@ pub fn run_scaleout(scale: Scale, jobs: usize) -> (Figure, Vec<ScaleoutPoint>) {
         .iter()
         .map(|p| {
             Row::new(
-                format!("{:>2} machines", p.n),
+                format!("{} {:>3} machines", p.topology, p.n),
                 vec![
                     ("BMcast p50 s".into(), p.startup_p50_s),
                     ("BMcast p99 s".into(), p.startup_p99_s),
                     ("Image Copy s".into(), p.image_copy_s),
                     ("cache hit %".into(), p.cache_hit_ratio * 100.0),
+                    ("peers".into(), p.peers as f64),
+                    ("q drops".into(), p.queue_drops as f64),
                     ("model s".into(), p.analytic_s),
                     ("model err %".into(), p.rel_err * 100.0),
                 ],
@@ -317,26 +459,68 @@ pub fn run_scaleout(scale: Scale, jobs: usize) -> (Figure, Vec<ScaleoutPoint>) {
         })
         .collect();
 
-    let monotone = points
+    let of = |t: Topology| -> Vec<&ScaleoutPoint> {
+        points.iter().filter(|p| p.topology == t.label()).collect()
+    };
+    let single = of(Topology::SingleServer);
+    let multi = of(Topology::MultiServer);
+    let p2p = of(Topology::PeerToPeer);
+
+    // The single origin must pay for scale monotonically. The k-server
+    // column is *not* monotone at small n — striping removes the
+    // contention and the warm shard caches make later staggered
+    // arrivals slightly faster — so its claim is the comparative one:
+    // striping never loses to one server.
+    let monotone = single
         .windows(2)
         .all(|w| w[1].startup_p99_s >= w[0].startup_p99_s * 0.999);
+    let kserver_wins = single.iter().all(|s| {
+        multi
+            .iter()
+            .find(|p| p.n == s.n)
+            .is_none_or(|p| p.startup_p99_s <= s.startup_p99_s * 1.02)
+    });
     let beats_ic = points.iter().all(|p| p.startup_p99_s < p.image_copy_s);
-    let hit_at_8 = points
+    let hit_at_8 = single
         .iter()
         .find(|p| p.n == 8)
         .map(|p| p.cache_hit_ratio)
         .unwrap_or(0.0);
-    let worst_err = points
-        .iter()
-        .map(|p| p.rel_err)
-        .fold(0.0f64, f64::max);
+    let worst_err = points.iter().map(|p| p.rel_err).fold(0.0f64, f64::max);
+    // Peer serving must not lose to the single server once there are
+    // enough machines for peers to matter (joint fleet sizes ≥ 8).
+    let p2p_wins = single.iter().filter(|s| s.n >= 8).all(|s| {
+        p2p.iter()
+            .find(|p| p.n == s.n)
+            .is_none_or(|p| p.startup_p99_s <= s.startup_p99_s * 1.02)
+    });
+    // The elasticity headline: the largest p2p fleet's p99 within 2×
+    // the lone-machine baseline, with zero queue drops anywhere in the
+    // column.
+    let baseline = single.first().map(|p| p.startup_p99_s).unwrap_or(0.0);
+    let p2p_flat = p2p
+        .last()
+        .map(|p| p.startup_p99_s <= baseline * 2.0)
+        .unwrap_or(false);
+    let p2p_drops: u64 = p2p.iter().map(|p| p.queue_drops).sum();
 
     let fig = Figure {
         id: "scaleout",
-        title: "measured fleet startups: n machines, one server, shared fabric",
+        title: "measured fleet startups: n machines per topology, shared fabric",
         unit: "seconds",
         checks: vec![
-            Check::new("startup p99 monotone in n (1=yes)", 1.0, monotone as u32 as f64, ""),
+            Check::new(
+                "1-server p99 monotone in n (1=yes)",
+                1.0,
+                monotone as u32 as f64,
+                "",
+            ),
+            Check::new(
+                "k-server p99 never above 1-server (1=yes)",
+                1.0,
+                kserver_wins as u32 as f64,
+                "",
+            ),
             Check::new(
                 "BMcast under image copy at every n (1=yes)",
                 1.0,
@@ -344,6 +528,19 @@ pub fn run_scaleout(scale: Scale, jobs: usize) -> (Figure, Vec<ScaleoutPoint>) {
                 "",
             ),
             Check::new("server cache hit ratio at n=8", 7.0 / 8.0, hit_at_8, ""),
+            Check::new(
+                "p2p p99 beats 1-server at joint n>=8 (1=yes)",
+                1.0,
+                p2p_wins as u32 as f64,
+                "",
+            ),
+            Check::new(
+                "p2p p99 at n_max within 2x n=1 baseline (1=yes)",
+                1.0,
+                p2p_flat as u32 as f64,
+                "",
+            ),
+            Check::new("p2p queue drops", 0.0, p2p_drops as f64, ""),
             // Validation flag, not a pass/fail gate: how far the
             // analytic curve drifts from the measured one at its worst
             // point (>25% means the model misses something real).
@@ -373,15 +570,21 @@ pub fn scaleout_json(scale: Scale, points: &[ScaleoutPoint]) -> String {
     out.push_str("  \"points\": [\n");
     for (i, p) in points.iter().enumerate() {
         out.push_str(&format!(
-            "    {{\"n\": {}, \"startup_p50_s\": {:.6}, \"startup_p99_s\": {:.6}, \
+            "    {{\"topology\": \"{}\", \"n\": {}, \"servers\": {}, \"peers\": {}, \
+             \"startup_p50_s\": {:.6}, \"startup_p99_s\": {:.6}, \
              \"fairness_ratio\": {:.6}, \"cache_hit_ratio\": {:.6}, \"bytes_moved\": {}, \
-             \"analytic_s\": {:.6}, \"rel_err\": {:.6}, \"image_copy_s\": {:.6}}}{}\n",
+             \"queue_drops\": {}, \"analytic_s\": {:.6}, \"rel_err\": {:.6}, \
+             \"image_copy_s\": {:.6}}}{}\n",
+            p.topology,
             p.n,
+            p.servers,
+            p.peers,
             p.startup_p50_s,
             p.startup_p99_s,
             p.fairness_ratio,
             p.cache_hit_ratio,
             p.bytes_moved,
+            p.queue_drops,
             p.analytic_s,
             p.rel_err,
             p.image_copy_s,

@@ -10,18 +10,21 @@
 //! - **The cache does its job**: n identical boots read each range from
 //!   the server disk about once, so followers hit at ~(n-1)/n.
 //! - **Chaos runs are reproducible to the byte**: the same seed under a
-//!   fault plan yields the identical `BENCH_scaleout.json` body.
+//!   fault plan yields the identical `BENCH_scaleout.json` body — with
+//!   one origin server and with a sharded (k ≥ 2) store.
+//! - **Every topology degenerates at n = 1**: the figure's 1-server,
+//!   k=1 sharded, and p2p configs all reduce to the same lone boot.
 
 use bmcast::config::BmcastConfig;
 use bmcast::deploy::Runner;
 use bmcast::fleet::{Fleet, FleetConfig};
 use bmcast::machine::MachineSpec;
 use bmcast::programs::BootProgram;
-use bmcast_bench::ext_scaleout::{scaleout_json, ScaleoutPoint};
+use bmcast_bench::ext_scaleout::{scaleout_json, topology_fleet_cfg, ScaleoutPoint, Topology};
 use bmcast_bench::Scale;
 use guestsim::os::BootProfile;
 use simkit::fault::FaultPlan;
-use simkit::SimTime;
+use simkit::{SimDuration, SimTime};
 
 fn small_spec() -> MachineSpec {
     MachineSpec {
@@ -101,33 +104,100 @@ fn eight_concurrent_boots_are_fair_and_share_the_cache() {
     );
 }
 
+/// One chaos fleet of 4 with `servers` origin replicas, reduced to the
+/// JSON body the figure would write for it.
+fn chaos_json_once(servers: usize) -> String {
+    let cfg = FleetConfig {
+        n: 4,
+        spec: small_spec(),
+        servers,
+        faults: FaultPlan::preset("chaos", 7),
+        ..FleetConfig::default()
+    };
+    let (fleet, startups) = boot_fleet(cfg, &busy_profile());
+    let mut secs: Vec<f64> = startups.iter().map(|t| t.as_secs_f64()).collect();
+    secs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let point = ScaleoutPoint {
+        topology: if servers > 1 { "k-server" } else { "1-server" },
+        n: 4,
+        servers: servers as u32,
+        peers: fleet.peers_active() as u32,
+        startup_p50_s: secs[secs.len() / 2],
+        startup_p99_s: secs[secs.len() - 1],
+        fairness_ratio: secs[secs.len() - 1] / secs[0],
+        cache_hit_ratio: fleet.cache_hit_ratio(),
+        bytes_moved: fleet.server_bytes_read(),
+        queue_drops: fleet.queue_drops_total(),
+        analytic_s: 0.0,
+        rel_err: 0.0,
+        image_copy_s: 0.0,
+    };
+    scaleout_json(Scale::Quick, &[point])
+}
+
 #[test]
 fn chaos_scaleout_json_is_byte_identical_across_runs() {
-    let run_once = || {
-        let cfg = FleetConfig {
-            n: 4,
-            spec: small_spec(),
-            faults: FaultPlan::preset("chaos", 7),
-            ..FleetConfig::default()
-        };
-        let (fleet, startups) = boot_fleet(cfg, &busy_profile());
-        let mut secs: Vec<f64> = startups.iter().map(|t| t.as_secs_f64()).collect();
-        secs.sort_by(|a, b| a.partial_cmp(b).unwrap());
-        let point = ScaleoutPoint {
-            n: 4,
-            startup_p50_s: secs[secs.len() / 2],
-            startup_p99_s: secs[secs.len() - 1],
-            fairness_ratio: secs[secs.len() - 1] / secs[0],
-            cache_hit_ratio: fleet.server().cache_hit_ratio(),
-            bytes_moved: fleet.server_bytes_read(),
-            analytic_s: 0.0,
-            rel_err: 0.0,
-            image_copy_s: 0.0,
-        };
-        scaleout_json(Scale::Quick, &[point])
-    };
-    let a = run_once();
-    let b = run_once();
+    let a = chaos_json_once(1);
+    let b = chaos_json_once(1);
     assert_eq!(a, b, "same-seed chaos fleets must serialize identically");
     assert!(a.contains("\"n\": 4"));
+}
+
+#[test]
+fn sharded_chaos_scaleout_json_is_byte_identical_across_runs() {
+    let a = chaos_json_once(2);
+    let b = chaos_json_once(2);
+    assert_eq!(
+        a, b,
+        "same-seed chaos fleets with a sharded store must serialize identically"
+    );
+    assert!(a.contains("\"servers\": 2"));
+}
+
+/// Satellite regression: the figure's topology configs must all
+/// degenerate to the plain single-server fleet at n = 1 (and k = 1) —
+/// the sharding, stagger, and peer-serving machinery may add nothing
+/// when there is nothing to shard, stagger, or peer with. The p2p
+/// column's post-boot sprint only changes behavior *after* boot, so
+/// the startup instant must still match to the tick.
+#[test]
+fn every_topology_degenerates_to_the_single_server_path_at_n1() {
+    let spec = small_spec();
+    let profile = busy_profile();
+
+    let baseline_cfg = FleetConfig {
+        n: 1,
+        spec: spec.clone(),
+        ..FleetConfig::default()
+    };
+    let (_, baseline) = boot_fleet(baseline_cfg, &profile);
+
+    for topology in [Topology::SingleServer, Topology::PeerToPeer] {
+        // The figure applies a uniform arrival stagger; at n = 1 the
+        // lone machine's offset is 0 × stagger, so it must be inert.
+        let mut cfg = topology_fleet_cfg(topology, 1, &spec);
+        assert_eq!(cfg.servers, 1, "{topology:?} must use one origin at k = 1");
+        cfg.start_stagger = SimDuration::from_millis(50);
+        let (_, startups) = boot_fleet(cfg, &profile);
+        assert_eq!(
+            startups[0], baseline[0],
+            "{topology:?} at n = 1 must reproduce the plain fleet startup \
+             to the tick ({:?} vs {:?})",
+            startups[0], baseline[0]
+        );
+    }
+
+    // Explicit k = 1 sharding (servers: 1 spelled out) is the same
+    // code path as the default, not merely an equivalent one.
+    let cfg = FleetConfig {
+        n: 1,
+        spec,
+        servers: 1,
+        ..FleetConfig::default()
+    };
+    let (_, startups) = boot_fleet(cfg, &profile);
+    assert_eq!(
+        startups[0], baseline[0],
+        "servers: 1 must be byte-for-byte the single-server path"
+    );
 }

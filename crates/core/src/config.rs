@@ -33,6 +33,15 @@ pub struct Moderation {
     /// hint means other machines' copy-on-read is queueing behind our
     /// elastic traffic). Zero disables the reaction.
     pub server_busy_backoff: SimDuration,
+    /// Post-boot sprint: once the guest program has finished, the
+    /// remaining background copy runs unmoderated (no write pacing, no
+    /// busy-hint yield) and its reads carry the AoE completion-priority
+    /// flag. The moderation above exists to protect a *running* guest
+    /// and the boot reads of *other* machines; a machine that has
+    /// already booted converts into a read-only serving peer the moment
+    /// its bitmap fills, so in a peer-serving fleet finishing it fast
+    /// grows total capacity instead of stealing it.
+    pub post_boot_sprint: bool,
 }
 
 impl Default for Moderation {
@@ -47,6 +56,7 @@ impl Default for Moderation {
             vmm_write_interval: SimDuration::from_millis(18),
             vmm_write_suspend_interval: SimDuration::from_millis(500),
             server_busy_backoff: SimDuration::from_millis(100),
+            post_boot_sprint: false,
         }
     }
 }
@@ -60,6 +70,7 @@ impl Moderation {
             vmm_write_interval: SimDuration::ZERO,
             vmm_write_suspend_interval: SimDuration::ZERO,
             server_busy_backoff: SimDuration::ZERO,
+            post_boot_sprint: false,
         }
     }
 

@@ -3,16 +3,17 @@
 //!
 //! A [`Fleet`] instantiates `n` full [`Machine`]s — each with its own
 //! [`simkit::Sim`] event queue — and couples them through a shared
-//! capacity-modeled fabric to **one** AoE storage server:
+//! capacity-modeled fabric to a set of AoE storage servers:
 //!
 //! - **Requests** (machine → server) transit a shared
-//!   [`Switch`](hwsim::eth::Switch) whose server port carries the
-//!   configurable uplink [`Link`]: per-frame serialization delay and
-//!   back-to-back queueing, so 64 machines' fetch bursts contend for the
-//!   same wire exactly like the paper's testbed.
-//! - **Replies** (server → machines) serialize on one shared egress
-//!   [`Link`] modeling the server NIC — the actual scale-out bottleneck.
-//! - The server runs the fleet-side queued path: per-client pending
+//!   [`Switch`](hwsim::eth::Switch) whose server ports carry
+//!   configurable uplink [`Link`]s: per-frame serialization delay and
+//!   back-to-back queueing, so 64 machines' fetch bursts contend for
+//!   the same wires exactly like the paper's testbed.
+//! - **Replies** (server → machines) serialize on each server's own
+//!   egress [`Link`] modeling its NIC — the actual scale-out
+//!   bottleneck.
+//! - Every server runs the fleet-side queued path: per-client pending
 //!   queues drained by a deficit-round-robin scheduler
 //!   ([`AoeServer::dispatch`]), an LRU block cache that turns `n`
 //!   identical deployments into one disk read stream
@@ -20,6 +21,36 @@
 //!   when the backlog crosses a threshold — machines react by pausing
 //!   their elastic background copy
 //!   ([`Moderation::server_busy_backoff`](crate::config::Moderation)).
+//!
+//! # Topologies
+//!
+//! Three fabric shapes, selected by [`FleetConfig`]:
+//!
+//! - **Single server** (`servers: 1`, the default): the original
+//!   scale-out setup — one origin holds the image, every machine reads
+//!   from it.
+//! - **Sharded/replicated** (`servers: k`): `k` origin servers each
+//!   hold a full replica of the golden image on their own switch port
+//!   and egress link. Clients stripe *reads* across the replicas by
+//!   LBA ([`FleetConfig::stripe_sectors`]); *writes* — none occur
+//!   during a deployment, guest writes land in the machine's local
+//!   copy — would go to the primary `(0, 0)` alone, preserving one
+//!   write-ordering point.
+//! - **Peer-to-peer** (`peer_serving: true`): a machine whose
+//!   deployment bitmap fills becomes a **read-only rack-local peer**:
+//!   the fleet attaches a new server node exporting the immutable
+//!   golden image (guest writes live in the machine's private copy and
+//!   are never served) and appends its endpoint to every other
+//!   machine's read set. Supply grows with every finished deployment,
+//!   which is what flattens the startup curve at large `n` — combined
+//!   with [`post-boot sprint`](crate::config::Moderation::post_boot_sprint)
+//!   so nearly-done machines convert into peers quickly.
+//!
+//! Peers join a *different failure domain* than the origin servers:
+//! the fleet-level [`FaultPlan`] (server health, disk faults) applies
+//! to origin nodes only, while the reply-path link verdicts and fabric
+//! loss apply uniformly — a rack-local peer shares the fabric but not
+//! the storage array's failure modes.
 //!
 //! # Determinism
 //!
@@ -29,9 +60,11 @@
 //! fault randomness come from PRNG streams forked off one fleet seed
 //! (per-machine client jitter included, so retransmission storms do not
 //! synchronize), and the fleet's own event queue is an ordered map
-//! keyed by `(time, sequence)`. Two runs with the same [`FleetConfig`]
-//! are therefore event-for-event identical — the scale-out artifact is
-//! byte-reproducible.
+//! keyed by `(time, sequence)`. Peer activation is itself an event-
+//! order-driven state change (attaching a switch port consumes no
+//! randomness), so two runs with the same [`FleetConfig`] are
+//! event-for-event identical — the scale-out artifact is
+//! byte-reproducible at every topology.
 //!
 //! # Example
 //!
@@ -61,21 +94,26 @@ use crate::config::BmcastConfig;
 use crate::deploy::FlightRecorderConfig;
 use crate::machine::{
     corrupt_frame_bytes, fleet_deliver_rx, fleet_harvest_tx, sample_flight_row, start_deployment,
-    start_flight_sampler, start_program, GuestProgram, Machine, MachineSim, MachineSpec,
-    SERVER_MAC, VMM_MAC,
+    start_flight_sampler, start_program, DeployError, GuestProgram, Machine, MachineSim,
+    MachineSpec, SERVER_MAC, VMM_MAC,
 };
-use aoe::{AoeServer, FrameBytes, ServerConfig};
+use aoe::{peek_shelf_slot, AoeServer, FrameBytes, ServerConfig};
 use hwsim::block::BlockStore;
 use hwsim::disk::{DiskModel, DiskParams};
-use hwsim::eth::{Frame, Link, Switch};
+use hwsim::eth::{Frame, Link, MacAddr, Switch};
 use simkit::fault::{FaultInjector, FaultPlan, LinkVerdict, ServerHealth};
 use simkit::{
     Metrics, MetricsSnapshot, Prng, SampleRow, Sampler, SimDuration, SimTime, Span, Spans, Tracer,
 };
 use std::collections::BTreeMap;
 
+/// First shelf number used by peer server nodes (origin replicas use
+/// shelves `0..servers`); machine `i`'s peer answers on shelf
+/// `PEER_SHELF_BASE + i`.
+pub const PEER_SHELF_BASE: u16 = 0x1000;
+
 /// Fleet-wide configuration: the member machines, the shared fabric,
-/// and the shared storage server.
+/// and the storage servers.
 #[derive(Debug, Clone)]
 pub struct FleetConfig {
     /// Number of machines deploying concurrently.
@@ -87,9 +125,47 @@ pub struct FleetConfig {
     /// `fabric_loss_rate` and `faults` here (the fabric is shared;
     /// use [`FleetConfig::fabric_loss_rate`] / [`FleetConfig::faults`]).
     pub machine_cfg: BmcastConfig,
-    /// Storage-server configuration. `mtu` is overridden with
-    /// `machine_cfg.mtu` at construction so the endpoints always agree.
+    /// Storage-server configuration, applied to every origin replica
+    /// and inherited by peer nodes. `mtu` is overridden with
+    /// `machine_cfg.mtu` and `shelf`/`slot` with each node's own
+    /// address at construction, so the endpoints always agree.
     pub server_cfg: ServerConfig,
+    /// Origin storage servers, each holding a full replica of the
+    /// golden image on its own switch port and egress link. Clients
+    /// stripe reads across them by LBA; 1 reproduces the original
+    /// single-server fleet bit-for-bit.
+    pub servers: usize,
+    /// Read-striping granularity in sectors: LBA block `lba / stripe`
+    /// maps to read endpoint `(lba / stripe) % endpoints`. The default
+    /// matches the background copier's block size so one copy block
+    /// never straddles two servers.
+    pub stripe_sectors: u32,
+    /// Peer-serving mode: a machine whose bitmap fills becomes a
+    /// read-only origin for the others (see the module docs).
+    pub peer_serving: bool,
+    /// Gap between consecutive machines' deployment starts. `ZERO`
+    /// (the default) starts everyone at `t = 0`, the original
+    /// simultaneous-arrival experiment; a small stagger models rolling
+    /// power-on and is what lets early finishers seed the peer-serving
+    /// snowball. Startup times reported by
+    /// [`Fleet::startup_durations`] are measured from each machine's
+    /// own start.
+    pub start_stagger: SimDuration,
+    /// Admission ramp, the deployment scheduler's side of peer serving:
+    /// `0` (the default) releases every machine on the fixed stagger
+    /// grid; a non-zero base releases at most `admission_base +
+    /// admission_per_peer × active_peers` machines, growing the rollout
+    /// as converted peers add serving capacity. A 256-machine burst
+    /// against one origin collapses into queueing long before the first
+    /// peer can convert — real peer-to-peer rollouts ramp admission for
+    /// exactly this reason. Per-machine startup is still measured from
+    /// each machine's own release ([`Fleet::startup_durations`]).
+    /// Inert when `n <= admission_base`, preserving small-fleet and
+    /// n = 1 behavior exactly.
+    pub admission_base: usize,
+    /// Additional machines released per active peer (see
+    /// [`FleetConfig::admission_base`]).
+    pub admission_per_peer: usize,
     /// Uplink (machines → server) line rate, bits per second.
     pub uplink_bps: u64,
     /// Uplink one-way latency.
@@ -98,7 +174,7 @@ pub struct FleetConfig {
     pub egress_bps: u64,
     /// Server egress one-way latency.
     pub egress_latency: SimDuration,
-    /// Egress backlog (in serialization time) above which the server
+    /// Egress backlog (in serialization time) above which a server
     /// stops dispatching — the NIC ring is finite, so a disk-and-cache
     /// pipeline that outruns the wire must stall, not buffer without
     /// bound. Like the busy hint, backpressure needs at least two
@@ -111,8 +187,9 @@ pub struct FleetConfig {
     /// Master seed: forked into the switch loss stream, the reply-path
     /// loss stream, and each machine's AoE-client jitter stream.
     pub seed: u64,
-    /// Fleet-level fault plan, applied on the shared fabric and server
-    /// (per-machine plans are disabled on fleet members).
+    /// Fleet-level fault plan, applied on the shared fabric and the
+    /// origin servers (per-machine plans are disabled on fleet
+    /// members; peer nodes are outside the storage failure domain).
     pub faults: Option<FaultPlan>,
 }
 
@@ -136,6 +213,12 @@ impl Default for FleetConfig {
                 busy_queue_threshold: 4,
                 ..ServerConfig::default()
             },
+            servers: 1,
+            stripe_sectors: 2048,
+            peer_serving: false,
+            start_stagger: SimDuration::ZERO,
+            admission_base: 0,
+            admission_per_peer: 0,
             uplink_bps: 1_000_000_000,
             uplink_latency: SimDuration::from_micros(30),
             egress_bps: 1_000_000_000,
@@ -148,17 +231,44 @@ impl Default for FleetConfig {
     }
 }
 
+/// One storage server on the fabric: an origin replica or an activated
+/// peer, with its own switch port and egress link.
+struct ServerNode {
+    server: AoeServer,
+    mac: MacAddr,
+    /// Switch port this node's requests arrive on.
+    port: usize,
+    egress: Link,
+    /// Wire bytes of replies dispatched but not yet serialized onto
+    /// this node's egress link (their [`FleetEvent::ReplyTx`] is still
+    /// pending); counted into the backpressure backlog so one pump
+    /// can't outrun the wire unobserved.
+    egress_inflight_bytes: u64,
+    /// Earliest already-scheduled [`FleetEvent::Dispatch`] for this
+    /// node, so worker wake-ups are not scheduled redundantly.
+    pending_dispatch: Option<SimTime>,
+    /// Origin replica (true) or activated peer (false) — decides
+    /// whether the fleet fault plan's server/disk gates apply.
+    origin: bool,
+}
+
 /// An event on the fleet's own (fabric + server) timeline. Machine-side
 /// events stay inside each member's [`MachineSim`].
 #[derive(Debug)]
 enum FleetEvent {
-    /// A request frame arrives at the server NIC.
-    ServerRx { machine: usize, payload: FrameBytes },
-    /// A worker may have come free: try the DRR scheduler again.
-    Dispatch,
-    /// A reply becomes ready on the server and starts its egress
+    /// A request frame arrives at server `node`'s NIC.
+    ServerRx {
+        node: usize,
+        machine: usize,
+        payload: FrameBytes,
+    },
+    /// A worker may have come free on `node`: try its DRR scheduler
+    /// again.
+    Dispatch { node: usize },
+    /// A reply becomes ready on server `node` and starts its egress
     /// transmission toward `machine`.
     ReplyTx {
+        node: usize,
         machine: usize,
         frames: Vec<FrameBytes>,
     },
@@ -168,30 +278,131 @@ enum FleetEvent {
     Sample,
 }
 
-/// N machines, one fabric, one server — see the module docs.
+/// Why [`Fleet::run_to_all_booted`] stopped short, with the state of
+/// every member at that instant — a fleet that fails tells you *which*
+/// machines are stuck and how far they got, not just that it timed
+/// out.
+#[derive(Debug, Clone)]
+pub struct FleetStall {
+    /// Fleet virtual time when the run stopped.
+    pub at: SimTime,
+    /// The time limit the run was given.
+    pub limit: SimTime,
+    /// True when no events remained anywhere (a wedged fleet), false
+    /// when the limit passed or every unfinished member had failed
+    /// terminally.
+    pub wedged: bool,
+    /// Per-machine state, index-aligned with the members.
+    pub outcomes: Vec<MachineOutcome>,
+}
+
+/// One member's state when a fleet run stopped short.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum MachineOutcome {
+    /// The guest program finished at `at`.
+    Booted {
+        /// Boot-finish instant (absolute fleet time).
+        at: SimTime,
+    },
+    /// The deployment surfaced a terminal error.
+    Failed {
+        /// The error the VMM reported.
+        error: DeployError,
+    },
+    /// Still deploying: neither booted nor failed.
+    Incomplete {
+        /// Deployment bitmap fill, `[0, 1]`.
+        fill: f64,
+    },
+}
+
+impl std::fmt::Display for FleetStall {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let booted = self
+            .outcomes
+            .iter()
+            .filter(|o| matches!(o, MachineOutcome::Booted { .. }))
+            .count();
+        let failed = self
+            .outcomes
+            .iter()
+            .filter(|o| matches!(o, MachineOutcome::Failed { .. }))
+            .count();
+        let n = self.outcomes.len();
+        write!(
+            f,
+            "fleet stopped at {:?} ({}): {booted}/{n} booted, {failed} failed",
+            self.at,
+            if self.wedged {
+                "no events left"
+            } else if failed > 0 && booted + failed == n {
+                "all remaining machines failed"
+            } else {
+                "limit passed"
+            },
+        )?;
+        for (i, o) in self.outcomes.iter().enumerate() {
+            if let MachineOutcome::Failed { error } = o {
+                write!(f, "; machine{i}: {error}")?;
+            }
+        }
+        let laggard = self
+            .outcomes
+            .iter()
+            .enumerate()
+            .filter_map(|(i, o)| match o {
+                MachineOutcome::Incomplete { fill } => Some((i, *fill)),
+                _ => None,
+            })
+            .fold(None, |acc: Option<(usize, f64)>, (i, fill)| match acc {
+                Some((_, best)) if best <= fill => acc,
+                _ => Some((i, fill)),
+            });
+        if let Some((i, fill)) = laggard {
+            write!(f, "; least filled: machine{i} at {:.1}%", fill * 100.0)?;
+        }
+        Ok(())
+    }
+}
+
+impl std::error::Error for FleetStall {}
+
+/// Per-machine guest-program factory handed to [`Fleet::start`].
+type ProgramFactory = Box<dyn FnMut(usize) -> Box<dyn GuestProgram>>;
+
+/// N machines, one fabric, one or more servers — see the module docs.
 pub struct Fleet {
     cfg: FleetConfig,
     machines: Vec<(Machine, MachineSim)>,
     switch: Switch<FrameBytes>,
-    server_port: usize,
-    server: AoeServer,
-    egress: Link,
-    /// Wire bytes of replies dispatched but not yet serialized onto the
-    /// egress link (their [`FleetEvent::ReplyTx`] is still pending);
-    /// counted into the backpressure backlog so one pump can't outrun
-    /// the wire unobserved.
-    egress_inflight_bytes: u64,
+    /// Origin replicas first (index = shelf), then activated peers.
+    nodes: Vec<ServerNode>,
+    /// AoE shelf → node index, for request routing.
+    shelf_nodes: BTreeMap<u16, usize>,
+    /// Which members have already been converted into peer nodes.
+    peer_active: Vec<bool>,
     faults: Option<FaultInjector>,
     /// Reply-path loss stream (the switch owns the request-path one).
     reply_prng: Prng,
     events: BTreeMap<(SimTime, u64), FleetEvent>,
     seq: u64,
     now: SimTime,
-    /// Earliest already-scheduled [`FleetEvent::Dispatch`], so worker
-    /// wake-ups are not scheduled redundantly.
-    pending_dispatch: Option<SimTime>,
+    /// Per-machine deployment start instant (staggered arrivals;
+    /// `ZERO` placeholder until an admission-gated machine is
+    /// released).
+    start_at: Vec<SimTime>,
     /// First boot-finish instant per machine.
     startup: Vec<Option<SimTime>>,
+    /// Program factory held back for admission-gated members.
+    program: Option<ProgramFactory>,
+    /// Machines whose start has been scheduled (= `n` without an
+    /// admission ramp).
+    admitted: usize,
+    /// Latest scheduled start, so ramp releases keep the stagger
+    /// spacing.
+    last_sched_start: SimTime,
+    /// Whether the flight recorder was armed at [`Fleet::start`].
+    record: bool,
     metrics: Metrics,
     /// Per-machine flight recorders, when enabled: `(spans, sampler)`.
     recorders: Vec<(Spans, Sampler)>,
@@ -205,6 +416,8 @@ impl std::fmt::Debug for Fleet {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Fleet")
             .field("n", &self.cfg.n)
+            .field("servers", &self.cfg.servers)
+            .field("peers", &self.peers_active())
             .field("now", &self.now)
             .field("booted", &self.booted_count())
             .finish()
@@ -213,39 +426,64 @@ impl std::fmt::Debug for Fleet {
 
 impl Fleet {
     /// Builds the fleet: `n` members via [`Machine::bmcast_fleet`], the
-    /// shared switch/server/egress, and the forked PRNG streams.
-    /// Deployment is armed by [`Fleet::start`].
+    /// shared switch, `servers` origin replicas with their egress
+    /// links, and the forked PRNG streams. Deployment is armed by
+    /// [`Fleet::start`].
     ///
     /// # Panics
     ///
-    /// Panics if `cfg.n` is zero.
+    /// Panics if `cfg.n` or `cfg.servers` is zero.
     pub fn new(cfg: FleetConfig) -> Fleet {
         assert!(cfg.n >= 1, "a fleet needs at least one machine");
+        assert!(cfg.servers >= 1, "a fleet needs at least one server");
         let mut seeds = Prng::new(cfg.seed);
         let mut switch = Switch::new(
             cfg.machine_cfg.mtu,
             cfg.fabric_loss_rate,
             seeds.next_u64(),
         );
-        let server_port = switch.attach(SERVER_MAC, Link::new(cfg.uplink_bps, cfg.uplink_latency));
-        let egress = Link::new(cfg.egress_bps, cfg.egress_latency);
         let reply_prng = Prng::new(seeds.next_u64());
 
-        let server_params = DiskParams {
-            capacity_sectors: cfg.spec.image_sectors,
-            ..DiskParams::default()
-        };
-        let server_disk = DiskModel::new(
-            server_params,
-            BlockStore::image(cfg.spec.image_sectors, cfg.spec.image_seed),
-        );
-        let server = AoeServer::new(
-            ServerConfig {
-                mtu: cfg.machine_cfg.mtu,
-                ..cfg.server_cfg.clone()
-            },
-            server_disk,
-        );
+        // Origin replicas: shelf j serves a full copy of the image on
+        // its own port. Node 0 keeps the single-server MAC so the
+        // `servers = 1` fabric is laid out exactly as before.
+        let mut nodes = Vec::with_capacity(cfg.servers);
+        let mut shelf_nodes = BTreeMap::new();
+        for j in 0..cfg.servers {
+            let mac = if j == 0 {
+                SERVER_MAC
+            } else {
+                MacAddr::host(256 + j as u16)
+            };
+            let port = switch.attach(mac, Link::new(cfg.uplink_bps, cfg.uplink_latency));
+            let server_params = DiskParams {
+                capacity_sectors: cfg.spec.image_sectors,
+                ..DiskParams::default()
+            };
+            let server_disk = DiskModel::new(
+                server_params,
+                BlockStore::image(cfg.spec.image_sectors, cfg.spec.image_seed),
+            );
+            let server = AoeServer::new(
+                ServerConfig {
+                    mtu: cfg.machine_cfg.mtu,
+                    shelf: j as u16,
+                    slot: 0,
+                    ..cfg.server_cfg.clone()
+                },
+                server_disk,
+            );
+            shelf_nodes.insert(j as u16, nodes.len());
+            nodes.push(ServerNode {
+                server,
+                mac,
+                port,
+                egress: Link::new(cfg.egress_bps, cfg.egress_latency),
+                egress_inflight_bytes: 0,
+                pending_dispatch: None,
+                origin: true,
+            });
+        }
 
         let mut machine_cfg = cfg.machine_cfg.clone();
         machine_cfg.fabric_loss_rate = 0.0;
@@ -259,6 +497,11 @@ impl Fleet {
             let jitter_seed = seeds.next_u64();
             if let Some(vmm) = m.vmm.as_mut() {
                 vmm.client.reseed_jitter(jitter_seed);
+                if cfg.servers > 1 {
+                    vmm.client
+                        .set_read_endpoints((0..cfg.servers).map(|j| (j as u16, 0)).collect());
+                    vmm.client.set_stripe_sectors(cfg.stripe_sectors);
+                }
             }
             machines.push((m, MachineSim::new()));
         }
@@ -269,17 +512,20 @@ impl Fleet {
             cfg,
             machines,
             switch,
-            server_port,
-            server,
-            egress,
-            egress_inflight_bytes: 0,
+            nodes,
+            shelf_nodes,
+            peer_active: vec![false; n],
             faults,
             reply_prng,
             events: BTreeMap::new(),
             seq: 0,
             now: SimTime::ZERO,
-            pending_dispatch: None,
+            start_at: vec![SimTime::ZERO; n],
             startup: vec![None; n],
+            program: None,
+            admitted: 0,
+            last_sched_start: SimTime::ZERO,
+            record: false,
             metrics: Metrics::disabled(),
             recorders: Vec::new(),
             server_spans: Spans::disabled(),
@@ -288,7 +534,7 @@ impl Fleet {
     }
 
     /// Attaches one shared metrics registry and tracer to every member,
-    /// the server, and the fault injector, so a single snapshot holds
+    /// the servers, and the fault injector, so a single snapshot holds
     /// the aggregate fleet counters (`server.cache.*`, `server.queue.*`,
     /// `machine.frames_tx`, ...). Call before [`Fleet::start`].
     pub fn enable_telemetry(&mut self) {
@@ -297,7 +543,9 @@ impl Fleet {
         for (m, _) in &mut self.machines {
             m.set_telemetry(metrics.clone(), tracer.clone());
         }
-        self.server.set_telemetry(metrics.clone());
+        for node in &mut self.nodes {
+            node.server.set_telemetry(metrics.clone());
+        }
         if let Some(inj) = self.faults.as_mut() {
             inj.set_metrics(metrics.clone());
         }
@@ -306,7 +554,7 @@ impl Fleet {
 
     /// Attaches a flight recorder to every member (its own span store
     /// and timeline sampler, exported as one Perfetto process per
-    /// machine by [`Fleet::chrome_trace`]), a span store to the server,
+    /// machine by [`Fleet::chrome_trace`]), a span store to the servers,
     /// and the fleet-level timeline sampler (server cache hit ratio and
     /// queue depths over time). Call before [`Fleet::start`].
     pub fn enable_flight_recorder(&mut self, rec: FlightRecorderConfig) {
@@ -318,23 +566,28 @@ impl Fleet {
             self.recorders.push((spans, sampler));
         }
         self.server_spans = Spans::enabled(rec.span_capacity);
-        self.server.set_spans(self.server_spans.clone());
+        for node in &mut self.nodes {
+            node.server.set_spans(self.server_spans.clone());
+        }
         self.fleet_sampler = Sampler::enabled(rec.sample_interval);
     }
 
     /// Arms every member: installs its guest program (from the factory,
-    /// by machine index), starts deployment and the program at t=0, and
-    /// puts the first fetch burst on the shared fabric.
-    pub fn start(&mut self, mut program: impl FnMut(usize) -> Box<dyn GuestProgram>) {
-        for i in 0..self.machines.len() {
-            let (m, sim) = &mut self.machines[i];
-            m.set_program(program(i));
-            start_deployment(m, sim);
-            start_program(m, sim);
-            if !self.recorders.is_empty() {
-                start_flight_sampler(m, sim);
-            }
-            self.forward_requests(i, SimTime::ZERO);
+    /// by machine index) and starts deployment and the program at that
+    /// member's staggered arrival time (`i * start_stagger`; everyone
+    /// at `t = 0` with the default zero stagger), putting the first
+    /// fetch burst on the shared fabric. With an admission ramp
+    /// ([`FleetConfig::admission_base`]) only the first `base` machines
+    /// are released here; the rest are released as peers convert.
+    pub fn start(&mut self, program: impl FnMut(usize) -> Box<dyn GuestProgram> + 'static) {
+        self.record = !self.recorders.is_empty();
+        self.program = Some(Box::new(program));
+        let initial = match self.cfg.admission_base {
+            0 => self.machines.len(),
+            base => base.min(self.machines.len()),
+        };
+        for _ in 0..initial {
+            self.admit_next();
         }
         if self.fleet_sampler.is_enabled() {
             self.record_fleet_sample(SimTime::ZERO);
@@ -343,14 +596,77 @@ impl Fleet {
         }
     }
 
+    /// Releases the next unstarted machine: one stagger interval after
+    /// the previously scheduled start, never in the past. The first
+    /// machine (release at `t = 0` before the run) starts inline so
+    /// its fetch burst hits the fabric exactly as the pre-stagger code
+    /// did.
+    fn admit_next(&mut self) {
+        let i = self.admitted;
+        self.admitted += 1;
+        let at = if i == 0 {
+            SimTime::ZERO
+        } else {
+            self.now
+                .max(self.last_sched_start + self.cfg.start_stagger)
+        };
+        self.last_sched_start = at;
+        self.start_at[i] = at;
+        let record = self.record;
+        let program = self.program.as_mut().expect("start() installed the factory");
+        let (m, sim) = &mut self.machines[i];
+        m.set_program(program(i));
+        if at == SimTime::ZERO && self.now == SimTime::ZERO {
+            start_deployment(m, sim);
+            start_program(m, sim);
+            if record {
+                start_flight_sampler(m, sim);
+            }
+            self.forward_requests(i, SimTime::ZERO);
+        } else {
+            // A deferred start is just a machine-sim event: the run
+            // loop harvests the fetch burst right after stepping it.
+            sim.schedule_at(at, move |m: &mut Machine, sim| {
+                start_deployment(m, sim);
+                start_program(m, sim);
+                if record {
+                    start_flight_sampler(m, sim);
+                }
+            });
+        }
+    }
+
+    /// Opens the admission window to `base + per_peer × peers` and
+    /// releases newly admitted machines (no-op without a ramp).
+    fn admit_ramp(&mut self) {
+        if self.cfg.admission_base == 0 {
+            return;
+        }
+        let allowed = (self.cfg.admission_base
+            + self.cfg.admission_per_peer * self.peers_active())
+        .min(self.machines.len());
+        while self.admitted < allowed {
+            self.admit_next();
+        }
+    }
+
     /// Runs until every member's guest program has finished (the OS
     /// boot, for the scale-out figure) or `limit` passes. Returns the
-    /// per-machine finish times, in machine order, or `None` on
-    /// timeout / a wedged fleet (no events anywhere).
-    pub fn run_to_all_booted(&mut self, limit: SimTime) -> Option<Vec<SimTime>> {
+    /// per-machine finish times, in machine order (absolute fleet
+    /// time; see [`Fleet::startup_durations`] for per-machine elapsed
+    /// times under staggered arrivals).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`FleetStall`] carrying per-machine
+    /// [`MachineOutcome`]s when the limit passes, the fleet wedges (no
+    /// events anywhere), or every unfinished member has surfaced a
+    /// terminal [`DeployError`] — the run fails fast instead of
+    /// spinning out the clock on machines that can no longer boot.
+    pub fn run_to_all_booted(&mut self, limit: SimTime) -> Result<Vec<SimTime>, FleetStall> {
         loop {
             if self.booted_count() == self.machines.len() {
-                return Some(self.startup.iter().map(|t| t.unwrap()).collect());
+                return Ok(self.startup.iter().map(|t| t.unwrap()).collect());
             }
             // The globally earliest event: fleet first, then members in
             // index order — the fixed iteration order that makes the
@@ -365,11 +681,11 @@ impl Fleet {
                 }
             }
             let step_machine = match (fleet_next, machine_next) {
-                (None, None) => return None,
+                (None, None) => return Err(self.stall(true, limit)),
                 (Some(ft), Some((mt, i))) if mt < ft => Some((mt, i)),
                 (Some(ft), _) => {
                     if ft > limit {
-                        return None;
+                        return Err(self.stall(false, limit));
                     }
                     self.step_fleet();
                     None
@@ -378,7 +694,7 @@ impl Fleet {
             };
             if let Some((t, i)) = step_machine {
                 if t > limit {
-                    return None;
+                    return Err(self.stall(false, limit));
                 }
                 let (m, sim) = &mut self.machines[i];
                 sim.step(m);
@@ -391,6 +707,111 @@ impl Fleet {
                     // state (no-op when the recorder is off).
                     sample_flight_row(&self.machines[i].0, stepped_to);
                 }
+                if self.cfg.peer_serving
+                    && !self.peer_active[i]
+                    && self.machines[i].0.deployment_progress() >= 1.0
+                {
+                    self.activate_peer(i);
+                    self.admit_ramp();
+                }
+                // Fail fast: when every machine that hasn't booted has
+                // failed terminally, no amount of simulated time will
+                // finish the fleet.
+                if self.machines[i].0.deploy_error().is_some() {
+                    let done_or_dead =
+                        self.machines.iter().enumerate().all(|(j, (m, _))| {
+                            self.startup[j].is_some() || m.deploy_error().is_some()
+                        });
+                    if done_or_dead {
+                        return Err(self.stall(false, limit));
+                    }
+                }
+            }
+        }
+    }
+
+    fn stall(&self, wedged: bool, limit: SimTime) -> FleetStall {
+        FleetStall {
+            at: self.now,
+            limit,
+            wedged,
+            outcomes: self.outcomes(),
+        }
+    }
+
+    /// Per-machine outcomes at the current instant (index-aligned).
+    pub fn outcomes(&self) -> Vec<MachineOutcome> {
+        self.machines
+            .iter()
+            .enumerate()
+            .map(|(i, (m, _))| {
+                if let Some(at) = self.startup[i] {
+                    MachineOutcome::Booted { at }
+                } else if let Some(error) = m.deploy_error() {
+                    MachineOutcome::Failed { error }
+                } else {
+                    MachineOutcome::Incomplete {
+                        fill: m.deployment_progress(),
+                    }
+                }
+            })
+            .collect()
+    }
+
+    /// Converts finished machine `i` into a read-only peer server: a
+    /// new node exporting the immutable golden image on its own switch
+    /// port (guest writes live in the machine's private copy and are
+    /// never served), appended to every other machine's read-endpoint
+    /// set. Attaching a port draws no randomness, so peer activation
+    /// preserves the deterministic interleave.
+    fn activate_peer(&mut self, i: usize) {
+        self.peer_active[i] = true;
+        let shelf = PEER_SHELF_BASE + i as u16;
+        let mac = MacAddr::host(1024 + i as u16);
+        let port = self
+            .switch
+            .attach(mac, Link::new(self.cfg.uplink_bps, self.cfg.uplink_latency));
+        let disk = DiskModel::new(
+            DiskParams {
+                capacity_sectors: self.cfg.spec.image_sectors,
+                ..DiskParams::default()
+            },
+            // The bitmap is full, so the machine's image copy is
+            // complete — the exported store is the same golden image
+            // by construction.
+            BlockStore::image(self.cfg.spec.image_sectors, self.cfg.spec.image_seed),
+        );
+        let mut server = AoeServer::new(
+            ServerConfig {
+                mtu: self.cfg.machine_cfg.mtu,
+                shelf,
+                slot: 0,
+                ..self.cfg.server_cfg.clone()
+            },
+            disk,
+        );
+        if self.metrics.is_enabled() {
+            server.set_telemetry(self.metrics.clone());
+        }
+        if self.server_spans.is_enabled() {
+            server.set_spans(self.server_spans.clone());
+        }
+        self.shelf_nodes.insert(shelf, self.nodes.len());
+        self.nodes.push(ServerNode {
+            server,
+            mac,
+            port,
+            egress: Link::new(self.cfg.egress_bps, self.cfg.egress_latency),
+            egress_inflight_bytes: 0,
+            pending_dispatch: None,
+            origin: false,
+        });
+        for (j, (m, _)) in self.machines.iter_mut().enumerate() {
+            if j == i {
+                continue;
+            }
+            if let Some(vmm) = m.vmm.as_mut() {
+                vmm.client.add_read_endpoint((shelf, 0));
             }
         }
     }
@@ -404,14 +825,22 @@ impl Fleet {
         let (t, _) = key;
         self.now = self.now.max(t);
         match event {
-            FleetEvent::ServerRx { machine, payload } => self.server_rx(t, machine, &payload),
-            FleetEvent::Dispatch => {
-                if self.pending_dispatch == Some(t) {
-                    self.pending_dispatch = None;
+            FleetEvent::ServerRx {
+                node,
+                machine,
+                payload,
+            } => self.server_rx(t, node, machine, &payload),
+            FleetEvent::Dispatch { node } => {
+                if self.nodes[node].pending_dispatch == Some(t) {
+                    self.nodes[node].pending_dispatch = None;
                 }
-                self.pump_server(t);
+                self.pump_server(node, t);
             }
-            FleetEvent::ReplyTx { machine, frames } => self.reply_tx(t, machine, frames),
+            FleetEvent::ReplyTx {
+                node,
+                machine,
+                frames,
+            } => self.reply_tx(t, node, machine, frames),
             FleetEvent::Deliver { machine, payload } => {
                 let (_, sim) = &mut self.machines[machine];
                 sim.schedule_at(t, move |m: &mut Machine, sim| {
@@ -436,10 +865,19 @@ impl Fleet {
 
     /// Drains machine `i`'s NIC TX ring onto the shared fabric at `now`
     /// (after every step of that machine, so frames leave at the same
-    /// instant the single-machine in-event pump would send them).
+    /// instant the single-machine in-event pump would send them). Each
+    /// frame is routed to the server node owning its AoE shelf — the
+    /// client addressed the request, the fabric just switches it.
     fn forward_requests(&mut self, i: usize, now: SimTime) {
         let frames = fleet_harvest_tx(&mut self.machines[i].0);
         for payload in frames {
+            // Route on the shelf the client addressed; a frame for a
+            // shelf nobody serves just vanishes, like on a real wire.
+            let Some(&node) = peek_shelf_slot(&payload)
+                .and_then(|(shelf, _)| self.shelf_nodes.get(&shelf))
+            else {
+                continue;
+            };
             let verdict = match self.faults.as_mut() {
                 Some(inj) => inj.link_verdict_tx(now),
                 None => LinkVerdict::Deliver,
@@ -451,7 +889,7 @@ impl Fleet {
             };
             let frame = Frame {
                 src: VMM_MAC,
-                dst: SERVER_MAC,
+                dst: self.nodes[node].mac,
                 payload_bytes: payload.len() as u32,
                 payload,
             };
@@ -461,12 +899,13 @@ impl Fleet {
                 continue;
             };
             for d in deliveries {
-                if d.port != self.server_port {
+                if d.port != self.nodes[node].port {
                     continue;
                 }
                 self.push(
                     d.at,
                     FleetEvent::ServerRx {
+                        node,
                         machine: i,
                         payload: d.frame.payload,
                     },
@@ -475,65 +914,78 @@ impl Fleet {
         }
     }
 
-    /// A request frame arrives at the server: fault gates, then the
-    /// fleet queued path (enqueue + DRR pump).
-    fn server_rx(&mut self, now: SimTime, machine: usize, payload: &FrameBytes) {
-        if let Some(inj) = self.faults.as_mut() {
-            match inj.server_health(now) {
-                ServerHealth::Down => return,
-                ServerHealth::Restarting => self.server.restart(),
-                ServerHealth::Up => {}
+    /// A request frame arrives at server `node`: fault gates (origin
+    /// replicas only — peers are outside the storage failure domain),
+    /// then the fleet queued path (enqueue + DRR pump).
+    fn server_rx(&mut self, now: SimTime, node: usize, machine: usize, payload: &FrameBytes) {
+        if self.nodes[node].origin {
+            if let Some(inj) = self.faults.as_mut() {
+                match inj.server_health(now) {
+                    ServerHealth::Down => return,
+                    ServerHealth::Restarting => {
+                        // The health plan models the storage array, so a
+                        // restart window bounces every origin replica.
+                        for n in self.nodes.iter_mut().filter(|n| n.origin) {
+                            n.server.restart();
+                        }
+                    }
+                    ServerHealth::Up => {}
+                }
+                let factor = inj.disk_latency_factor(now);
+                let write_faults = inj.disk_write_error(now);
+                let disk = self.nodes[node].server.disk_mut();
+                disk.set_fault_latency_factor(factor);
+                disk.set_fault_write_errors(write_faults);
             }
-            let factor = inj.disk_latency_factor(now);
-            self.server.disk_mut().set_fault_latency_factor(factor);
-            let write_faults = inj.disk_write_error(now);
-            self.server.disk_mut().set_fault_write_errors(write_faults);
         }
         // Decode failures and misaddressed frames just vanish, like on
         // a real wire; queue-full drops are counted by the server.
-        let _ = self.server.enqueue(machine, payload);
-        self.pump_server(now);
+        let _ = self.nodes[node].server.enqueue(machine, payload);
+        self.pump_server(node, now);
     }
 
-    /// Total egress backlog at `now`, in serialization time: what the
-    /// link still has to put on the wire, plus replies dispatched but
-    /// whose [`FleetEvent::ReplyTx`] has not executed yet.
-    fn egress_backlog(&self, now: SimTime) -> SimDuration {
-        let queued = self.egress.next_free().saturating_duration_since(now);
+    /// Server `node`'s egress backlog at `now`, in serialization time:
+    /// what the link still has to put on the wire, plus replies
+    /// dispatched but whose [`FleetEvent::ReplyTx`] has not executed
+    /// yet.
+    fn egress_backlog(&self, node: usize, now: SimTime) -> SimDuration {
+        let n = &self.nodes[node];
+        let queued = n.egress.next_free().saturating_duration_since(now);
         let inflight = SimDuration::from_nanos(
-            self.egress_inflight_bytes * 8 * 1_000_000_000 / self.cfg.egress_bps.max(1),
+            n.egress_inflight_bytes * 8 * 1_000_000_000 / self.cfg.egress_bps.max(1),
         );
         queued + inflight
     }
 
-    /// Lets the DRR scheduler dispatch everything it can at `now`, then
-    /// books a wake-up for the next worker-free instant.
+    /// Lets server `node`'s DRR scheduler dispatch everything it can at
+    /// `now`, then books a wake-up for the next worker-free instant.
     ///
-    /// Dispatch also stalls while the egress backlog exceeds
+    /// Dispatch also stalls while the node's egress backlog exceeds
     /// [`FleetConfig::egress_queue_cap`] (with at least two clients on
     /// record): the disk cache can serve retransmit bursts orders of
     /// magnitude faster than a saturated wire drains them, and without
     /// NIC backpressure that difference accumulates as an unbounded
     /// reply queue. Requests wait in the bounded per-client queues
     /// instead, where the busy hint and queue-full drops do their work.
-    fn pump_server(&mut self, now: SimTime) {
+    fn pump_server(&mut self, node: usize, now: SimTime) {
         let cap = self.cfg.egress_queue_cap;
         loop {
-            let backlog = self.egress_backlog(now);
-            if self.server.clients() >= 2 && backlog > cap {
-                if self.server.queued_total() > 0 {
+            let backlog = self.egress_backlog(node, now);
+            let n = &mut self.nodes[node];
+            if n.server.clients() >= 2 && backlog > cap {
+                if n.server.queued_total() > 0 {
                     let resume = now + (backlog - cap);
-                    if self.pending_dispatch.is_none_or(|p| resume < p) {
-                        self.pending_dispatch = Some(resume);
-                        self.push(resume, FleetEvent::Dispatch);
+                    if n.pending_dispatch.is_none_or(|p| resume < p) {
+                        n.pending_dispatch = Some(resume);
+                        self.push(resume, FleetEvent::Dispatch { node });
                     }
                 }
                 return;
             }
-            let Some((client, reply)) = self.server.dispatch(now) else {
+            let Some((client, reply)) = n.server.dispatch(now) else {
                 break;
             };
-            self.egress_inflight_bytes += reply
+            n.egress_inflight_bytes += reply
                 .frames
                 .iter()
                 .map(|f| f.len() as u64 + hwsim::eth::FRAME_OVERHEAD as u64)
@@ -541,30 +993,33 @@ impl Fleet {
             self.push(
                 reply.ready_at.max(now),
                 FleetEvent::ReplyTx {
+                    node,
                     machine: client,
                     frames: reply.frames,
                 },
             );
         }
-        if let Some(at) = self.server.next_dispatch_at() {
-            if self.pending_dispatch.is_none_or(|p| at < p) {
-                self.pending_dispatch = Some(at);
-                self.push(at, FleetEvent::Dispatch);
+        let n = &mut self.nodes[node];
+        if let Some(at) = n.server.next_dispatch_at() {
+            if n.pending_dispatch.is_none_or(|p| at < p) {
+                n.pending_dispatch = Some(at);
+                self.push(at, FleetEvent::Dispatch { node });
             }
         }
     }
 
-    /// Reply frames leave the server: per-frame fault verdicts, the
-    /// reply-path loss draw, and serialization on the shared egress
-    /// link (the server NIC — replies to different machines queue
-    /// behind each other here).
-    fn reply_tx(&mut self, now: SimTime, machine: usize, frames: Vec<FrameBytes>) {
+    /// Reply frames leave server `node`: per-frame fault verdicts, the
+    /// reply-path loss draw, and serialization on the node's egress
+    /// link (its NIC — replies to different machines queue behind each
+    /// other here).
+    fn reply_tx(&mut self, now: SimTime, node: usize, machine: usize, frames: Vec<FrameBytes>) {
         for payload in frames {
             // The bytes move from "dispatched, pending" to the link's
             // own horizon (or vanish to a fault verdict) — either way
             // they leave the in-flight tally.
             let wire = payload.len() as u64 + hwsim::eth::FRAME_OVERHEAD as u64;
-            self.egress_inflight_bytes = self.egress_inflight_bytes.saturating_sub(wire);
+            self.nodes[node].egress_inflight_bytes =
+                self.nodes[node].egress_inflight_bytes.saturating_sub(wire);
             let verdict = match self.faults.as_mut() {
                 Some(inj) => inj.link_verdict_rx(now),
                 None => LinkVerdict::Deliver,
@@ -585,7 +1040,7 @@ impl Fleet {
                     continue;
                 }
                 let wire = payload.len() as u32 + hwsim::eth::FRAME_OVERHEAD;
-                let at = self.egress.transmit(now, wire) + extra;
+                let at = self.nodes[node].egress.transmit(now, wire) + extra;
                 self.push(
                     at,
                     FleetEvent::Deliver {
@@ -600,8 +1055,8 @@ impl Fleet {
         // earlier than its booked resume. Outside backpressure this is
         // a no-op: any free-worker dispatch at or before this instant
         // already ran from its own event.
-        if self.server.queued_total() > 0 {
-            self.pump_server(now);
+        if self.nodes[node].server.queued_total() > 0 {
+            self.pump_server(node, now);
         }
     }
 
@@ -614,23 +1069,45 @@ impl Fleet {
             .iter()
             .map(|(m, _)| m.deployment_progress())
             .fold(1.0f64, f64::min);
+        let sum = |f: fn(&AoeServer) -> u64| self.nodes.iter().map(|n| f(&n.server)).sum::<u64>();
+        let hits = sum(AoeServer::cache_hits);
+        let misses = sum(AoeServer::cache_misses);
+        let hit_ratio = if hits + misses == 0 {
+            0.0
+        } else {
+            hits as f64 / (hits + misses) as f64
+        };
         self.fleet_sampler.record_row(
             now,
             vec![
-                ("server.cache.hit_ratio", self.server.cache_hit_ratio()),
-                ("server.cache.hits", self.server.cache_hits() as f64),
-                ("server.cache.misses", self.server.cache_misses() as f64),
-                ("server.cache.evictions", self.server.cache_evictions() as f64),
-                ("server.queue.total", self.server.queued_total() as f64),
+                ("server.cache.hit_ratio", hit_ratio),
+                ("server.cache.hits", hits as f64),
+                ("server.cache.misses", misses as f64),
+                (
+                    "server.cache.evictions",
+                    sum(AoeServer::cache_evictions) as f64,
+                ),
+                (
+                    "server.queue.total",
+                    self.nodes
+                        .iter()
+                        .map(|n| n.server.queued_total())
+                        .sum::<usize>() as f64,
+                ),
                 (
                     "server.queue.max_client",
-                    self.server.max_client_queue_depth() as f64,
+                    self.nodes
+                        .iter()
+                        .map(|n| n.server.max_client_queue_depth())
+                        .max()
+                        .unwrap_or(0) as f64,
                 ),
-                ("server.queue.drops", self.server.queue_drops() as f64),
-                ("server.queue.dedups", self.server.queue_dedups() as f64),
-                ("server.busy_replies", self.server.busy_replies() as f64),
+                ("server.queue.drops", sum(AoeServer::queue_drops) as f64),
+                ("server.queue.dedups", sum(AoeServer::queue_dedups) as f64),
+                ("server.busy_replies", sum(AoeServer::busy_replies) as f64),
                 ("fleet.machines_booted", self.booted_count() as f64),
                 ("fleet.min_fill_pct", min_fill * 100.0),
+                ("fleet.peers_active", self.peers_active() as f64),
             ],
         );
     }
@@ -646,9 +1123,54 @@ impl Fleet {
         &self.startup
     }
 
-    /// The shared storage server (cache and scheduler counters).
+    /// Per-machine deployment start instants (all zero unless
+    /// [`FleetConfig::start_stagger`] is set).
+    pub fn start_times(&self) -> &[SimTime] {
+        &self.start_at
+    }
+
+    /// Per-machine elapsed boot times: finish minus that machine's own
+    /// (possibly staggered) start. `None` while a member is still
+    /// booting.
+    pub fn startup_durations(&self) -> Vec<Option<SimDuration>> {
+        self.startup
+            .iter()
+            .zip(&self.start_at)
+            .map(|(f, s)| f.map(|f| f.saturating_duration_since(*s)))
+            .collect()
+    }
+
+    /// The primary storage server (origin replica 0: cache and
+    /// scheduler counters).
     pub fn server(&self) -> &AoeServer {
-        &self.server
+        &self.nodes[0].server
+    }
+
+    /// Origin replica count (the configured `servers`).
+    pub fn origin_servers(&self) -> usize {
+        self.cfg.servers
+    }
+
+    /// How many members have converted into read-only serving peers.
+    pub fn peers_active(&self) -> usize {
+        self.peer_active.iter().filter(|p| **p).count()
+    }
+
+    /// Aggregate cache hit ratio across every server node.
+    pub fn cache_hit_ratio(&self) -> f64 {
+        let hits: u64 = self.nodes.iter().map(|n| n.server.cache_hits()).sum();
+        let misses: u64 = self.nodes.iter().map(|n| n.server.cache_misses()).sum();
+        if hits + misses == 0 {
+            0.0
+        } else {
+            hits as f64 / (hits + misses) as f64
+        }
+    }
+
+    /// Total queue-full drops across every server node (the figure's
+    /// "zero drops at the target scale" check).
+    pub fn queue_drops_total(&self) -> u64 {
+        self.nodes.iter().map(|n| n.server.queue_drops()).sum()
     }
 
     /// Member `i`.
@@ -672,10 +1194,14 @@ impl Fleet {
         self.now
     }
 
-    /// Total bytes the server put on the wire (reads served, cache hits
-    /// included): the scale-out figure's "aggregate bytes moved".
+    /// Total bytes every server node put on the wire (reads served,
+    /// cache hits included): the scale-out figure's "aggregate bytes
+    /// moved".
     pub fn server_bytes_read(&self) -> u64 {
-        self.server.sectors_read() * 512
+        self.nodes
+            .iter()
+            .map(|n| n.server.sectors_read() * 512)
+            .sum()
     }
 
     /// Aggregate metrics snapshot (`None` unless
@@ -701,7 +1227,7 @@ impl Fleet {
 
     /// Exports the whole fleet as one Chrome trace: one Perfetto
     /// process per machine (named `machine<i>`) plus a `fleet` process
-    /// carrying the server's spans and the fleet timeline.
+    /// carrying the servers' spans and the fleet timeline.
     pub fn chrome_trace(&self) -> String {
         let mut names: Vec<String> = Vec::new();
         let mut processes = Vec::new();
@@ -751,7 +1277,7 @@ mod tests {
     fn a_pair_boots_and_the_follower_hits_the_cache() {
         let (fleet, startups) = boot_fleet(small_cfg(2));
         assert_eq!(startups.len(), 2);
-        assert!(fleet.server.cache_hits() > 0, "second machine should hit");
+        assert!(fleet.server().cache_hits() > 0, "second machine should hit");
         assert!(fleet.server_bytes_read() > 0);
     }
 
@@ -760,8 +1286,8 @@ mod tests {
         let (fleet_a, a) = boot_fleet(small_cfg(3));
         let (fleet_b, b) = boot_fleet(small_cfg(3));
         assert_eq!(a, b);
-        assert_eq!(fleet_a.server.cache_hits(), fleet_b.server.cache_hits());
-        assert_eq!(fleet_a.server.requests(), fleet_b.server.requests());
+        assert_eq!(fleet_a.server().cache_hits(), fleet_b.server().cache_hits());
+        assert_eq!(fleet_a.server().requests(), fleet_b.server().requests());
     }
 
     #[test]
@@ -773,13 +1299,151 @@ mod tests {
     }
 
     #[test]
+    fn two_servers_split_the_read_stream() {
+        let mut cfg = small_cfg(2);
+        cfg.servers = 2;
+        let (fleet, startups) = boot_fleet(cfg);
+        assert_eq!(startups.len(), 2);
+        let shard0 = fleet.nodes[0].server.requests();
+        let shard1 = fleet.nodes[1].server.requests();
+        assert!(shard0 > 0, "replica 0 saw traffic");
+        assert!(shard1 > 0, "replica 1 saw traffic");
+        // Striping by LBA keeps the shards within the same order of
+        // magnitude (no writes occur, so no primary skew either).
+        let (lo, hi) = (shard0.min(shard1), shard0.max(shard1));
+        assert!(hi < lo * 4, "striping balances shards: {shard0} vs {shard1}");
+    }
+
+    #[test]
+    fn sharded_runs_are_deterministic_too() {
+        let mut cfg = small_cfg(3);
+        cfg.servers = 2;
+        let (fleet_a, a) = boot_fleet(cfg.clone());
+        let (fleet_b, b) = boot_fleet(cfg);
+        assert_eq!(a, b);
+        assert_eq!(fleet_a.server().requests(), fleet_b.server().requests());
+    }
+
+    #[test]
+    fn peer_serving_activates_finished_machines_as_servers() {
+        let mut cfg = small_cfg(3);
+        cfg.peer_serving = true;
+        // Stagger arrivals so the first machine's deployment finishes
+        // while later ones still fetch — otherwise DRR fairness makes
+        // everyone finish together and nobody gets served by a peer.
+        cfg.start_stagger = SimDuration::from_secs(20);
+        cfg.machine_cfg.moderation.post_boot_sprint = true;
+        let (fleet, startups) = boot_fleet(cfg);
+        assert_eq!(startups.len(), 3);
+        // The run ends when the *last* machine boots — its own copy is
+        // still filling then, so not every member converts. The early
+        // finishers must have.
+        assert!(
+            fleet.peers_active() >= 1,
+            "an early finisher converted into a peer"
+        );
+        let peer_requests: u64 = fleet
+            .nodes
+            .iter()
+            .filter(|n| !n.origin)
+            .map(|n| n.server.requests())
+            .sum();
+        assert!(peer_requests > 0, "peers actually served reads");
+        assert_eq!(fleet.queue_drops_total(), 0);
+    }
+
+    #[test]
+    fn peer_serving_runs_are_deterministic() {
+        let mut cfg = small_cfg(2);
+        cfg.peer_serving = true;
+        cfg.start_stagger = SimDuration::from_secs(20);
+        cfg.machine_cfg.moderation.post_boot_sprint = true;
+        let (fleet_a, a) = boot_fleet(cfg.clone());
+        let (fleet_b, b) = boot_fleet(cfg);
+        assert_eq!(a, b);
+        assert_eq!(fleet_a.peers_active(), fleet_b.peers_active());
+        assert_eq!(fleet_a.server_bytes_read(), fleet_b.server_bytes_read());
+    }
+
+    #[test]
+    fn admission_ramp_releases_machines_as_peers_convert() {
+        let mut cfg = small_cfg(4);
+        cfg.peer_serving = true;
+        cfg.machine_cfg.moderation.post_boot_sprint = true;
+        cfg.start_stagger = SimDuration::from_millis(50);
+        cfg.admission_base = 1;
+        cfg.admission_per_peer = 4;
+        let (fleet, _) = boot_fleet(cfg.clone());
+        // Machine 0 is released at t = 0; 1..3 only once it converts —
+        // long after the 50 ms stagger grid would have started them.
+        let starts = fleet.start_times();
+        assert_eq!(starts[0], SimTime::ZERO);
+        for (i, &s) in starts.iter().enumerate().skip(1) {
+            assert!(
+                s > SimTime::ZERO + SimDuration::from_secs(1),
+                "machine {i} released at {s:?}, before any peer existed"
+            );
+        }
+        // Ramp releases keep the stagger spacing.
+        assert!(starts[2].saturating_duration_since(starts[1]) >= SimDuration::from_millis(50));
+        assert!(fleet.peers_active() >= 1);
+
+        // Ramped fleets stay deterministic: admissions are driven by
+        // conversion events, not wall clock.
+        let (_, a) = boot_fleet(cfg.clone());
+        let (_, b) = boot_fleet(cfg);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn staggered_startup_durations_subtract_each_machines_start() {
+        let mut cfg = small_cfg(2);
+        cfg.start_stagger = SimDuration::from_secs(5);
+        let (fleet, startups) = boot_fleet(cfg);
+        assert_eq!(
+            fleet.start_times()[1],
+            SimTime::ZERO + SimDuration::from_secs(5)
+        );
+        let durations = fleet.startup_durations();
+        let d1 = durations[1].expect("machine 1 booted");
+        assert_eq!(
+            d1,
+            startups[1].saturating_duration_since(fleet.start_times()[1])
+        );
+    }
+
+    #[test]
+    fn timeout_reports_per_machine_outcomes() {
+        let mut fleet = Fleet::new(small_cfg(2));
+        fleet.start(|_| Box::new(BootProgram::new(BootProfile::tiny(7))));
+        // Far too short for a 128 MB image over a gigabit fabric.
+        let err = fleet
+            .run_to_all_booted(SimTime::ZERO + SimDuration::from_millis(50))
+            .expect_err("cannot boot in 50 ms");
+        assert!(!err.wedged);
+        assert_eq!(err.outcomes.len(), 2);
+        for o in &err.outcomes {
+            match o {
+                MachineOutcome::Incomplete { fill } => assert!(*fill < 1.0),
+                other => panic!("expected Incomplete, got {other:?}"),
+            }
+        }
+        let text = err.to_string();
+        assert!(text.contains("0/2 booted"), "display summarizes: {text}");
+        assert!(
+            text.contains("least filled"),
+            "display names a laggard: {text}"
+        );
+    }
+
+    #[test]
     fn chaos_fleet_is_deterministic_and_recovers() {
         let mut cfg = small_cfg(2);
         cfg.faults = FaultPlan::preset("chaos", 7);
         let (fleet_a, a) = boot_fleet(cfg.clone());
         let (fleet_b, b) = boot_fleet(cfg);
         assert_eq!(a, b, "chaos runs with one seed must agree");
-        assert_eq!(fleet_a.server.requests(), fleet_b.server.requests());
+        assert_eq!(fleet_a.server().requests(), fleet_b.server().requests());
         let counters = fleet_a.faults.as_ref().expect("plan installed").counters();
         assert!(
             counters.link_dropped
@@ -811,5 +1475,8 @@ mod tests {
         assert!(rows
             .iter()
             .any(|r| r.value("server.cache.hit_ratio").is_some()));
+        assert!(rows
+            .iter()
+            .any(|r| r.value("fleet.peers_active").is_some()));
     }
 }

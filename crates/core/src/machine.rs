@@ -1760,6 +1760,7 @@ fn flight_sampler_tick(m: &mut Machine, sim: &mut MachineSim) {
 }
 
 fn retriever_fire(m: &mut Machine, sim: &mut MachineSim) {
+    let guest_finished = m.guest.finished;
     let Some(vmm) = m.vmm.as_mut() else { return };
     if vmm.phase != Phase::Deployment || vmm.deploy_error.is_some() {
         return;
@@ -1773,12 +1774,18 @@ fn retriever_fire(m: &mut Machine, sim: &mut MachineSim) {
         });
         return;
     }
+    // Post-boot sprint: the guest is done, so the moderation below has
+    // nothing left to protect on this machine — finish the bitmap at
+    // full speed (and tell the server via the completion-priority flag)
+    // so the machine can turn into a serving peer.
+    let sprinting = guest_finished && vmm.cfg.moderation.post_boot_sprint;
+    vmm.client.set_sprint(sprinting);
     // Fleet-aware moderation: a recent reply carried the server's busy
     // hint, so other machines' copy-on-read is queueing behind elastic
     // traffic. Background fetches yield the backoff window; redirects
     // (a blocked guest) are never gated here.
     let busy_backoff = vmm.cfg.moderation.server_busy_backoff;
-    if busy_backoff > SimDuration::ZERO {
+    if busy_backoff > SimDuration::ZERO && !sprinting {
         if let Some(busy_at) = vmm.client.server_busy_at() {
             let until = busy_at + busy_backoff;
             if until > sim.now() {
@@ -1999,10 +2006,14 @@ fn finish_multiplex(m: &mut Machine, sim: &mut MachineSim) {
             }
         }
     }
-    // Pace the next write per moderation (fills are exempt), then
-    // continue.
+    // Pace the next write per moderation (fills are exempt, and so is
+    // the post-boot sprint — a finished guest has no I/O to disturb),
+    // then continue.
+    let guest_finished = m.guest.finished;
     let vmm = m.vmm.as_mut().expect("still here");
-    let delay = if vmm.bg.has_pending_fills() {
+    let delay = if vmm.bg.has_pending_fills()
+        || (guest_finished && vmm.cfg.moderation.post_boot_sprint)
+    {
         SimDuration::ZERO
     } else {
         vmm.cfg

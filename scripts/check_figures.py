@@ -21,11 +21,15 @@ and `trace.json` must be valid JSON with a non-empty `traceEvents`
 array.
 
 With `--scaleout`, validates a measured fleet scale-out artifact
-(`reproduce --scaleout` writes `BENCH_scaleout.json`): startup p99 must
+(`reproduce --scaleout` writes `BENCH_scaleout.json`) across its three
+topology columns (1-server, k-server, p2p): 1-server startup p99 must
 be monotone non-decreasing in fleet size (small tolerance for sim
-noise), BMcast must beat the analytic image-copy baseline at every
-point, and the server block cache must carry at least half the reads at
-n >= 8.
+noise), k-server p99 must never exceed 1-server p99 (striping never
+loses), BMcast must beat the analytic image-copy baseline at every
+point, the server block cache must carry at least half the reads at
+n >= 8 in the server-bound columns, p2p p99 must not exceed the
+1-server p99 at any shared n >= 8, and the p2p column must report zero
+queue drops (supply grows with demand).
 
 Usage: scripts/check_figures.py BENCH_reproduce.json reproduce_output.txt
        scripts/check_figures.py --faults BENCH_reproduce.json
@@ -145,34 +149,93 @@ def check_scaleout(bench_path):
         print(f"FAIL: only {len(points)} scale-out points in {bench_path}")
         sys.exit(1)
 
-    ns = [p["n"] for p in points]
-    p99 = [p["startup_p99_s"] for p in points]
-    for i in range(1, len(points)):
-        if p99[i] < p99[i - 1] * 0.999:
-            print(f"FAIL monotone: p99 {p99[i - 1]:.2f}s at n={ns[i - 1]}"
-                  f" -> {p99[i]:.2f}s at n={ns[i]}")
+    # Points arrive grouped by topology in grid order; older artifacts
+    # (pre-topology schema) default to a single 1-server column.
+    cols = {}
+    for p in points:
+        cols.setdefault(p.get("topology", "1-server"), []).append(p)
+    for label in ("1-server", "k-server", "p2p"):
+        if label not in cols:
+            print(f"FAIL: topology column '{label}' missing from {bench_path}")
             failed = True
-    if not failed:
-        print(f"ok   p99 monotone over n={ns}")
+    if failed:
+        sys.exit(1)
+
+    # One origin with fixed supply must make p99 monotone in n. The
+    # k-server column is not monotone at small n (striping removes the
+    # contention; warm shard caches speed up later staggered arrivals),
+    # so its claim is comparative: striping never loses to one server.
+    col = cols["1-server"]
+    ns = [p["n"] for p in col]
+    p99 = [p["startup_p99_s"] for p in col]
+    monotone = True
+    for i in range(1, len(col)):
+        if p99[i] < p99[i - 1] * 0.999:
+            print(f"FAIL 1-server monotone: p99 {p99[i - 1]:.2f}s at"
+                  f" n={ns[i - 1]} -> {p99[i]:.2f}s at n={ns[i]}")
+            failed = monotone = False
+    if monotone:
+        print(f"ok   1-server: p99 monotone over n={ns}")
+
+    single = {p["n"]: p for p in cols["1-server"]}
+    multi = {p["n"]: p for p in cols["k-server"]}
+    bad_k = [n for n in sorted(single)
+             if n in multi
+             and multi[n]["startup_p99_s"] > single[n]["startup_p99_s"] * 1.02]
+    for n in bad_k:
+        print(f"FAIL k-server n={n}: p99 {multi[n]['startup_p99_s']:.2f}s"
+              f" above 1-server {single[n]['startup_p99_s']:.2f}s")
+        failed = True
+    if not bad_k:
+        print(f"ok   k-server p99 never above 1-server"
+              f" at shared n={sorted(set(single) & set(multi))}")
 
     slow = [p for p in points if p["startup_p99_s"] >= p["image_copy_s"]]
     if slow:
         for p in slow:
-            print(f"FAIL n={p['n']}: BMcast {p['startup_p99_s']:.1f}s not"
-                  f" under image copy {p['image_copy_s']:.1f}s")
+            print(f"FAIL {p.get('topology', '?')} n={p['n']}: BMcast"
+                  f" {p['startup_p99_s']:.1f}s not under image copy"
+                  f" {p['image_copy_s']:.1f}s")
         failed = True
     else:
         print(f"ok   BMcast under image copy at all {len(points)} points")
 
-    big = [p for p in points if p["n"] >= 8]
-    for p in big:
-        if p["cache_hit_ratio"] < 0.5:
-            print(f"FAIL n={p['n']}: cache hit ratio"
-                  f" {p['cache_hit_ratio']:.3f} < 0.5")
-            failed = True
-    if big and not failed:
+    # p2p members serve from their own golden image, so the origin's
+    # cache carries a shrinking share by design — the hit-ratio floor
+    # applies to the server-bound columns only.
+    big = [p for label in ("1-server", "k-server") for p in cols[label]
+           if p["n"] >= 8]
+    bad_cache = [p for p in big if p["cache_hit_ratio"] < 0.5]
+    for p in bad_cache:
+        print(f"FAIL {p['topology']} n={p['n']}: cache hit ratio"
+              f" {p['cache_hit_ratio']:.3f} < 0.5")
+        failed = True
+    if big and not bad_cache:
         print(f"ok   cache hit ratio >= 0.5 at n >= 8"
               f" (best {max(p['cache_hit_ratio'] for p in big):.3f})")
+
+    # The p2p claim: peer supply grows with demand, so at every fleet
+    # size the baseline also reaches (n >= 8, once the single pipe is
+    # contended), p2p is at least as fast (2% sim-noise slack).
+    single = {p["n"]: p for p in cols["1-server"]}
+    p2p = {p["n"]: p for p in cols["p2p"]}
+    shared = sorted(n for n in single if n in p2p and n >= 8)
+    bad_win = [n for n in shared
+               if p2p[n]["startup_p99_s"] > single[n]["startup_p99_s"] * 1.02]
+    for n in bad_win:
+        print(f"FAIL p2p n={n}: p99 {p2p[n]['startup_p99_s']:.2f}s above"
+              f" 1-server {single[n]['startup_p99_s']:.2f}s")
+        failed = True
+    if shared and not bad_win:
+        print(f"ok   p2p p99 <= 1-server p99 at shared n={shared}")
+
+    drops = [p for p in cols["p2p"] if p["queue_drops"] != 0]
+    for p in drops:
+        print(f"FAIL p2p n={p['n']}: {p['queue_drops']} queue drops")
+        failed = True
+    if not drops:
+        biggest = max(p["n"] for p in cols["p2p"])
+        print(f"ok   p2p: zero queue drops up to n={biggest}")
 
     if failed:
         sys.exit(1)

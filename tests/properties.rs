@@ -25,6 +25,7 @@ proptest! {
         lba in 0u64..(1 << 48),
         sectors in 1u32..64,
         write in any::<bool>(),
+        sprint in any::<bool>(),
         busy in any::<bool>(),
         payload_seed in any::<u64>(),
     ) {
@@ -38,6 +39,7 @@ proptest! {
             slot,
             tag: Tag::new(req_id, frag),
             write,
+            sprint,
             busy,
             range: BlockRange::new(Lba(lba), sectors),
             data,
