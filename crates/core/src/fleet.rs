@@ -105,7 +105,8 @@ use simkit::fault::{FaultInjector, FaultPlan, LinkVerdict, ServerHealth};
 use simkit::{
     Metrics, MetricsSnapshot, Prng, SampleRow, Sampler, SimDuration, SimTime, Span, Spans, Tracer,
 };
-use std::collections::BTreeMap;
+use std::cmp::Reverse;
+use std::collections::{BTreeMap, BinaryHeap};
 
 /// First shelf number used by peer server nodes (origin replicas use
 /// shelves `0..servers`); machine `i`'s peer answers on shelf
@@ -384,6 +385,13 @@ pub struct Fleet {
     faults: Option<FaultInjector>,
     /// Reply-path loss stream (the switch owns the request-path one).
     reply_prng: Prng,
+    /// Lazily validated index of member next-event times, keyed
+    /// `(next_event_at, machine_index)`: the run loop pops its minimum
+    /// instead of re-scanning every member's queue head per event.
+    /// Stale entries (the member stepped past them or received an
+    /// earlier event) are discarded on peek, one pop each; every head
+    /// change re-indexes the member, so the true head is always present.
+    next_index: BinaryHeap<Reverse<(SimTime, usize)>>,
     events: BTreeMap<(SimTime, u64), FleetEvent>,
     seq: u64,
     now: SimTime,
@@ -517,6 +525,7 @@ impl Fleet {
             peer_active: vec![false; n],
             faults,
             reply_prng,
+            next_index: BinaryHeap::new(),
             events: BTreeMap::new(),
             seq: 0,
             now: SimTime::ZERO,
@@ -634,6 +643,34 @@ impl Fleet {
                 }
             });
         }
+        self.index_machine(i);
+    }
+
+    /// Pushes machine `i`'s current next-event time into the scheduling
+    /// index (no-op when its queue is empty). Called wherever a member's
+    /// queue head can change from outside its own stepping: after a
+    /// step, after a fleet [`FleetEvent::Deliver`], and on admission.
+    fn index_machine(&mut self, i: usize) {
+        if let Some(t) = self.machines[i].1.next_event_at() {
+            self.next_index.push(Reverse((t, i)));
+        }
+    }
+
+    /// The earliest member event as `(time, machine)`, ties broken by
+    /// the lowest machine index — the same order the old O(n) per-event
+    /// scan produced, at O(log n) amortized. Peeked entries are checked
+    /// against the owning sim and stale ones discarded: every head
+    /// change goes through [`Fleet::index_machine`], so the entry at a
+    /// member's true head time is always present and anything else is
+    /// a leftover from a previous head, safe to drop.
+    fn machine_floor(&mut self) -> Option<(SimTime, usize)> {
+        while let Some(&Reverse((t, i))) = self.next_index.peek() {
+            if self.machines[i].1.next_event_at() == Some(t) {
+                return Some((t, i));
+            }
+            self.next_index.pop();
+        }
+        None
     }
 
     /// Opens the admission window to `base + per_peer × peers` and
@@ -664,6 +701,12 @@ impl Fleet {
     /// terminal [`DeployError`] — the run fails fast instead of
     /// spinning out the clock on machines that can no longer boot.
     pub fn run_to_all_booted(&mut self, limit: SimTime) -> Result<Vec<SimTime>, FleetStall> {
+        // (Re)build the scheduling index: members may have been armed
+        // (or a previous run stalled) since it was last current.
+        self.next_index.clear();
+        for i in 0..self.machines.len() {
+            self.index_machine(i);
+        }
         loop {
             if self.booted_count() == self.machines.len() {
                 return Ok(self.startup.iter().map(|t| t.unwrap()).collect());
@@ -672,14 +715,7 @@ impl Fleet {
             // index order — the fixed iteration order that makes the
             // interleave deterministic.
             let fleet_next = self.events.keys().next().map(|&(t, _)| t);
-            let mut machine_next: Option<(SimTime, usize)> = None;
-            for (i, (_, sim)) in self.machines.iter().enumerate() {
-                if let Some(t) = sim.next_event_at() {
-                    if machine_next.is_none_or(|(best, _)| t < best) {
-                        machine_next = Some((t, i));
-                    }
-                }
-            }
+            let machine_next = self.machine_floor();
             let step_machine = match (fleet_next, machine_next) {
                 (None, None) => return Err(self.stall(true, limit)),
                 (Some(ft), Some((mt, i))) if mt < ft => Some((mt, i)),
@@ -700,6 +736,7 @@ impl Fleet {
                 sim.step(m);
                 let stepped_to = sim.now();
                 self.now = self.now.max(stepped_to);
+                self.index_machine(i);
                 self.forward_requests(i, stepped_to);
                 if self.machines[i].0.guest.finished && self.startup[i].is_none() {
                     self.startup[i] = Some(stepped_to);
@@ -846,6 +883,7 @@ impl Fleet {
                 sim.schedule_at(t, move |m: &mut Machine, sim| {
                     fleet_deliver_rx(m, sim, payload);
                 });
+                self.index_machine(machine);
             }
             FleetEvent::Sample => {
                 self.record_fleet_sample(t);
