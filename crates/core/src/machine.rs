@@ -328,7 +328,11 @@ impl GuestCtl<'_> {
 }
 
 /// A workload/OS scenario driving the guest.
-pub trait GuestProgram {
+///
+/// `Send` so machines (which own their program) can be stepped from
+/// worker threads by the parallel fleet engine; programs are plain
+/// state machines, so the bound costs implementations nothing.
+pub trait GuestProgram: Send {
     /// Display name.
     fn name(&self) -> &str;
 

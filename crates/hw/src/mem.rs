@@ -84,7 +84,7 @@ pub enum E820Kind {
 pub struct PhysMem {
     total_bytes: u64,
     vmm_reserved: Option<(PhysAddr, u64)>,
-    objects: HashMap<u64, Box<dyn Any>>,
+    objects: HashMap<u64, Box<dyn Any + Send>>,
     next_addr: u64,
 }
 
@@ -167,7 +167,7 @@ impl PhysMem {
     }
 
     /// Allocates an object in memory and returns its physical address.
-    pub fn alloc<T: Any>(&mut self, obj: T) -> PhysAddr {
+    pub fn alloc<T: Any + Send>(&mut self, obj: T) -> PhysAddr {
         let addr = PhysAddr(self.next_addr);
         // Leave generous spacing so addresses look like real placements.
         self.next_addr += 0x1000;
@@ -190,7 +190,7 @@ impl PhysMem {
     /// # Panics
     ///
     /// Panics if nothing was allocated at `addr`.
-    pub fn put<T: Any>(&mut self, addr: PhysAddr, obj: T) {
+    pub fn put<T: Any + Send>(&mut self, addr: PhysAddr, obj: T) {
         assert!(
             self.objects.contains_key(&addr.0),
             "put: no allocation at {addr}"

@@ -56,7 +56,10 @@ use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
 /// A scheduled simulation event: a one-shot closure over the world.
-type EventFn<W> = Box<dyn FnOnce(&mut W, &mut Sim<W>)>;
+/// `Send` so a whole `Sim<W>` (with its pending events) can be stepped
+/// from a worker thread — the conservative parallel fleet engine moves
+/// `&mut Sim<Machine>` into scoped threads for each round.
+type EventFn<W> = Box<dyn FnOnce(&mut W, &mut Sim<W>) + Send>;
 
 struct Scheduled<W> {
     at: SimTime,
@@ -158,7 +161,7 @@ impl<W> Sim<W> {
     /// # Panics
     ///
     /// Panics if `at` is in the past (before [`Sim::now`]).
-    pub fn schedule_at(&mut self, at: SimTime, f: impl FnOnce(&mut W, &mut Sim<W>) + 'static) {
+    pub fn schedule_at(&mut self, at: SimTime, f: impl FnOnce(&mut W, &mut Sim<W>) + Send + 'static) {
         assert!(
             at >= self.now,
             "cannot schedule event in the past: at={at:?} now={:?}",
@@ -174,7 +177,7 @@ impl<W> Sim<W> {
     }
 
     /// Schedules `f` to run after a delay of `d` from the current time.
-    pub fn schedule_in(&mut self, d: SimDuration, f: impl FnOnce(&mut W, &mut Sim<W>) + 'static) {
+    pub fn schedule_in(&mut self, d: SimDuration, f: impl FnOnce(&mut W, &mut Sim<W>) + Send + 'static) {
         self.schedule_at(self.now + d, f);
     }
 
@@ -190,6 +193,19 @@ impl<W> Sim<W> {
                 true
             }
             None => false,
+        }
+    }
+
+    /// Executes the next pending event only if it fires strictly before
+    /// `horizon`, returning whether one ran. This is the bounded-horizon
+    /// variant the conservative parallel fleet engine steps members
+    /// with: a member may consume its own timeline up to the lookahead
+    /// horizon, but never an event at or past it — those can still be
+    /// influenced by events other parties have not emitted yet.
+    pub fn step_before(&mut self, world: &mut W, horizon: SimTime) -> bool {
+        match self.queue.peek() {
+            Some(Reverse(ev)) if ev.at < horizon => self.step(world),
+            _ => false,
         }
     }
 

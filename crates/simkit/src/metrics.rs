@@ -35,10 +35,10 @@
 //! assert!(off.snapshot().is_none());
 //! ```
 
-use std::cell::RefCell;
+use std::sync::Mutex;
 use std::collections::BTreeMap;
 use std::fmt;
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// A log-scale (power-of-two bucket) histogram of `u64` samples.
 ///
@@ -262,7 +262,7 @@ impl fmt::Display for MetricsSnapshot {
 /// `Metrics::default()` is disabled; every recording call on a disabled
 /// handle is a no-op after one branch.
 #[derive(Clone, Default)]
-pub struct Metrics(Option<Rc<RefCell<Registry>>>);
+pub struct Metrics(Option<Arc<Mutex<Registry>>>);
 
 impl fmt::Debug for Metrics {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
@@ -277,7 +277,7 @@ impl fmt::Debug for Metrics {
 impl Metrics {
     /// A handle backed by a fresh registry. Clones share the registry.
     pub fn enabled() -> Metrics {
-        Metrics(Some(Rc::new(RefCell::new(Registry::default()))))
+        Metrics(Some(Arc::new(Mutex::new(Registry::default()))))
     }
 
     /// An inert handle — every call is a no-op.
@@ -298,21 +298,21 @@ impl Metrics {
     /// Increments counter `name` by `n`.
     pub fn add(&self, name: &'static str, n: u64) {
         if let Some(r) = &self.0 {
-            *r.borrow_mut().counters.entry(name).or_insert(0) += n;
+            *r.lock().unwrap().counters.entry(name).or_insert(0) += n;
         }
     }
 
     /// Sets gauge `name` to `value`.
     pub fn gauge_set(&self, name: &'static str, value: i64) {
         if let Some(r) = &self.0 {
-            r.borrow_mut().gauges.insert(name, value);
+            r.lock().unwrap().gauges.insert(name, value);
         }
     }
 
     /// Records one sample into histogram `name`.
     pub fn observe(&self, name: &'static str, value: u64) {
         if let Some(r) = &self.0 {
-            r.borrow_mut()
+            r.lock().unwrap()
                 .histograms
                 .entry(name)
                 .or_default()
@@ -323,7 +323,7 @@ impl Metrics {
     /// Copies the registry out, or `None` when disabled.
     pub fn snapshot(&self) -> Option<MetricsSnapshot> {
         self.0.as_ref().map(|r| {
-            let reg = r.borrow();
+            let reg = r.lock().unwrap();
             MetricsSnapshot {
                 counters: reg.counters.clone(),
                 gauges: reg.gauges.clone(),

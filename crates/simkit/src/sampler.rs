@@ -31,9 +31,9 @@
 //! ```
 
 use crate::time::{SimDuration, SimTime};
-use std::cell::RefCell;
+use std::sync::Mutex;
 use std::fmt;
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// One timeline row: a sim-timestamp and named values.
 #[derive(Debug, Clone, PartialEq)]
@@ -62,7 +62,7 @@ struct SamplerStore {
 
 /// A cheap, cloneable handle to a (possibly absent) timeline store.
 #[derive(Clone, Default)]
-pub struct Sampler(Option<Rc<RefCell<SamplerStore>>>);
+pub struct Sampler(Option<Arc<Mutex<SamplerStore>>>);
 
 impl fmt::Debug for Sampler {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
@@ -87,7 +87,7 @@ impl Sampler {
             interval > SimDuration::ZERO,
             "sampler interval must be positive"
         );
-        Sampler(Some(Rc::new(RefCell::new(SamplerStore {
+        Sampler(Some(Arc::new(Mutex::new(SamplerStore {
             interval,
             rows: Vec::new(),
         }))))
@@ -108,14 +108,14 @@ impl Sampler {
     pub fn interval(&self) -> SimDuration {
         self.0
             .as_ref()
-            .map(|s| s.borrow().interval)
+            .map(|s| s.lock().unwrap().interval)
             .unwrap_or(SimDuration::ZERO)
     }
 
     /// Appends one timeline row.
     pub fn record_row(&self, at: SimTime, values: Vec<(&'static str, f64)>) {
         if let Some(s) = &self.0 {
-            s.borrow_mut().rows.push(SampleRow { at, values });
+            s.lock().unwrap().rows.push(SampleRow { at, values });
         }
     }
 
@@ -123,13 +123,13 @@ impl Sampler {
     pub fn rows(&self) -> Vec<SampleRow> {
         self.0
             .as_ref()
-            .map(|s| s.borrow().rows.clone())
+            .map(|s| s.lock().unwrap().rows.clone())
             .unwrap_or_default()
     }
 
     /// Number of rows recorded.
     pub fn len(&self) -> usize {
-        self.0.as_ref().map(|s| s.borrow().rows.len()).unwrap_or(0)
+        self.0.as_ref().map(|s| s.lock().unwrap().rows.len()).unwrap_or(0)
     }
 
     /// Whether no rows have been recorded.
@@ -140,14 +140,14 @@ impl Sampler {
     /// The most recent value of series `name`, scanning rows backwards.
     pub fn last_value(&self, name: &str) -> Option<f64> {
         let store = self.0.as_ref()?;
-        let store = store.borrow();
+        let store = store.lock().unwrap();
         store.rows.iter().rev().find_map(|r| r.value(name))
     }
 
     /// Timestamp of the most recent row, if any.
     pub fn last_at(&self) -> Option<SimTime> {
         let store = self.0.as_ref()?;
-        let at = store.borrow().rows.last().map(|r| r.at);
+        let at = store.lock().unwrap().rows.last().map(|r| r.at);
         at
     }
 }

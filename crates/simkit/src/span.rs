@@ -38,10 +38,10 @@
 
 use crate::metrics::LogHistogram;
 use crate::time::SimTime;
-use std::cell::RefCell;
+use std::sync::Mutex;
 use std::collections::{BTreeMap, VecDeque};
 use std::fmt;
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// Opaque identifier of a span within one [`Spans`] store.
 ///
@@ -155,7 +155,7 @@ impl SpanStore {
 
 /// A cheap, cloneable handle to a (possibly absent) span store.
 #[derive(Clone, Default)]
-pub struct Spans(Option<Rc<RefCell<SpanStore>>>);
+pub struct Spans(Option<Arc<Mutex<SpanStore>>>);
 
 impl fmt::Debug for Spans {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
@@ -176,7 +176,7 @@ impl Spans {
     /// Panics if `capacity` is zero.
     pub fn enabled(capacity: usize) -> Spans {
         assert!(capacity > 0, "span ring needs capacity");
-        Spans(Some(Rc::new(RefCell::new(SpanStore::new(capacity)))))
+        Spans(Some(Arc::new(Mutex::new(SpanStore::new(capacity)))))
     }
 
     /// An inert handle — begins return [`NO_SPAN`], everything else is a
@@ -203,7 +203,7 @@ impl Spans {
         let Some(store) = &self.0 else {
             return NO_SPAN;
         };
-        let mut s = store.borrow_mut();
+        let mut s = store.lock().unwrap();
         let id = s.next_id;
         s.next_id += 1;
         s.started += 1;
@@ -224,7 +224,7 @@ impl Spans {
     /// so `end` is safe to call unconditionally on threaded-through ids.
     pub fn end(&self, at: SimTime, id: SpanId) {
         let Some(store) = &self.0 else { return };
-        let mut s = store.borrow_mut();
+        let mut s = store.lock().unwrap();
         if let Some(open) = s.open.remove(&id.0) {
             s.push_done(Span {
                 id,
@@ -252,7 +252,7 @@ impl Spans {
         let Some(store) = &self.0 else {
             return NO_SPAN;
         };
-        let mut s = store.borrow_mut();
+        let mut s = store.lock().unwrap();
         let id = s.next_id;
         s.next_id += 1;
         s.started += 1;
@@ -285,7 +285,7 @@ impl Spans {
     pub fn finished(&self) -> Vec<Span> {
         self.0
             .as_ref()
-            .map(|s| s.borrow().done.iter().cloned().collect())
+            .map(|s| s.lock().unwrap().done.iter().cloned().collect())
             .unwrap_or_default()
     }
 
@@ -298,22 +298,22 @@ impl Spans {
 
     /// Spans begun and never ended (stuck work), oldest id first.
     pub fn open_count(&self) -> usize {
-        self.0.as_ref().map(|s| s.borrow().open.len()).unwrap_or(0)
+        self.0.as_ref().map(|s| s.lock().unwrap().open.len()).unwrap_or(0)
     }
 
     /// Total spans opened (including still-open and ring-dropped ones).
     pub fn started(&self) -> u64 {
-        self.0.as_ref().map(|s| s.borrow().started).unwrap_or(0)
+        self.0.as_ref().map(|s| s.lock().unwrap().started).unwrap_or(0)
     }
 
     /// Total spans completed (histograms saw every one of these).
     pub fn finished_count(&self) -> u64 {
-        self.0.as_ref().map(|s| s.borrow().finished).unwrap_or(0)
+        self.0.as_ref().map(|s| s.lock().unwrap().finished).unwrap_or(0)
     }
 
     /// Completed spans evicted from the ring.
     pub fn dropped(&self) -> u64 {
-        self.0.as_ref().map(|s| s.borrow().dropped).unwrap_or(0)
+        self.0.as_ref().map(|s| s.lock().unwrap().dropped).unwrap_or(0)
     }
 
     /// Per-kind duration histograms (µs), ordered by kind name. Exact
@@ -322,7 +322,7 @@ impl Spans {
         self.0
             .as_ref()
             .map(|s| {
-                s.borrow()
+                s.lock().unwrap()
                     .kinds
                     .iter()
                     .map(|(k, h)| (*k, h.clone()))

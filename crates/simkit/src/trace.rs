@@ -32,10 +32,10 @@
 //! ```
 
 use crate::time::SimTime;
-use std::cell::RefCell;
+use std::sync::Mutex;
 use std::collections::VecDeque;
 use std::fmt;
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// One structured trace event.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -94,7 +94,7 @@ impl TraceRing {
 
 /// A cheap, cloneable handle to a (possibly absent) trace ring.
 #[derive(Clone, Default)]
-pub struct Tracer(Option<Rc<RefCell<TraceRing>>>);
+pub struct Tracer(Option<Arc<Mutex<TraceRing>>>);
 
 impl fmt::Debug for Tracer {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
@@ -114,7 +114,7 @@ impl Tracer {
     /// Panics if `capacity` is zero.
     pub fn enabled(capacity: usize) -> Tracer {
         assert!(capacity > 0, "trace ring needs capacity");
-        Tracer(Some(Rc::new(RefCell::new(TraceRing::new(capacity)))))
+        Tracer(Some(Arc::new(Mutex::new(TraceRing::new(capacity)))))
     }
 
     /// An inert handle — emits are no-ops and detail closures never run.
@@ -137,7 +137,7 @@ impl Tracer {
         detail: impl FnOnce() -> String,
     ) {
         if let Some(ring) = &self.0 {
-            ring.borrow_mut().push(TraceEvent {
+            ring.lock().unwrap().push(TraceEvent {
                 at,
                 subsystem,
                 event,
@@ -150,7 +150,7 @@ impl Tracer {
     pub fn events(&self) -> Vec<TraceEvent> {
         self.0
             .as_ref()
-            .map(|r| r.borrow().buf.iter().cloned().collect())
+            .map(|r| r.lock().unwrap().buf.iter().cloned().collect())
             .unwrap_or_default()
     }
 
@@ -161,7 +161,7 @@ impl Tracer {
         self.0
             .as_ref()
             .map(|r| {
-                r.borrow()
+                r.lock().unwrap()
                     .buf
                     .iter()
                     .filter(|e| e.subsystem == subsystem)
@@ -173,12 +173,12 @@ impl Tracer {
 
     /// Total events emitted, including any that were dropped.
     pub fn emitted(&self) -> u64 {
-        self.0.as_ref().map(|r| r.borrow().emitted).unwrap_or(0)
+        self.0.as_ref().map(|r| r.lock().unwrap().emitted).unwrap_or(0)
     }
 
     /// Events dropped because the ring was full.
     pub fn dropped(&self) -> u64 {
-        self.0.as_ref().map(|r| r.borrow().dropped).unwrap_or(0)
+        self.0.as_ref().map(|r| r.lock().unwrap().dropped).unwrap_or(0)
     }
 }
 

@@ -7,9 +7,9 @@
 //! while the storage server is unreachable, and the whole run replays
 //! byte-identically from its seed.
 
-use std::cell::RefCell;
+use std::sync::Mutex;
 use std::collections::BTreeMap;
-use std::rc::Rc;
+use std::sync::Arc;
 
 use bmcast_repro::aoe::{AoeClient, AoeServer, ClientConfig, ServerConfig};
 use bmcast_repro::bmcast::config::{BmcastConfig, ControllerKind, Moderation};
@@ -201,7 +201,7 @@ struct ScratchReader {
     next: u64,
     pace: SimDuration,
     deadline: SimTime,
-    completions: Rc<RefCell<Vec<SimTime>>>,
+    completions: Arc<Mutex<Vec<SimTime>>>,
 }
 
 impl GuestProgram for ScratchReader {
@@ -212,7 +212,7 @@ impl GuestProgram for ScratchReader {
         ctl.compute(self.pace, 0.0, 0);
     }
     fn on_io_complete(&mut self, _io: &CompletedIo, ctl: &mut GuestCtl) {
-        self.completions.borrow_mut().push(ctl.now());
+        self.completions.lock().unwrap().push(ctl.now());
     }
     fn on_timer(&mut self, _t: u64, ctl: &mut GuestCtl) {
         if ctl.now() >= self.deadline {
@@ -247,7 +247,7 @@ fn guest_reads_keep_completing_through_a_server_stall() {
     plan.server.stall = Some(stall);
     let mut runner = Runner::bmcast(&s, faulted_cfg(ControllerKind::Ide, plan));
 
-    let completions = Rc::new(RefCell::new(Vec::new()));
+    let completions = Arc::new(Mutex::new(Vec::new()));
     // Keep clear of the bitmap-persistence region at the start of the
     // scratch area.
     runner.start_program(Box::new(ScratchReader {
@@ -264,7 +264,7 @@ fn guest_reads_keep_completing_through_a_server_stall() {
         "reader must not wedge"
     );
     let during_stall = completions
-        .borrow()
+        .lock().unwrap()
         .iter()
         .filter(|t| stall.contains(**t))
         .count();
@@ -423,8 +423,8 @@ struct DistinctWriter {
     ranges: Vec<BlockRange>,
     next: usize,
     pace: SimDuration,
-    completions: Rc<RefCell<BTreeMap<RequestId, u32>>>,
-    order: Rc<RefCell<Vec<RequestId>>>,
+    completions: Arc<Mutex<BTreeMap<RequestId, u32>>>,
+    order: Arc<Mutex<Vec<RequestId>>>,
 }
 
 impl DistinctWriter {
@@ -441,10 +441,10 @@ impl GuestProgram for DistinctWriter {
         ctl.compute(self.pace, 0.0, 0);
     }
     fn on_io_complete(&mut self, io: &CompletedIo, ctl: &mut GuestCtl) {
-        *self.completions.borrow_mut().entry(io.id).or_insert(0) += 1;
-        self.order.borrow_mut().push(io.id);
+        *self.completions.lock().unwrap().entry(io.id).or_insert(0) += 1;
+        self.order.lock().unwrap().push(io.id);
         if self.next == self.ranges.len()
-            && self.completions.borrow().len() == self.ranges.len()
+            && self.completions.lock().unwrap().len() == self.ranges.len()
         {
             ctl.finish();
         }
@@ -481,8 +481,8 @@ fn multiplexing_under_slow_disk_never_loses_or_duplicates_guest_io() {
         let ranges: Vec<BlockRange> = (0..64)
             .map(|i| BlockRange::new(Lba(199 * i + 32), 8))
             .collect();
-        let completions = Rc::new(RefCell::new(BTreeMap::new()));
-        let order = Rc::new(RefCell::new(Vec::new()));
+        let completions = Arc::new(Mutex::new(BTreeMap::new()));
+        let order = Arc::new(Mutex::new(Vec::new()));
         runner.start_program(Box::new(DistinctWriter {
             ranges: ranges.clone(),
             next: 0,
@@ -498,14 +498,14 @@ fn multiplexing_under_slow_disk_never_loses_or_duplicates_guest_io() {
         assert!(done.is_some(), "{controller:?}: deployment completes");
 
         // Never lost, never double-completed.
-        let completions = completions.borrow();
+        let completions = completions.lock().unwrap();
         assert_eq!(completions.len(), ranges.len(), "{controller:?}: lost io");
         for (id, count) in completions.iter() {
             assert_eq!(*count, 1, "{controller:?}: {id} completed {count} times");
         }
         // Never reordered: paced single-queue writes complete in
         // submission order.
-        let order = order.borrow();
+        let order = order.lock().unwrap();
         assert!(
             order.windows(2).all(|w| w[0] < w[1]),
             "{controller:?}: completions out of order: {order:?}"
