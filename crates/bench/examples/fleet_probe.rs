@@ -2,11 +2,13 @@
 //! progress every simulated slice, to tell "slow but converging" apart
 //! from "wedged". Not part of the figure pipeline.
 //!
-//! Usage: `fleet_probe [n] [slice_secs] [limit_secs] [single|multi|p2p]`
+//! Usage: `fleet_probe [n] [slice_secs] [limit_secs] [single|multi|p2p] [sim_threads]`
 //!
 //! The optional topology argument uses the `--scaleout` figure's exact
 //! per-topology fleet configuration (stagger, sharding, peer serving,
-//! admission ramp).
+//! admission ramp). `sim_threads` > 1 runs the fleet on the
+//! conservative parallel engine — progress lines and results are
+//! identical either way, only host wall-clock changes.
 
 use bmcast::fleet::{Fleet, FleetConfig};
 use bmcast::machine::MachineSpec;
@@ -21,13 +23,14 @@ fn main() {
     let slice: u64 = args.next().and_then(|a| a.parse().ok()).unwrap_or(100);
     let limit: u64 = args.next().and_then(|a| a.parse().ok()).unwrap_or(36_000);
     let topology = args.next();
+    let sim_threads: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(1);
 
     let spec = MachineSpec {
         capacity_sectors: (1u64 << 28) / 512,
         image_sectors: (1u64 << 27) / 512,
         ..MachineSpec::default()
     };
-    let cfg = match topology.as_deref() {
+    let mut cfg = match topology.as_deref() {
         None => FleetConfig {
             n,
             spec,
@@ -38,6 +41,7 @@ fn main() {
         Some("p2p") => topology_fleet_cfg(Topology::PeerToPeer, n as u32, &spec),
         Some(other) => panic!("unknown topology {other:?} (single|multi|p2p)"),
     };
+    cfg.sim_threads = sim_threads;
     let image_sectors = cfg.spec.image_sectors;
     let mut fleet = Fleet::new(cfg);
     fleet.enable_telemetry();

@@ -2,16 +2,24 @@
 //! comparison tables.
 //!
 //! ```text
-//! reproduce [--quick] [--metrics] [--jobs N] [--faults PLAN|all]
-//!           [--scaleout] [--trace-out DIR] [--trace-ring N]
-//!           [fig04 fig05 ... | all]
+//! reproduce [--quick] [--metrics] [--jobs N] [--sim-threads N]
+//!           [--faults PLAN|all] [--scaleout] [--trace-out DIR]
+//!           [--trace-ring N] [fig04 fig05 ... | all]
 //! ```
 //!
 //! `--scaleout` runs the *measured* fleet scale-out figure: one
 //! [`bmcast::fleet::Fleet`] per point (n machines, one shared
 //! switch/server with the block cache and DRR scheduler), points spread
-//! over `--jobs` threads, and writes `BENCH_scaleout.json`. With no
-//! explicit figure ids, only the scale-out figure runs.
+//! over `--jobs` threads, and writes `BENCH_scaleout.json` plus
+//! `BENCH_parallel.json` (per-point wall-clock/event-rate, the
+//! sequential speedup reference, and the engine-equivalence digest
+//! matrix). With no explicit figure ids, only the scale-out figure
+//! runs.
+//!
+//! `--sim-threads N` runs each fleet on the conservative parallel
+//! engine with N simulator workers (default 1 = the sequential
+//! engine). The interleave — and every artifact byte — is identical
+//! either way; only host wall-clock changes.
 //!
 //! `--metrics` runs one instrumented deployment first and prints the
 //! observability report (per-phase timings, redirect/fill/discard/
@@ -132,7 +140,9 @@ fn main() {
     let mut faults_sel: Option<&str> = None;
     let mut trace_out: Option<&str> = None;
     let mut trace_ring: Option<usize> = None;
+    let mut sim_threads = 1usize;
     let mut take_jobs = false;
+    let mut take_sim_threads = false;
     let mut take_faults = false;
     let mut take_trace_out = false;
     let mut take_trace_ring = false;
@@ -140,6 +150,9 @@ fn main() {
         if take_jobs {
             jobs = a.parse().expect("--jobs takes a positive integer");
             take_jobs = false;
+        } else if take_sim_threads {
+            sim_threads = a.parse().expect("--sim-threads takes a positive integer");
+            take_sim_threads = false;
         } else if take_faults {
             faults_sel = Some(a.as_str());
             take_faults = false;
@@ -151,6 +164,8 @@ fn main() {
             take_trace_ring = false;
         } else if a == "--jobs" {
             take_jobs = true;
+        } else if a == "--sim-threads" {
+            take_sim_threads = true;
         } else if a == "--faults" {
             take_faults = true;
         } else if a == "--trace-out" {
@@ -159,6 +174,8 @@ fn main() {
             take_trace_ring = true;
         } else if let Some(n) = a.strip_prefix("--jobs=") {
             jobs = n.parse().expect("--jobs takes a positive integer");
+        } else if let Some(n) = a.strip_prefix("--sim-threads=") {
+            sim_threads = n.parse().expect("--sim-threads takes a positive integer");
         } else if let Some(p) = a.strip_prefix("--faults=") {
             faults_sel = Some(p);
         } else if let Some(p) = a.strip_prefix("--trace-out=") {
@@ -170,22 +187,53 @@ fn main() {
         }
     }
     assert!(jobs >= 1, "--jobs takes a positive integer");
+    assert!(sim_threads >= 1, "--sim-threads takes a positive integer");
+    assert!(!take_sim_threads, "--sim-threads takes a positive integer");
     assert!(!take_faults, "--faults takes a plan name or 'all'");
     assert!(!take_trace_out, "--trace-out takes a directory path");
     assert!(!take_trace_ring, "--trace-ring takes a positive integer");
     assert!(trace_ring != Some(0), "--trace-ring takes a positive integer");
 
     if args.iter().any(|a| a == "--scaleout") {
-        eprintln!("[reproduce] measuring fleet scale-out at {scale:?} scale ({jobs} jobs) ...");
+        eprintln!(
+            "[reproduce] measuring fleet scale-out at {scale:?} scale \
+             ({jobs} jobs, {sim_threads} sim threads) ..."
+        );
         let started = Instant::now();
-        let (fig, points) = ext_scaleout::run_scaleout(scale, jobs);
+        let (fig, measured) = ext_scaleout::run_scaleout(scale, jobs, sim_threads);
         eprintln!(
             "[reproduce] scaleout done in {:.1}s wall",
             started.elapsed().as_secs_f64()
         );
         println!("{fig}");
+        let points: Vec<ext_scaleout::ScaleoutPoint> =
+            measured.iter().map(|m| m.point.clone()).collect();
         let json_path = "BENCH_scaleout.json";
         match ext_scaleout::write_scaleout_json(json_path, scale, &points) {
+            Ok(()) => eprintln!("[reproduce] wrote {json_path}"),
+            Err(e) => {
+                eprintln!("[reproduce] failed to write {json_path}: {e}");
+                std::process::exit(1);
+            }
+        }
+        eprintln!("[reproduce] measuring parallel-engine equivalence + speedup ...");
+        let started = Instant::now();
+        let bench = ext_scaleout::bench_parallel(scale, jobs, sim_threads, measured);
+        eprintln!(
+            "[reproduce] parallel bench done in {:.1}s wall (speedup at p2p n={}: {:.2}x)",
+            started.elapsed().as_secs_f64(),
+            ext_scaleout::SPEEDUP_ANCHOR_N,
+            bench.speedup_at_anchor,
+        );
+        if let Some(c) = bench.equivalence.iter().find(|c| !c.identical) {
+            eprintln!(
+                "[reproduce] ENGINE DIVERGENCE at {} n={}: sequential {} vs parallel {}",
+                c.topology, c.n, c.digest_sequential, c.digest_parallel
+            );
+            std::process::exit(1);
+        }
+        let json_path = "BENCH_parallel.json";
+        match ext_scaleout::write_parallel_json(json_path, scale, &bench) {
             Ok(()) => eprintln!("[reproduce] wrote {json_path}"),
             Err(e) => {
                 eprintln!("[reproduce] failed to write {json_path}: {e}");
