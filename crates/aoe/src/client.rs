@@ -198,6 +198,9 @@ pub struct AoeClient {
     busy_at: BTreeMap<(u16, u8), SimTime>,
     /// When set, reads carry the completion-priority (sprint) flag.
     sprint: bool,
+    /// Write target override: snapshot-back streams a reclaimed tenant's
+    /// dirty blocks to an archive volume instead of the primary image.
+    write_target: Option<(u16, u8)>,
     failures: Vec<u32>,
     metrics: Metrics,
     tracer: Tracer,
@@ -223,6 +226,7 @@ impl AoeClient {
             decode_errors: 0,
             busy_at: BTreeMap::new(),
             sprint: false,
+            write_target: None,
             failures: Vec::new(),
             metrics: Metrics::disabled(),
             tracer: Tracer::disabled(),
@@ -312,6 +316,37 @@ impl AoeClient {
         if !self.endpoints.contains(&endpoint) {
             self.endpoints.push(endpoint);
         }
+    }
+
+    /// Unregisters a read endpoint (a peer being re-virtualized or
+    /// reclaimed, whose image view is about to go stale). Affects only
+    /// future reads: requests already outstanding keep retransmitting to
+    /// their issue endpoint and are the fabric's problem to fail over.
+    /// The last endpoint is never removed — a client always has a
+    /// primary to read from.
+    pub fn remove_read_endpoint(&mut self, endpoint: (u16, u8)) {
+        if self.endpoints.len() > 1 {
+            self.endpoints.retain(|&e| e != endpoint);
+        }
+    }
+
+    /// Redirects future writes to `shelf`/`slot` instead of the
+    /// configured primary. Snapshot-back uses this to stream a departing
+    /// tenant's dirty blocks into its archive volume; the single
+    /// write-ordering point per request is preserved (each write still
+    /// goes to exactly one endpoint).
+    pub fn set_write_target(&mut self, shelf: u16, slot: u8) {
+        self.write_target = Some((shelf, slot));
+    }
+
+    /// Restores the configured primary as the write target.
+    pub fn clear_write_target(&mut self) {
+        self.write_target = None;
+    }
+
+    /// The endpoint the next write will be issued to.
+    pub fn write_endpoint(&self) -> (u16, u8) {
+        self.write_target.unwrap_or((self.cfg.shelf, self.cfg.slot))
     }
 
     /// Overrides the read-striping granularity (keep aligned with the
@@ -460,6 +495,7 @@ impl AoeClient {
         assert_eq!(data.len(), range.sectors as usize, "payload/range mismatch");
         self.metrics.inc("aoe.client.writes");
         let id = self.alloc_id();
+        let (wshelf, wslot) = self.write_endpoint();
         let spf = sectors_per_frame(self.cfg.mtu);
         let mut frames = Vec::new();
         let mut offset = 0u32;
@@ -469,14 +505,8 @@ impl AoeClient {
             let sub = BlockRange::new(range.lba + offset as u64, n);
             let payload = data[offset as usize..(offset + n) as usize].to_vec();
             frames.push(
-                AoePdu::write_request(
-                    self.cfg.shelf,
-                    self.cfg.slot,
-                    Tag::new(id, frag),
-                    sub,
-                    payload,
-                )
-                .encode_frame(),
+                AoePdu::write_request(wshelf, wslot, Tag::new(id, frag), sub, payload)
+                    .encode_frame(),
             );
             offset += n;
             frag += 1;
@@ -490,10 +520,11 @@ impl AoeClient {
             Pending {
                 range,
                 is_write: true,
-                // Writes always target the primary: one write-ordering
+                // Writes target a single endpoint (the primary, or the
+                // snapshot-back archive override): one write-ordering
                 // point keeps the replicated store trivially consistent.
-                shelf: self.cfg.shelf,
-                slot: self.cfg.slot,
+                shelf: wshelf,
+                slot: wslot,
                 sprint: false,
                 frags: vec![None; frag as usize],
                 // Shares the allocations just handed to the wire.
@@ -993,6 +1024,47 @@ mod tests {
         assert_eq!(c.read_endpoints().len(), 4);
         let (_, frames) = c.read(SimTime::ZERO, BlockRange::new(Lba(24), 1));
         assert_eq!(AoePdu::decode(&frames[0]).unwrap().shelf, 9);
+    }
+
+    #[test]
+    fn removed_endpoint_gets_no_future_reads() {
+        let mut c = AoeClient::new(ClientConfig {
+            stripe_sectors: 8,
+            ..ClientConfig::default()
+        });
+        c.set_read_endpoints(vec![(0, 0), (1, 0), (2, 0)]);
+        // lba 8 stripes to shelf 1; retire that endpoint.
+        c.remove_read_endpoint((1, 0));
+        assert_eq!(c.read_endpoints(), &[(0, 0), (2, 0)]);
+        for lba in (0..64).step_by(8) {
+            let (_, frames) = c.read(SimTime::ZERO, BlockRange::new(Lba(lba), 1));
+            let pdu = AoePdu::decode(&frames[0]).unwrap();
+            assert_ne!(pdu.shelf, 1, "reclaimed endpoint must see no reads");
+        }
+        // The last endpoint is never removed.
+        c.remove_read_endpoint((0, 0));
+        c.remove_read_endpoint((2, 0));
+        assert_eq!(c.read_endpoints(), &[(2, 0)]);
+    }
+
+    #[test]
+    fn write_target_override_redirects_writes_only() {
+        let mut c = AoeClient::new(ClientConfig {
+            stripe_sectors: 8,
+            ..ClientConfig::default()
+        });
+        c.set_read_endpoints(vec![(0, 0), (1, 0)]);
+        assert_eq!(c.write_endpoint(), (0, 0));
+        c.set_write_target(0, 7);
+        assert_eq!(c.write_endpoint(), (0, 7));
+        let (_, frames) = c.write(SimTime::ZERO, BlockRange::new(Lba(3), 1), &[SectorData(5)]);
+        let pdu = AoePdu::decode(&frames[0]).unwrap();
+        assert_eq!((pdu.shelf, pdu.slot), (0, 7), "write goes to the archive");
+        // Reads still stripe over the read set.
+        let (_, frames) = c.read(SimTime::ZERO, BlockRange::new(Lba(8), 1));
+        assert_eq!(AoePdu::decode(&frames[0]).unwrap().slot, 0);
+        c.clear_write_target();
+        assert_eq!(c.write_endpoint(), (0, 0));
     }
 
     #[test]

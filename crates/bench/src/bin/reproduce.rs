@@ -3,8 +3,8 @@
 //!
 //! ```text
 //! reproduce [--quick] [--metrics] [--jobs N] [--sim-threads N]
-//!           [--faults PLAN|all] [--scaleout] [--trace-out DIR]
-//!           [--trace-ring N] [fig04 fig05 ... | all]
+//!           [--faults PLAN|all] [--scaleout] [--elasticity]
+//!           [--trace-out DIR] [--trace-ring N] [fig04 fig05 ... | all]
 //! ```
 //!
 //! `--scaleout` runs the *measured* fleet scale-out figure: one
@@ -15,6 +15,15 @@
 //! sequential speedup reference, and the engine-equivalence digest
 //! matrix). With no explicit figure ids, only the scale-out figure
 //! runs.
+//!
+//! `--elasticity` runs the reverse-lifecycle figure: rolling image
+//! upgrades (re-virtualize → snapshot-back → reclaim → redeploy) and
+//! scale-down/scale-up waves on measured fleets, plus per-fault-class
+//! snapshot-back survivability, a two-run chaos determinism lock, and
+//! a sequential-vs-parallel engine-equivalence matrix. Writes
+//! `BENCH_elasticity.json`; with `--trace-out <dir>` the first chaos
+//! wave's flight-recorder trace lands in `<dir>/elasticity_trace.json`.
+//! Exits non-zero on engine divergence or a chaos determinism break.
 //!
 //! `--sim-threads N` runs each fleet on the conservative parallel
 //! engine with N simulator workers (default 1 = the sequential
@@ -240,7 +249,64 @@ fn main() {
                 std::process::exit(1);
             }
         }
-        if wanted.is_empty() && faults_sel.is_none() && trace_out.is_none() {
+        if wanted.is_empty()
+            && faults_sel.is_none()
+            && trace_out.is_none()
+            && !args.iter().any(|a| a == "--elasticity")
+        {
+            return;
+        }
+    }
+
+    if args.iter().any(|a| a == "--elasticity") {
+        eprintln!(
+            "[reproduce] measuring elasticity lifecycle at {scale:?} scale \
+             ({jobs} jobs, {sim_threads} sim threads) ..."
+        );
+        let started = Instant::now();
+        let (fig, bench) = ext_elasticity::run_elasticity(scale, jobs, sim_threads);
+        eprintln!(
+            "[reproduce] elasticity done in {:.1}s wall",
+            started.elapsed().as_secs_f64()
+        );
+        println!("{fig}");
+        if let Some(c) = bench.equivalence.iter().find(|c| !c.identical) {
+            eprintln!(
+                "[reproduce] ENGINE DIVERGENCE on upgrade wave n={}: sequential {} vs parallel {}",
+                c.n, c.digest_sequential, c.digest_parallel
+            );
+            std::process::exit(1);
+        }
+        if !(bench.chaos.identical && bench.chaos.trace_identical) {
+            eprintln!(
+                "[reproduce] CHAOS DETERMINISM BREAK: run A {} vs run B {} (traces identical: {})",
+                bench.chaos.digest_a, bench.chaos.digest_b, bench.chaos.trace_identical
+            );
+            std::process::exit(1);
+        }
+        let json_path = "BENCH_elasticity.json";
+        match ext_elasticity::write_elasticity_json(json_path, scale, &bench) {
+            Ok(()) => eprintln!("[reproduce] wrote {json_path}"),
+            Err(e) => {
+                eprintln!("[reproduce] failed to write {json_path}: {e}");
+                std::process::exit(1);
+            }
+        }
+        if let Some(dir) = trace_out {
+            let path = std::path::Path::new(dir).join("elasticity_trace.json");
+            match std::fs::create_dir_all(dir)
+                .and_then(|()| std::fs::write(&path, &bench.chaos_trace))
+            {
+                Ok(()) => eprintln!("[reproduce] wrote {}", path.display()),
+                Err(e) => {
+                    eprintln!("[reproduce] failed to write {}: {e}", path.display());
+                    std::process::exit(1);
+                }
+            }
+        }
+        // `--trace-out` is consumed above (the chaos wave's trace), so it
+        // alone does not pull in the default deployment-trace recording.
+        if wanted.is_empty() && faults_sel.is_none() {
             return;
         }
     }

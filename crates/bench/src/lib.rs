@@ -10,6 +10,7 @@
 //! comparison table recorded in `EXPERIMENTS.md`.
 
 pub mod ext_ablation;
+pub mod ext_elasticity;
 pub mod ext_scaleout;
 pub mod faults;
 pub mod fig04_startup;

@@ -235,6 +235,58 @@ impl BlockBitmap {
         out
     }
 
+    /// The filled subranges of `range`, coalesced — the complement of
+    /// [`BlockBitmap::empty_subranges`]. The snapshot-back engine walks
+    /// these when the bitmap tracks *dirty* (tenant-written) sectors.
+    pub fn filled_subranges(&self, range: BlockRange) -> Vec<BlockRange> {
+        let mut out = Vec::new();
+        let mut cursor = range.lba.0;
+        for hole in self.empty_subranges(range) {
+            if hole.lba.0 > cursor {
+                out.push(BlockRange::new(Lba(cursor), (hole.lba.0 - cursor) as u32));
+            }
+            cursor = hole.end().0;
+        }
+        if cursor < range.end().0 {
+            out.push(BlockRange::new(Lba(cursor), (range.end().0 - cursor) as u32));
+        }
+        out
+    }
+
+    /// First filled sector in `[lo, hi)` (word-parallel scan).
+    fn next_filled_in(&self, lo: u64, hi: u64) -> Option<u64> {
+        if lo >= hi {
+            return None;
+        }
+        for w in lo / 64..=(hi - 1) / 64 {
+            let base = w * 64;
+            let (span_lo, span_hi) = (lo.max(base) - base, hi.min(base + 64) - base);
+            let mask = if span_hi - span_lo == 64 {
+                !0
+            } else {
+                ((1u64 << (span_hi - span_lo)) - 1) << span_lo
+            };
+            let filled = self.words[w as usize] & mask;
+            if filled != 0 {
+                return Some(base + filled.trailing_zeros() as u64);
+            }
+        }
+        None
+    }
+
+    /// First filled sector at or after `from`, wrapping once; `None` when
+    /// the bitmap is all-empty. The snapshot-back cursor resumes from the
+    /// last streamed block with this.
+    pub fn next_filled(&self, from: Lba) -> Option<Lba> {
+        if self.filled == 0 {
+            return None;
+        }
+        let start = from.0.min(self.sectors.saturating_sub(1));
+        self.next_filled_in(start, self.sectors)
+            .or_else(|| self.next_filled_in(0, start))
+            .map(Lba)
+    }
+
     /// First empty sector in `[lo, hi)`, skipping fully-filled words via
     /// the summary level.
     fn next_empty_in(&self, lo: u64, hi: u64) -> Option<u64> {
@@ -399,6 +451,36 @@ mod tests {
         let mut bm = BlockBitmap::new(64);
         bm.mark_filled(BlockRange::new(Lba(0), 64));
         assert!(bm.empty_subranges(BlockRange::new(Lba(0), 64)).is_empty());
+    }
+
+    #[test]
+    fn filled_subranges_complement_empty() {
+        let mut bm = BlockBitmap::new(64);
+        bm.mark_filled(BlockRange::new(Lba(2), 2));
+        bm.mark_filled(BlockRange::new(Lba(6), 1));
+        let full = bm.filled_subranges(BlockRange::new(Lba(0), 8));
+        assert_eq!(
+            full,
+            vec![BlockRange::new(Lba(2), 2), BlockRange::new(Lba(6), 1)]
+        );
+        assert!(bm.filled_subranges(BlockRange::new(Lba(8), 8)).is_empty());
+        bm.mark_filled(BlockRange::new(Lba(0), 64));
+        assert_eq!(
+            bm.filled_subranges(BlockRange::new(Lba(0), 64)),
+            vec![BlockRange::new(Lba(0), 64)]
+        );
+    }
+
+    #[test]
+    fn next_filled_scans_and_wraps() {
+        let mut bm = BlockBitmap::new(1 << 16);
+        assert_eq!(bm.next_filled(Lba(0)), None);
+        bm.mark_filled(BlockRange::new(Lba(40_000), 3));
+        assert_eq!(bm.next_filled(Lba(0)), Some(Lba(40_000)));
+        assert_eq!(bm.next_filled(Lba(40_001)), Some(Lba(40_001)));
+        // Wrap: nothing at or above `from`, hit below.
+        assert_eq!(bm.next_filled(Lba(50_000)), Some(Lba(40_000)));
+        assert_eq!(bm.next_filled(Lba((1 << 16) - 1)), Some(Lba(40_000)));
     }
 
     #[test]

@@ -1,5 +1,6 @@
 //! De-virtualization (§3.4): turning the VMM off underneath a running
-//! guest.
+//! guest — and the inverse, re-virtualization, for the elasticity
+//! lifecycle (M2, "Malleable Metal as a Service").
 //!
 //! Preconditions: deployment complete (bitmap full) and the mediated
 //! device in a *consistent hardware state* (no held, queued, or
@@ -8,6 +9,13 @@
 //! IPI-based TLB shootdown is needed — nested paging is disabled and the
 //! TLB invalidated; once every CPU is done, traps are cleared and VMXOFF
 //! executed. From that instant no guest access can exit: bare metal.
+//!
+//! Re-virtualization runs the same steps backwards, again per CPU at
+//! each CPU's own pace: VMXON, identity EPT re-established, device traps
+//! re-armed, the polling preemption timer restarted. Once every CPU is
+//! back under the VMM the mediator interposes again and the machine can
+//! snapshot its dirty blocks back to the server and be reclaimed for a
+//! new tenant.
 
 use hwsim::vtx::VtxCpu;
 use simkit::{SimDuration, SimTime, Spans, NO_SPAN};
@@ -23,6 +31,12 @@ pub enum Phase {
     Devirtualization,
     /// The VMM is gone; the guest owns the hardware.
     BareMetal,
+    /// Per-CPU VMXON + trap re-arming in progress: the VMM is taking the
+    /// hardware back from a bare-metal tenant.
+    Revirtualization,
+    /// The VMM interposes again and streams the tenant's dirty blocks
+    /// back to the server before the machine is reclaimed.
+    SnapshotBack,
 }
 
 impl std::fmt::Display for Phase {
@@ -32,6 +46,8 @@ impl std::fmt::Display for Phase {
             Phase::Deployment => "deployment",
             Phase::Devirtualization => "de-virtualization",
             Phase::BareMetal => "bare-metal",
+            Phase::Revirtualization => "re-virtualization",
+            Phase::SnapshotBack => "snapshot-back",
         };
         f.write_str(s)
     }
@@ -136,6 +152,52 @@ impl DevirtSequencer {
         self.done[index] = true;
     }
 
+    /// [`DevirtSequencer::revirtualize_cpu`] plus flight-recorder
+    /// bookkeeping: the re-entry cost becomes a complete `revirt.cpu`
+    /// span on the `devirt` track starting at `now`.
+    pub fn revirtualize_cpu_at(
+        &mut self,
+        now: SimTime,
+        index: usize,
+        cpu: &mut VtxCpu,
+    ) -> SimDuration {
+        let cost = self.revirtualize_cpu(index, cpu);
+        if cost > SimDuration::ZERO {
+            self.spans
+                .record(now, now + cost, "devirt", "revirt.cpu", NO_SPAN, || {
+                    format!("cpu {index} vmxon")
+                });
+        }
+        cost
+    }
+
+    /// Re-virtualizes one CPU: VMXON, identity EPT re-established, TLB
+    /// invalidated. Like teardown this needs no cross-CPU coordination,
+    /// so each CPU re-enters VMX at its own pace. Stale trap ranges from
+    /// the previous tenancy are dropped — the caller re-arms the device
+    /// trap set and the polling preemption timer afterwards. Returns the
+    /// cost on that CPU; idempotent (a CPU that never de-virtualized, or
+    /// was already re-virtualized, costs nothing).
+    pub fn revirtualize_cpu(&mut self, index: usize, cpu: &mut VtxCpu) -> SimDuration {
+        if !self.done[index] {
+            return SimDuration::ZERO;
+        }
+        cpu.clear_traps();
+        cpu.vmxon();
+        // VMXON plus rebuilding the identity EPT root and the INVEPT on
+        // re-entry mirror the teardown dance: a few microseconds.
+        let cost = SimDuration::from_micros(7);
+        self.done[index] = false;
+        self.total_cost += cost;
+        cost
+    }
+
+    /// Whether every CPU is back under the VMM (the inverse of
+    /// [`DevirtSequencer::all_done`]).
+    pub fn all_virtualized(&self) -> bool {
+        self.done.iter().all(|&d| !d)
+    }
+
     /// CPUs de-virtualized so far.
     pub fn done_count(&self) -> usize {
         self.done.iter().filter(|&&d| d).count()
@@ -216,8 +278,63 @@ mod tests {
     }
 
     #[test]
+    fn revirtualize_inverts_teardown() {
+        let mut cpus = virt_cpus(4);
+        let mut seq = DevirtSequencer::new(4);
+        for (i, cpu) in cpus.iter_mut().enumerate() {
+            seq.devirtualize_cpu(i, cpu);
+        }
+        assert!(seq.all_done());
+        // Re-enter out of order, as independently as the teardown.
+        for i in [3, 1, 0, 2] {
+            assert!(!seq.all_virtualized());
+            let cost = seq.revirtualize_cpu(i, &mut cpus[i]);
+            assert!(cost > SimDuration::ZERO);
+            assert!(cpus[i].vmx_on());
+            assert!(cpus[i].ept_on());
+        }
+        assert!(seq.all_virtualized());
+        assert_eq!(seq.done_count(), 0);
+    }
+
+    #[test]
+    fn revirtualize_drops_stale_traps_and_is_idempotent() {
+        let mut cpus = virt_cpus(1);
+        let mut seq = DevirtSequencer::new(1);
+        // A CPU that never de-virtualized re-enters for free.
+        assert_eq!(seq.revirtualize_cpu(0, &mut cpus[0]), SimDuration::ZERO);
+        seq.devirtualize_cpu(0, &mut cpus[0]);
+        // vmxoff leaves the old trap vector in place (it is dead while
+        // VMX is off); re-entry must not resurrect it.
+        let first = seq.revirtualize_cpu(0, &mut cpus[0]);
+        assert!(first > SimDuration::ZERO);
+        assert!(!cpus[0].exits_on_pio(0x1F0), "stale tenant traps dropped");
+        cpus[0].trap_pio_range(0x1F0, 0x1F7);
+        assert!(cpus[0].exits_on_pio(0x1F0), "caller re-arms traps");
+        assert_eq!(seq.revirtualize_cpu(0, &mut cpus[0]), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn lifecycle_round_trips_per_cpu() {
+        let mut cpus = virt_cpus(2);
+        let mut seq = DevirtSequencer::new(2);
+        for _cycle in 0..3 {
+            for (i, cpu) in cpus.iter_mut().enumerate() {
+                seq.devirtualize_cpu(i, cpu);
+            }
+            assert!(seq.all_done());
+            for (i, cpu) in cpus.iter_mut().enumerate() {
+                seq.revirtualize_cpu(i, cpu);
+            }
+            assert!(seq.all_virtualized());
+        }
+    }
+
+    #[test]
     fn phase_display() {
         assert_eq!(Phase::Deployment.to_string(), "deployment");
         assert_eq!(Phase::BareMetal.to_string(), "bare-metal");
+        assert_eq!(Phase::Revirtualization.to_string(), "re-virtualization");
+        assert_eq!(Phase::SnapshotBack.to_string(), "snapshot-back");
     }
 }

@@ -18,7 +18,8 @@
 //! | [`bitmap`] | §3.3 | filled/empty bitmap, atomic claims, persistence |
 //! | [`mediator`] | §3.2 | IDE + AHCI device mediators |
 //! | [`background`] | §3.3 | retriever/writer threads, FIFO, moderation |
-//! | [`devirt`] | §3.4 | per-CPU EPT-off + VMXOFF sequencing |
+//! | [`devirt`] | §3.4 | per-CPU EPT-off + VMXOFF sequencing, and its inverse |
+//! | [`snapback`] | M2 | dirty-block tracking + snapshot-back for reclaim |
 //! | [`netdrv`] | §4.3 | polled drivers for the dedicated NIC |
 //! | [`machine`] | §3–4 | the full machine: bus, exits, event chains |
 //! | [`deploy`] | §3.1 | deployment phases, timelines, the [`deploy::Runner`] |
@@ -53,10 +54,12 @@ pub mod machine;
 pub mod mediator;
 pub mod netdrv;
 pub mod programs;
+pub mod snapback;
 
 pub use bitmap::BlockBitmap;
 pub use config::{BmcastConfig, ControllerKind, Moderation};
 pub use deploy::Runner;
 pub use devirt::Phase;
-pub use fleet::{Fleet, FleetConfig};
+pub use fleet::{Fleet, FleetConfig, LifecycleStage};
 pub use machine::{DeployError, Machine, MachineSpec};
+pub use snapback::{DirtyTracker, ReclaimError, SnapshotBack};

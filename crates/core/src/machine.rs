@@ -25,6 +25,7 @@ use crate::config::{BmcastConfig, ControllerKind};
 use crate::devirt::{DevirtSequencer, Phase};
 use crate::mediator::{AhciMediator, AhciRedirect, IdeMediator, MmioVerdict, PioVerdict};
 use crate::netdrv::PolledNic;
+use crate::snapback::{DirtyTracker, ReclaimError, SnapshotBack};
 use aoe::{AoeClient, AoeServer, ClientConfig, FrameBytes, ServerConfig};
 use guestsim::bus::GuestBus;
 use guestsim::driver::{ahci::AhciDriver, ide::IdeDriver, BlockDriver};
@@ -129,6 +130,8 @@ enum AoeWaiter {
     Redirect(BlockRange),
     /// Background-copy block.
     Background(BlockRange),
+    /// Snapshot-back write of a dirty range.
+    Snapshot(BlockRange),
 }
 
 /// An in-flight I/O redirection.
@@ -193,6 +196,11 @@ pub struct Vmm {
     pub nic: PolledNic,
     /// De-virtualization sequencer.
     pub devirt: DevirtSequencer,
+    /// Guest writes that diverged the local disk from the golden image,
+    /// recorded across every phase so snapshot-back knows what to stream.
+    pub dirty: DirtyTracker,
+    /// Snapshot-back sender, armed once re-virtualization completes.
+    pub snap: Option<SnapshotBack>,
     /// Lifecycle phase.
     pub phase: Phase,
     /// On-disk region holding the persisted bitmap.
@@ -216,6 +224,9 @@ pub struct Vmm {
     consecutive_failures: u32,
     /// Terminal deployment failure, set when the failure budget trips.
     deploy_error: Option<DeployError>,
+    /// Terminal snapshot-back failure, set when the failure budget trips
+    /// during reclaim; the machine fails the reclaim cleanly.
+    reclaim_error: Option<ReclaimError>,
     devirt_requested: bool,
     /// Set when the deployment phase started.
     pub deployment_start_at: Option<SimTime>,
@@ -223,6 +234,14 @@ pub struct Vmm {
     pub deployment_done_at: Option<SimTime>,
     /// Set when de-virtualization finished.
     pub bare_metal_at: Option<SimTime>,
+    /// Set when re-virtualization started (the reverse lifecycle).
+    pub revirt_start_at: Option<SimTime>,
+    /// Set when every CPU was back under the VMM and the snapshot-back
+    /// stream started.
+    pub snapshot_start_at: Option<SimTime>,
+    /// Set when the snapshot-back finished: every dirty block is durable
+    /// on the server and the machine may be reclaimed.
+    pub snapshot_done_at: Option<SimTime>,
     /// Open `io.redirect` parent span of the in-flight dummy restart.
     redirect_span: SpanId,
     /// Open `redirect.restart` child span of the in-flight dummy restart.
@@ -266,6 +285,12 @@ impl Vmm {
     /// Terminal deployment failure, if the retry budget tripped.
     pub fn deploy_error(&self) -> Option<DeployError> {
         self.deploy_error
+    }
+
+    /// Terminal snapshot-back failure, if the retry budget tripped
+    /// during reclaim.
+    pub fn reclaim_error(&self) -> Option<ReclaimError> {
+        self.reclaim_error
     }
 
     /// Whether the background writer chain is parked (diagnostics).
@@ -582,6 +607,8 @@ impl Machine {
             }),
             nic: PolledNic::new(cfg.nic, VMM_MAC),
             devirt: DevirtSequencer::new(spec.cpus),
+            dirty: DirtyTracker::new(spec.image_sectors),
+            snap: None,
             phase: Phase::Initialization,
             bitmap_region,
             cpu_time: SimDuration::ZERO,
@@ -595,10 +622,14 @@ impl Machine {
             writer_next_allowed: SimTime::ZERO,
             consecutive_failures: 0,
             deploy_error: None,
+            reclaim_error: None,
             devirt_requested: false,
             deployment_start_at: None,
             deployment_done_at: None,
             bare_metal_at: None,
+            revirt_start_at: None,
+            snapshot_start_at: None,
+            snapshot_done_at: None,
             redirect_span: NO_SPAN,
             restart_span: NO_SPAN,
             cfg,
@@ -707,6 +738,17 @@ impl Machine {
     /// Terminal deployment failure, if the retry budget tripped.
     pub fn deploy_error(&self) -> Option<DeployError> {
         self.vmm.as_ref().and_then(|v| v.deploy_error)
+    }
+
+    /// Whether snapshot-back finished, i.e. the machine may be
+    /// [`reclaim`]ed for its next tenant.
+    pub fn snapshot_complete(&self) -> bool {
+        self.vmm.as_ref().is_some_and(|v| v.snapshot_done_at.is_some())
+    }
+
+    /// Terminal snapshot-back failure, if the retry budget tripped.
+    pub fn reclaim_error(&self) -> Option<ReclaimError> {
+        self.vmm.as_ref().and_then(|v| v.reclaim_error)
     }
 }
 
@@ -961,6 +1003,13 @@ fn start_ide_media(m: &mut Machine, sim: &mut MachineSim, origin: Origin) {
     if origin == Origin::Guest {
         m.stats.local_ios += 1;
         m.metrics.inc("machine.local_ios");
+        // Elasticity bookkeeping: every guest write diverges the local
+        // disk from the golden image, so snapshot-back must stream it.
+        if cmd.op == AtaOp::WriteDma {
+            if let Some(vmm) = m.vmm.as_mut() {
+                vmm.dirty.record(cmd.range);
+            }
+        }
     }
     sim.schedule_in(t, move |m: &mut Machine, sim| {
         m.hw.ide.complete_active(&mut m.hw.mem, &mut m.hw.disk);
@@ -984,6 +1033,12 @@ fn start_ahci_media(m: &mut Machine, sim: &mut MachineSim, slot: u8, origin: Ori
     if origin == Origin::Guest {
         m.stats.local_ios += 1;
         m.metrics.inc("machine.local_ios");
+        // Same dirty-block bookkeeping as the IDE path.
+        if cmd.op == AtaOp::WriteDma {
+            if let Some(vmm) = m.vmm.as_mut() {
+                vmm.dirty.record(cmd.range);
+            }
+        }
     }
     sim.schedule_in(t, move |m: &mut Machine, sim| {
         m.hw
@@ -1595,6 +1650,12 @@ fn vmm_poll(m: &mut Machine, sim: &mut MachineSim) {
                 kick_writer(m, sim);
                 retriever_fire(m, sim);
             }
+            Some(AoeWaiter::Snapshot(range)) => {
+                if let Some(snap) = vmm.snap.as_mut() {
+                    snap.ack_at(sim.now(), range);
+                }
+                snapshot_pump(m, sim);
+            }
             None => {}
         }
     }
@@ -1609,7 +1670,7 @@ fn schedule_retransmit_guard(m: &mut Machine, sim: &mut MachineSim) {
     let rto = vmm.client.config().rto;
     sim.schedule_in(rto, |m: &mut Machine, sim| {
         let Some(vmm) = m.vmm.as_mut() else { return };
-        if !vmm.is_active() || vmm.deploy_error.is_some() {
+        if !vmm.is_active() || vmm.deploy_error.is_some() || vmm.reclaim_error.is_some() {
             return;
         }
         let frames = vmm.client.poll_retransmit(sim.now());
@@ -1630,6 +1691,13 @@ fn schedule_retransmit_guard(m: &mut Machine, sim: &mut MachineSim) {
                     // The guest is blocked on this data: reissue at once.
                     reissue_redirects.push(range);
                 }
+                Some(AoeWaiter::Snapshot(range)) => {
+                    // Re-mark the range dirty; the sender will re-stream
+                    // it after its back-off window.
+                    if let Some(snap) = vmm.snap.as_mut() {
+                        snap.send_failed_at(sim.now(), range, &mut vmm.dirty);
+                    }
+                }
                 None => {}
             }
         }
@@ -1638,11 +1706,22 @@ fn schedule_retransmit_guard(m: &mut Machine, sim: &mut MachineSim) {
             // retrying forever. Outstanding work drains; the runner sees
             // the error and stops.
             let consecutive = vmm.consecutive_failures;
-            vmm.deploy_error = Some(DeployError::RetryBudgetExhausted { consecutive });
-            m.metrics.inc("machine.deploy_errors");
-            m.tracer.emit(sim.now(), "machine", "deploy_error", || {
-                format!("retry budget exhausted after {consecutive} consecutive failures")
-            });
+            if vmm.phase == Phase::SnapshotBack {
+                vmm.reclaim_error = Some(ReclaimError::RetryBudgetExhausted { consecutive });
+                m.metrics.inc("machine.reclaim_errors");
+                m.tracer.emit(sim.now(), "machine", "reclaim_error", || {
+                    format!(
+                        "snapshot-back retry budget exhausted after {consecutive} \
+                         consecutive failures"
+                    )
+                });
+            } else {
+                vmm.deploy_error = Some(DeployError::RetryBudgetExhausted { consecutive });
+                m.metrics.inc("machine.deploy_errors");
+                m.tracer.emit(sim.now(), "machine", "deploy_error", || {
+                    format!("retry budget exhausted after {consecutive} consecutive failures")
+                });
+            }
             return;
         }
         for range in reissue_redirects {
@@ -1655,6 +1734,7 @@ fn schedule_retransmit_guard(m: &mut Machine, sim: &mut MachineSim) {
             send_vmm_frames(m, sim, frames);
         }
         retriever_fire(m, sim);
+        snapshot_pump(m, sim);
         schedule_retransmit_guard(m, sim);
     });
 }
@@ -1738,6 +1818,18 @@ pub fn sample_flight_row(m: &Machine, now: SimTime) {
             ("faults.total", faults_total as f64),
         ],
     );
+    // Reverse-lifecycle rows, only while a snapshot-back is live so
+    // deployment-only timelines keep their exact historical shape.
+    if let Some(snap) = vmm.snap.as_ref() {
+        m.sampler.record_row(
+            now,
+            vec![
+                ("snap.dirty_sectors", vmm.dirty.dirty_sectors() as f64),
+                ("snap.inflight", snap.inflight() as f64),
+                ("snap.sectors_sent", snap.sectors_sent() as f64),
+            ],
+        );
+    }
 }
 
 /// Starts the periodic timeline tick: one row now, then one per sampler
@@ -2120,6 +2212,303 @@ fn begin_devirt(m: &mut Machine, sim: &mut MachineSim) {
     }
 }
 
+// ------------------------- re-virtualization --------------------------
+//
+// The reverse lifecycle (§5/elasticity): a bare-metal tenant is wound
+// back under the VMM, its post-deployment writes are streamed to the
+// storage server, and the machine is reset for the next tenant.
+//
+//   BareMetal → Revirtualization → SnapshotBack → reclaim() → Initialization
+//
+// Re-virtualization mirrors `begin_devirt` exactly: per-CPU jittered
+// VMXON + trap re-arming instead of teardown. Snapshot-back mirrors the
+// background copy: the dirty tracker plays the role of the (inverted)
+// bitmap, and `snapshot_pump` plays retriever+writer in one, streaming
+// dirty blocks over AoE writes with the same retransmit/backoff/fault
+// machinery.
+
+/// Starts re-virtualization of a bare-metal machine: re-interposes the
+/// mediator by re-arming each CPU's traps and preemption timer (with the
+/// same per-CPU jitter as teardown), un-hides the management NIC in
+/// resident mode, and — once every CPU is back under the VMM — begins
+/// the snapshot-back stream. A no-op unless the machine is in
+/// [`Phase::BareMetal`].
+pub fn start_revirt(m: &mut Machine, sim: &mut MachineSim) {
+    let Some(vmm) = m.vmm.as_mut() else { return };
+    if vmm.phase != Phase::BareMetal {
+        return;
+    }
+    vmm.phase = Phase::Revirtualization;
+    vmm.revirt_start_at = Some(sim.now());
+    // Close the bare-metal phase span so the reverse-lifecycle timeline
+    // stays contiguous: bare_metal [bm, revirt], re-virtualization
+    // [revirt, snap], snapshot-back [snap, done].
+    let bm_at = vmm.bare_metal_at.unwrap_or(sim.now());
+    m.spans
+        .record(bm_at, sim.now(), "phase", "phase.bare_metal", NO_SPAN, || {
+            "tenant on bare metal".into()
+        });
+    let vmxoff = vmm.cfg.vmxoff_after_deploy;
+    m.tracer.emit(sim.now(), "phase", "revirtualization", || {
+        format!(
+            "re-interposing ({})",
+            if vmxoff { "vmxon" } else { "resident" }
+        )
+    });
+    if !vmxoff {
+        // Resident mode hid the management NIC on the way down; the VMM
+        // needs it back before it can talk to the storage server.
+        m.hw.pci.unhide(MGMT_NIC_BDF);
+    }
+    let poll = vmm.cfg.poll_interval;
+    for i in 0..m.hw.cpus.len() {
+        let jitter = SimDuration::from_micros(7 * (i as u64 + 1));
+        sim.schedule_in(jitter, move |m: &mut Machine, sim| {
+            let Some(vmm) = m.vmm.as_mut() else { return };
+            if vmm.phase != Phase::Revirtualization {
+                return;
+            }
+            vmm.devirt
+                .revirtualize_cpu_at(sim.now(), i, &mut m.hw.cpus[i]);
+            // Back in VMX root: re-arm the mediator's trap set and the
+            // polling tick, exactly as at first boot. From here this
+            // CPU's device accesses exit into the VMM again.
+            for reg in IdeReg::ALL {
+                m.hw.cpus[i].trap_pio_range(reg.port(), reg.port());
+            }
+            m.hw.cpus[i].trap_mmio_range(ABAR, ABAR + hwsim::ahci::ABAR_SIZE - 1);
+            m.hw.cpus[i].set_preemption_timer(Some(poll));
+            if vmm.devirt.all_virtualized() {
+                let revirt_at = vmm.revirt_start_at.unwrap_or(sim.now());
+                m.spans.record(
+                    revirt_at,
+                    sim.now(),
+                    "phase",
+                    "phase.re-virtualization",
+                    NO_SPAN,
+                    || "per-CPU VMXON + trap re-arming".into(),
+                );
+                m.tracer.emit(sim.now(), "phase", "snapshot_back", || {
+                    format!("all {} cpus re-virtualized; streaming dirty blocks", i + 1)
+                });
+                begin_snapshot_back(m, sim);
+            }
+        });
+    }
+}
+
+/// Enters [`Phase::SnapshotBack`] and starts the dirty-block stream.
+fn begin_snapshot_back(m: &mut Machine, sim: &mut MachineSim) {
+    let Some(vmm) = m.vmm.as_mut() else { return };
+    vmm.phase = Phase::SnapshotBack;
+    vmm.snapshot_start_at = Some(sim.now());
+    let mut snap = SnapshotBack::new(vmm.cfg.copy_block_sectors, vmm.cfg.retriever_depth);
+    snap.set_telemetry(m.metrics.clone());
+    snap.set_spans(m.spans.clone());
+    vmm.snap = Some(snap);
+    snapshot_pump(m, sim);
+}
+
+/// The snapshot-back sender: retriever and writer in one. Claims dirty
+/// runs from the tracker (up to the in-flight window), reads them from
+/// the local disk, and streams them to the server as AoE writes through
+/// the same NIC/retransmit path as deployment. Reschedules itself after
+/// a failure back-off; completes via [`maybe_finish_snapshot`].
+fn snapshot_pump(m: &mut Machine, sim: &mut MachineSim) {
+    {
+        let Some(vmm) = m.vmm.as_mut() else { return };
+        if vmm.phase != Phase::SnapshotBack || vmm.reclaim_error.is_some() {
+            return;
+        }
+        let Some(snap) = vmm.snap.as_ref() else { return };
+        // Post-failure back-off: the sender goes quiet for the same
+        // exponential window the background retriever uses.
+        let ready = snap.send_ready_at();
+        if ready > sim.now() {
+            sim.schedule_at(ready, snapshot_pump);
+            return;
+        }
+    }
+    let mut all_frames = Vec::new();
+    loop {
+        let Some(vmm) = m.vmm.as_mut() else { return };
+        let Some(snap) = vmm.snap.as_mut() else { return };
+        let Some(range) = snap.next_send_at(sim.now(), &mut vmm.dirty) else {
+            break;
+        };
+        let parent = snap.send_span(range.lba.0);
+        // Read the dirty run from the local disk in VMM context.
+        let (_t, data) = m.hw.disk.read(range);
+        vmm.cpu_time += VMM_OP_CPU;
+        let (id, frames) = vmm.client.write_traced(sim.now(), range, &data, parent);
+        vmm.aoe_waiters.insert(id, AoeWaiter::Snapshot(range));
+        all_frames.extend(frames);
+    }
+    if !all_frames.is_empty() {
+        send_vmm_frames(m, sim, all_frames);
+        schedule_retransmit_guard(m, sim);
+    }
+    maybe_finish_snapshot(m, sim);
+}
+
+/// Closes the snapshot-back phase once the tracker is clean and no sends
+/// are in flight. Re-entrant: called after every ack and pump round.
+fn maybe_finish_snapshot(m: &mut Machine, sim: &mut MachineSim) {
+    let Some(vmm) = m.vmm.as_mut() else { return };
+    if vmm.phase != Phase::SnapshotBack
+        || vmm.snapshot_done_at.is_some()
+        || vmm.reclaim_error.is_some()
+    {
+        return;
+    }
+    let done = vmm
+        .snap
+        .as_ref()
+        .is_some_and(|s| s.complete(&vmm.dirty));
+    if !done {
+        return;
+    }
+    vmm.snapshot_done_at = Some(sim.now());
+    let snap_at = vmm.snapshot_start_at.unwrap_or(sim.now());
+    let sectors = vmm.snap.as_ref().map(|s| s.sectors_sent()).unwrap_or(0);
+    m.spans
+        .record(snap_at, sim.now(), "phase", "phase.snapshot-back", NO_SPAN, || {
+            "dirty-block stream to server".into()
+        });
+    m.tracer.emit(sim.now(), "phase", "snapshot_done", || {
+        format!("snapshot-back complete ({sectors} sectors); machine reclaimable")
+    });
+}
+
+/// Resets a reclaimed machine for its next tenant: fresh zeroed disk and
+/// deployment bitmap (seeded from the new `spec.image_seed` mirror),
+/// fresh mediators, background copy, AoE client, and guest. The CPUs
+/// stay armed from re-virtualization, so the machine lands back in
+/// [`Phase::Initialization`] ready for [`start_deployment`].
+///
+/// Fails with [`ReclaimError::SnapshotIncomplete`] unless snapshot-back
+/// finished, and re-surfaces a terminal snapshot-back failure.
+///
+/// Note the server side is *not* touched: single-machine callers point
+/// the existing server at the next image; fleet callers re-route the
+/// client's endpoints before redeploying.
+///
+/// # Panics
+///
+/// Panics on a machine without a VMM, or if `spec` changes the CPU
+/// count (reclaim re-images a machine, it does not re-build it).
+pub fn reclaim(m: &mut Machine, sim: &mut MachineSim, spec: &MachineSpec) -> Result<(), ReclaimError> {
+    let now = sim.now();
+    let vmm = m.vmm.as_mut().expect("reclaim: no VMM");
+    if let Some(e) = vmm.reclaim_error {
+        return Err(e);
+    }
+    if vmm.phase != Phase::SnapshotBack || vmm.snapshot_done_at.is_none() {
+        let inflight = vmm
+            .snap
+            .as_ref()
+            .map(|s| (s.inflight() as u64) * u64::from(vmm.cfg.copy_block_sectors))
+            .unwrap_or(0);
+        return Err(ReclaimError::SnapshotIncomplete {
+            dirty_sectors: vmm.dirty.dirty_sectors() + inflight,
+        });
+    }
+    assert_eq!(
+        m.hw.cpus.len(),
+        spec.cpus,
+        "reclaim cannot change the CPU count"
+    );
+    let cfg = vmm.cfg.clone();
+
+    // Fresh tenant-visible hardware state: a zeroed disk whose mirror is
+    // the *new* tenant image, and clean controllers.
+    let params = DiskParams {
+        capacity_sectors: spec.capacity_sectors,
+        ..DiskParams::default()
+    };
+    m.hw.disk = DiskModel::new(
+        params,
+        BlockStore::zeroed_with_mirror(spec.capacity_sectors, spec.image_seed),
+    );
+    m.hw.ide = IdeController::new();
+    m.hw.ahci = AhciController::new(1);
+
+    // Fresh deployment bitmap + persisted-bitmap home, exactly as in
+    // `Machine::bmcast`.
+    let mut bitmap = BlockBitmap::new(spec.capacity_sectors);
+    if spec.image_sectors < spec.capacity_sectors {
+        bitmap.mark_filled(BlockRange::new(
+            Lba(spec.image_sectors),
+            (spec.capacity_sectors - spec.image_sectors) as u32,
+        ));
+    }
+    let persisted = u64::from(bitmap.persisted_sectors());
+    let bitmap_region = if spec.capacity_sectors >= spec.image_sectors + persisted {
+        BlockRange::new(Lba(spec.image_sectors), persisted as u32)
+    } else {
+        let region = BlockRange::new(Lba(spec.capacity_sectors - persisted), persisted as u32);
+        bitmap.mark_filled(region);
+        region
+    };
+
+    let vmm = m.vmm.as_mut().expect("still here");
+    vmm.ide_med = IdeMediator::new(Some(bitmap_region));
+    vmm.ahci_med = AhciMediator::new(Some(bitmap_region));
+    vmm.bitmap = bitmap;
+    vmm.bitmap_region = bitmap_region;
+    vmm.bg = BackgroundCopy::new(
+        cfg.copy_block_sectors,
+        cfg.fifo_capacity,
+        cfg.retriever_depth,
+        spec.capacity_sectors,
+    );
+    vmm.client = AoeClient::new(ClientConfig {
+        mtu: cfg.mtu,
+        rto: SimDuration::from_millis(50),
+        ..ClientConfig::default()
+    });
+    vmm.devirt = DevirtSequencer::new(spec.cpus);
+    vmm.dirty = DirtyTracker::new(spec.image_sectors);
+    vmm.snap = None;
+    vmm.phase = Phase::Initialization;
+    vmm.cpu_time = SimDuration::ZERO;
+    vmm.redirect = None;
+    vmm.multiplex = None;
+    vmm.aoe_waiters.clear();
+    vmm.vmm_clb = None;
+    vmm.writer_idle = true;
+    vmm.writer_next_allowed = now;
+    vmm.consecutive_failures = 0;
+    vmm.deploy_error = None;
+    vmm.reclaim_error = None;
+    vmm.devirt_requested = false;
+    vmm.deployment_start_at = None;
+    vmm.deployment_done_at = None;
+    vmm.bare_metal_at = None;
+    vmm.revirt_start_at = None;
+    vmm.snapshot_start_at = None;
+    vmm.snapshot_done_at = None;
+    vmm.redirect_span = NO_SPAN;
+    vmm.restart_span = NO_SPAN;
+
+    // Fresh guest for the next tenant.
+    m.guest = Guest::new(spec.controller);
+
+    // Re-attach observability to the replacement components — they share
+    // the machine's existing registries, so figures keep one timeline.
+    let metrics = m.metrics.clone();
+    let tracer = m.tracer.clone();
+    m.set_telemetry(metrics, tracer);
+    let spans = m.spans.clone();
+    let sampler = m.sampler.clone();
+    m.set_flight_recorder(spans, sampler);
+
+    m.tracer.emit(now, "phase", "reclaimed", || {
+        format!("reset for new tenant image seed {:#x}", spec.image_seed)
+    });
+    Ok(())
+}
+
 /// State carried across a shutdown/reboot: the local disk (with the
 /// bitmap persisted in its reserved region) and the in-memory bitmap to
 /// validate against it.
@@ -2412,5 +2801,208 @@ mod tests {
             "bare-metal I/O must cause zero VM exits"
         );
         assert_eq!(m.guest.ios_completed, 1);
+    }
+
+    // ---------------------- reverse lifecycle -------------------------
+
+    /// A program that writes one pattern to one range and stops.
+    struct OneWrite {
+        range: BlockRange,
+        pattern: SectorData,
+    }
+
+    impl GuestProgram for OneWrite {
+        fn name(&self) -> &str {
+            "one-write"
+        }
+        fn start(&mut self, ctl: &mut GuestCtl) {
+            ctl.submit(IoRequest::write(
+                RequestId(7),
+                self.range,
+                vec![self.pattern; self.range.sectors as usize],
+            ));
+        }
+        fn on_io_complete(&mut self, _io: &CompletedIo, ctl: &mut GuestCtl) {
+            ctl.finish();
+        }
+        fn on_timer(&mut self, _t: u64, _ctl: &mut GuestCtl) {}
+    }
+
+    fn deploy_to_bare_metal(controller: ControllerKind, vmxoff: bool) -> (Machine, MachineSim) {
+        let spec = MachineSpec {
+            capacity_sectors: 1 << 13,
+            image_sectors: 1 << 12,
+            image_seed: 0x77,
+            cpus: 2,
+            mem_bytes: 1 << 30,
+            controller,
+        };
+        let mut m = Machine::bmcast(
+            &spec,
+            BmcastConfig {
+                controller,
+                vmxoff_after_deploy: vmxoff,
+                moderation: crate::config::Moderation::full_speed(),
+                ..BmcastConfig::default()
+            },
+        );
+        let mut sim = MachineSim::new();
+        start_deployment(&mut m, &mut sim);
+        sim.run_until(&mut m, SimTime::from_secs(120));
+        assert_eq!(m.phase(), Phase::BareMetal);
+        (m, sim)
+    }
+
+    #[test]
+    fn bare_metal_writes_are_dirty_tracked() {
+        for controller in [ControllerKind::Ide, ControllerKind::Ahci] {
+            let (mut m, mut sim) = deploy_to_bare_metal(controller, true);
+            let range = BlockRange::new(Lba(100), 8);
+            m.set_program(Box::new(OneWrite {
+                range,
+                pattern: SectorData(0xD1A7),
+            }));
+            start_program(&mut m, &mut sim);
+            assert!(sim.run_while(&mut m, |m| !m.guest.finished));
+            let vmm = m.vmm.as_ref().unwrap();
+            assert_eq!(vmm.dirty.dirty_sectors(), 8, "{controller:?}");
+            assert!(vmm.dirty.is_dirty(Lba(100)) && vmm.dirty.is_dirty(Lba(107)));
+            // Writes beyond the image prefix are scratch, not snapshotted.
+            assert!(!vmm.dirty.is_dirty(Lba(1 << 12)));
+        }
+    }
+
+    #[test]
+    fn revirt_re_arms_traps_and_interposes_again() {
+        for vmxoff in [true, false] {
+            let (mut m, mut sim) = deploy_to_bare_metal(ControllerKind::Ide, vmxoff);
+            start_revirt(&mut m, &mut sim);
+            sim.run_until(&mut m, sim.now() + SimDuration::from_millis(10));
+            let vmm = m.vmm.as_ref().unwrap();
+            assert_eq!(vmm.phase, Phase::SnapshotBack, "vmxoff={vmxoff}");
+            assert!(vmm.devirt.all_virtualized());
+            for cpu in &m.hw.cpus {
+                assert!(cpu.vmx_on());
+            }
+            // Nothing dirty → snapshot-back completes immediately.
+            assert!(m.snapshot_complete());
+            // Guest I/O exits into the VMM again.
+            let exits_before = m.hw.cpus[0].total_exits();
+            m.set_program(Box::new(OneRead {
+                range: BlockRange::new(Lba(10), 4),
+                got: None,
+            }));
+            start_program(&mut m, &mut sim);
+            assert!(sim.run_while(&mut m, |m| !m.guest.finished));
+            assert!(
+                m.hw.cpus[0].total_exits() > exits_before,
+                "re-virtualized I/O must exit into the VMM"
+            );
+        }
+    }
+
+    #[test]
+    fn snapshot_back_streams_dirty_blocks_to_server() {
+        for controller in [ControllerKind::Ide, ControllerKind::Ahci] {
+            let (mut m, mut sim) = deploy_to_bare_metal(controller, true);
+            let range = BlockRange::new(Lba(200), 16);
+            m.set_program(Box::new(OneWrite {
+                range,
+                pattern: SectorData(0xBEEF),
+            }));
+            start_program(&mut m, &mut sim);
+            assert!(sim.run_while(&mut m, |m| !m.guest.finished));
+            start_revirt(&mut m, &mut sim);
+            assert!(
+                sim.run_while(&mut m, |m| !m.snapshot_complete()),
+                "{controller:?}: snapshot-back should finish"
+            );
+            let vmm = m.vmm.as_ref().unwrap();
+            assert!(vmm.dirty.is_clean());
+            assert!(vmm.snap.as_ref().unwrap().sectors_sent() >= 16);
+            // The server image now holds the guest's final disk state.
+            let server = &m.net.as_ref().unwrap().server;
+            for lba in 200..216u64 {
+                assert_eq!(
+                    server.disk().store().read(Lba(lba)),
+                    SectorData(0xBEEF),
+                    "{controller:?}: sector {lba}"
+                );
+            }
+            // Untouched sectors keep the original image content.
+            assert_eq!(
+                server.disk().store().read(Lba(199)),
+                BlockStore::image_content(0x77, Lba(199))
+            );
+        }
+    }
+
+    #[test]
+    fn reclaim_requires_completed_snapshot() {
+        let (mut m, mut sim) = deploy_to_bare_metal(ControllerKind::Ide, true);
+        let spec = MachineSpec {
+            capacity_sectors: 1 << 13,
+            image_sectors: 1 << 12,
+            image_seed: 0x99,
+            cpus: 2,
+            mem_bytes: 1 << 30,
+            controller: ControllerKind::Ide,
+        };
+        // Still bare metal: no snapshot to hand over.
+        match reclaim(&mut m, &mut sim, &spec) {
+            Err(ReclaimError::SnapshotIncomplete { .. }) => {}
+            other => panic!("expected SnapshotIncomplete, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn reclaim_resets_machine_for_new_tenant() {
+        let (mut m, mut sim) = deploy_to_bare_metal(ControllerKind::Ide, true);
+        m.set_program(Box::new(OneWrite {
+            range: BlockRange::new(Lba(50), 4),
+            pattern: SectorData(0x0E1D),
+        }));
+        start_program(&mut m, &mut sim);
+        assert!(sim.run_while(&mut m, |m| !m.guest.finished));
+        start_revirt(&mut m, &mut sim);
+        assert!(sim.run_while(&mut m, |m| !m.snapshot_complete()));
+
+        // New tenant image on the (single-machine) server.
+        let spec = MachineSpec {
+            capacity_sectors: 1 << 13,
+            image_sectors: 1 << 12,
+            image_seed: 0x99,
+            cpus: 2,
+            mem_bytes: 1 << 30,
+            controller: ControllerKind::Ide,
+        };
+        let server_params = DiskParams {
+            capacity_sectors: spec.image_sectors,
+            ..DiskParams::default()
+        };
+        m.net.as_mut().unwrap().server = AoeServer::new(
+            ServerConfig::default(),
+            DiskModel::new(
+                server_params,
+                BlockStore::image(spec.image_sectors, spec.image_seed),
+            ),
+        );
+        reclaim(&mut m, &mut sim, &spec).expect("snapshot done; reclaim must succeed");
+        assert_eq!(m.phase(), Phase::Initialization);
+        assert!(!m.snapshot_complete());
+        // Old tenant's data is gone from the local disk.
+        assert_eq!(m.hw.disk.store().read(Lba(50)), SectorData(0));
+
+        // Second deployment lands the new tenant's image.
+        start_deployment(&mut m, &mut sim);
+        sim.run_until(&mut m, sim.now() + SimDuration::from_secs(120));
+        assert_eq!(m.phase(), Phase::BareMetal);
+        for lba in [0u64, 50, 1000, (1 << 12) - 1] {
+            assert_eq!(
+                m.hw.disk.store().read(Lba(lba)),
+                BlockStore::image_content(0x99, Lba(lba)),
+                "sector {lba}"
+            );
+        }
     }
 }

@@ -39,11 +39,20 @@ the host actually had the cores to run the workers (`host_cpus >= 4`)
 and a sequential reference was recorded — the wall-clock speedup at the
 p2p n=256 anchor must be at least 2x.
 
+With `--elasticity`, validates a reverse-lifecycle artifact (`reproduce
+--elasticity` writes `BENCH_elasticity.json`): every rolling-upgrade
+point must survive with zero queue drops, zero reclaim errors, and every
+machine's archive and redeployed image verified; the scale wave must
+park and restore all its members; every survivability row must survive
+its fault plan with the plan's fault class actually firing; the chaos
+double run and every engine-equivalence cell must be byte-identical.
+
 Usage: scripts/check_figures.py BENCH_reproduce.json reproduce_output.txt
        scripts/check_figures.py --faults BENCH_reproduce.json
        scripts/check_figures.py --trace TRACE_DIR
        scripts/check_figures.py --scaleout BENCH_scaleout.json
        scripts/check_figures.py --parallel BENCH_parallel.json
+       scripts/check_figures.py --elasticity BENCH_elasticity.json
 """
 
 import json
@@ -326,6 +335,110 @@ def check_parallel(bench_path):
         sys.exit(1)
 
 
+def check_elasticity(bench_path):
+    """Validate a reverse-lifecycle run (BENCH_elasticity.json)."""
+    with open(bench_path, encoding="utf-8") as f:
+        bench = json.load(f)
+    failed = False
+
+    for key in ("scale", "sim_threads", "points", "wave", "survivability",
+                "chaos", "equivalence"):
+        if key not in bench:
+            print(f"FAIL schema: top-level key '{key}' missing")
+            failed = True
+    if failed:
+        sys.exit(1)
+
+    point_keys = ("n", "batch", "survived", "boot_p50_s", "upgrade_p50_s",
+                  "upgrade_p99_s", "makespan_s", "queue_drops",
+                  "archives_verified", "images_verified", "reclaim_errors")
+    points = bench["points"]
+    if not points:
+        print("FAIL points: empty")
+        failed = True
+    for i, entry in enumerate(points):
+        p = entry.get("point", {})
+        missing = [k for k in point_keys if k not in p]
+        if missing:
+            print(f"FAIL points[{i}]: missing {missing}")
+            failed = True
+            continue
+        n = p["n"]
+        if not p["survived"]:
+            print(f"FAIL upgrade n={n}: wave stalled")
+            failed = True
+        if p["queue_drops"] != 0:
+            print(f"FAIL upgrade n={n}: {p['queue_drops']} queue drops")
+            failed = True
+        if p["reclaim_errors"] != 0:
+            print(f"FAIL upgrade n={n}: {p['reclaim_errors']} reclaim errors")
+            failed = True
+        if p["archives_verified"] != n or p["images_verified"] != n:
+            print(f"FAIL upgrade n={n}: archives {p['archives_verified']}/{n},"
+                  f" images {p['images_verified']}/{n} verified")
+            failed = True
+        if not p["upgrade_p50_s"] > 0 or p["makespan_s"] < p["upgrade_p99_s"]:
+            print(f"FAIL upgrade n={n}: implausible durations"
+                  f" (p50 {p['upgrade_p50_s']}, p99 {p['upgrade_p99_s']},"
+                  f" makespan {p['makespan_s']})")
+            failed = True
+    if not failed:
+        ns = [e["point"]["n"] for e in points]
+        print(f"ok   upgrades: all {len(points)} waves clean at n={ns}")
+
+    w = bench["wave"]
+    if (w["parked_emptied"] != w["parked"] or w["images_verified"] != w["parked"]
+            or w["queue_drops"] != 0):
+        print(f"FAIL wave: parked {w['parked']}, emptied {w['parked_emptied']},"
+              f" restored {w['images_verified']}, drops {w['queue_drops']}")
+        failed = True
+    else:
+        print(f"ok   wave: {w['parked']}/{w['n']} parked empty and restored")
+
+    plans = {r["plan"] for r in bench["survivability"]}
+    for want in ("drop", "corrupt", "stall", "chaos"):
+        if want not in plans:
+            print(f"FAIL survivability: plan '{want}' missing")
+            failed = True
+    for r in bench["survivability"]:
+        if not r["survived"] or r["reclaim_errors"] != 0:
+            print(f"FAIL survivability {r['plan']}: survived={r['survived']},"
+                  f" reclaim_errors={r['reclaim_errors']}")
+            failed = True
+        elif r["class_fired"] == 0:
+            print(f"FAIL survivability {r['plan']}: fault class never fired")
+            failed = True
+        else:
+            print(f"ok   survivability {r['plan']}: {r['class_fired']} faults,"
+                  f" {r['retransmits']} retransmits, snapshot survived")
+
+    c = bench["chaos"]
+    if (c["digest_a"] != c["digest_b"] or not c["identical"]
+            or not c["trace_identical"]):
+        print(f"FAIL chaos: {c['digest_a']} vs {c['digest_b']}"
+              f" (traces identical: {c['trace_identical']})")
+        failed = True
+    else:
+        print(f"ok   chaos: double run byte-identical ({c['digest_a']})")
+
+    cells = bench["equivalence"]
+    if not cells:
+        print("FAIL equivalence: empty matrix")
+        failed = True
+    for c in cells:
+        if c["digest_sequential"] != c["digest_parallel"] or not c["identical"]:
+            print(f"FAIL equivalence n={c['n']}:"
+                  f" sequential {c['digest_sequential']}"
+                  f" != parallel {c['digest_parallel']}")
+            failed = True
+    if cells and not failed:
+        ns = sorted({c["n"] for c in cells})
+        print(f"ok   equivalence: {len(cells)} cells identical (n {ns})")
+
+    if failed:
+        sys.exit(1)
+
+
 def main():
     if len(sys.argv) == 3 and sys.argv[1] == "--faults":
         check_faults(sys.argv[2])
@@ -338,6 +451,9 @@ def main():
         return
     if len(sys.argv) == 3 and sys.argv[1] == "--parallel":
         check_parallel(sys.argv[2])
+        return
+    if len(sys.argv) == 3 and sys.argv[1] == "--elasticity":
+        check_elasticity(sys.argv[2])
         return
     if len(sys.argv) != 3 or sys.argv[1].startswith("--"):
         sys.exit("\n".join(__doc__.strip().splitlines()[-2:]))

@@ -7,6 +7,7 @@ use bmcast_repro::bmcast::config::{BmcastConfig, ControllerKind, Moderation};
 use bmcast_repro::bmcast::deploy::Runner;
 use bmcast_repro::bmcast::machine::MachineSpec;
 use bmcast_repro::bmcast::programs::StreamProgram;
+use bmcast_repro::bmcast::snapback::{DirtyTracker, SnapshotBack};
 use bmcast_repro::hwsim::block::{BlockRange, BlockStore, Lba, SectorData};
 use bmcast_repro::hwsim::disk::{DiskModel, DiskOp, DiskParams};
 use bmcast_repro::simkit::{SimDuration, SimTime};
@@ -221,6 +222,95 @@ proptest! {
         for lba in 0..512u64 {
             prop_assert_eq!(plain.read(Lba(lba)), mirror.read(Lba(lba)));
         }
+    }
+
+    /// The dirty tracker equals a ground-truth diff model under arbitrary
+    /// write sequences — overlapping, unaligned, clipped at the image
+    /// boundary, or wholly beyond it.
+    #[test]
+    fn dirty_tracker_equals_ground_truth_diff(
+        writes in proptest::collection::vec((0u64..1100, 1u32..90), 0..60),
+    ) {
+        let image = 1024u64;
+        let mut dt = DirtyTracker::new(image);
+        let mut model = vec![false; image as usize];
+        for &(lba, sectors) in &writes {
+            dt.record(BlockRange::new(Lba(lba), sectors));
+            for l in lba..(lba + sectors as u64).min(image) {
+                model[l as usize] = true;
+            }
+        }
+        let truth = model.iter().filter(|&&d| d).count() as u64;
+        prop_assert_eq!(dt.dirty_sectors(), truth, "count equals the diff");
+        for l in 0..image {
+            prop_assert_eq!(dt.is_dirty(Lba(l)), model[l as usize], "sector {}", l);
+        }
+        // The coalesced runs partition exactly the dirty set.
+        let mut covered = vec![false; image as usize];
+        for run in dt.dirty_subranges(BlockRange::new(Lba(0), image as u32)) {
+            for l in run.iter() {
+                prop_assert!(!covered[l.0 as usize], "runs must not overlap");
+                covered[l.0 as usize] = true;
+            }
+        }
+        prop_assert_eq!(covered, model);
+    }
+
+    /// Snapshot-back converges to server == local under arbitrary dirty
+    /// sets, block grids, and periodic send failures; re-streaming an
+    /// already-sent range afterwards is idempotent.
+    #[test]
+    fn snapshot_back_converges_and_is_idempotent(
+        writes in proptest::collection::vec((0u64..1000, 1u32..50, any::<u64>()), 1..40),
+        block in prop_oneof![Just(16u32), Just(64), Just(128)],
+        fail_every in 0usize..4, // 0 = sends never fail
+    ) {
+        let image = 1024u64;
+        let mut local: Vec<SectorData> =
+            (0..image).map(|l| BlockStore::image_content(0xAB, Lba(l))).collect();
+        let mut server = local.clone();
+        let mut dt = DirtyTracker::new(image);
+        for &(lba, sectors, val) in &writes {
+            let r = BlockRange::new(Lba(lba), sectors);
+            dt.record(r);
+            for l in lba..(lba + sectors as u64).min(image) {
+                local[l as usize] = SectorData(val);
+            }
+        }
+        let dirty_total = dt.dirty_sectors();
+        let mut sb = SnapshotBack::new(block, 4);
+        let stream = |sb: &mut SnapshotBack,
+                      dt: &mut DirtyTracker,
+                      server: &mut Vec<SectorData>| {
+            let mut n = 0usize;
+            while !sb.complete(dt) {
+                let run = sb.next_send(dt).expect("dirty remains, pipeline empty");
+                n += 1;
+                if fail_every > 0 && n.is_multiple_of(fail_every + 1) {
+                    sb.send_failed(run, dt); // re-marked, re-sent later
+                    continue;
+                }
+                for l in run.iter() {
+                    server[l.0 as usize] = local[l.0 as usize];
+                }
+                sb.ack(run);
+            }
+        };
+        stream(&mut sb, &mut dt, &mut server);
+        prop_assert_eq!(&server, &local, "snapshot equals the final disk");
+        prop_assert!(sb.sectors_sent() >= dirty_total, "every dirty sector acked");
+
+        // Idempotence: re-dirty the first range (data unchanged) and
+        // stream again — the cursor wraps, the server stays equal, and
+        // only that range moves again.
+        let first = BlockRange::new(Lba(writes[0].0), writes[0].1);
+        let sent_before = sb.sectors_sent();
+        dt.record(first);
+        let remarked = dt.dirty_sectors();
+        stream(&mut sb, &mut dt, &mut server);
+        prop_assert_eq!(&server, &local, "re-send is a no-op on the server");
+        prop_assert!(dt.is_clean());
+        prop_assert!(sb.sectors_sent() >= sent_before + remarked);
     }
 
     /// Disk service times are positive and deterministic given the same
