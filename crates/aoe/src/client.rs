@@ -189,6 +189,10 @@ pub struct AoeClient {
     completions: u64,
     stale_replies: u64,
     decode_errors: u64,
+    /// Reads issued per target shelf, in shelf order. The straggler
+    /// attribution report derives each machine's peer-vs-origin read mix
+    /// from this (peer shelves live in a distinct address range).
+    shelf_reads: BTreeMap<u16, u64>,
     /// Read endpoints in registration order: the primary (configured
     /// shelf/slot) first, then replicas and runtime-registered peers.
     endpoints: Vec<(u16, u8)>,
@@ -224,6 +228,7 @@ impl AoeClient {
             completions: 0,
             stale_replies: 0,
             decode_errors: 0,
+            shelf_reads: BTreeMap::new(),
             busy_at: BTreeMap::new(),
             sprint: false,
             write_target: None,
@@ -277,6 +282,13 @@ impl AoeClient {
     /// version, checksum mismatch — i.e. corruption caught on the wire).
     pub fn decode_errors(&self) -> u64 {
         self.decode_errors
+    }
+
+    /// Reads issued per target shelf, in shelf order. Counts initial
+    /// issues only (retransmissions go back to the same endpoint and are
+    /// counted separately in [`AoeClient::retransmits`]).
+    pub fn reads_by_shelf(&self) -> &BTreeMap<u16, u64> {
+        &self.shelf_reads
     }
 
     /// Last instant a reply from *any* endpoint carried the server-busy
@@ -434,6 +446,7 @@ impl AoeClient {
         self.metrics.inc("aoe.client.reads");
         let id = self.alloc_id();
         let (shelf, slot) = self.endpoint_for(range);
+        *self.shelf_reads.entry(shelf).or_insert(0) += 1;
         let sprint = self.sprint;
         let mut pdu = AoePdu::read_request(shelf, slot, Tag::new(id, 0), range);
         pdu.sprint = sprint;
@@ -1024,6 +1037,23 @@ mod tests {
         assert_eq!(c.read_endpoints().len(), 4);
         let (_, frames) = c.read(SimTime::ZERO, BlockRange::new(Lba(24), 1));
         assert_eq!(AoePdu::decode(&frames[0]).unwrap().shelf, 9);
+    }
+
+    #[test]
+    fn shelf_read_tally_tracks_issue_endpoints() {
+        let mut c = AoeClient::new(ClientConfig {
+            stripe_sectors: 8,
+            ..ClientConfig::default()
+        });
+        c.set_read_endpoints(vec![(0, 0), (1, 0)]);
+        for lba in [0u64, 8, 16, 24] {
+            c.read(SimTime::ZERO, BlockRange::new(Lba(lba), 1));
+        }
+        assert_eq!(c.reads_by_shelf().get(&0), Some(&2));
+        assert_eq!(c.reads_by_shelf().get(&1), Some(&2));
+        // Writes are not reads: the tally must not move.
+        c.write(SimTime::ZERO, BlockRange::new(Lba(0), 1), &[SectorData(1)]);
+        assert_eq!(c.reads_by_shelf().values().sum::<u64>(), 4);
     }
 
     #[test]

@@ -10,12 +10,13 @@
 //! conservative parallel engine — progress lines and results are
 //! identical either way, only host wall-clock changes.
 
+use bmcast::deploy::FlightRecorderConfig;
 use bmcast::fleet::{Fleet, FleetConfig};
 use bmcast::machine::MachineSpec;
 use bmcast::programs::BootProgram;
-use bmcast_bench::ext_scaleout::{topology_fleet_cfg, Topology};
-use guestsim::os::BootProfile;
-use simkit::SimTime;
+use bmcast_bench::ext_scaleout::{scaleout_boot_profile, topology_fleet_cfg, Topology};
+use bmcast_bench::obs::straggler_text;
+use simkit::{Histogram, SimTime};
 
 fn main() {
     let mut args = std::env::args().skip(1);
@@ -45,7 +46,8 @@ fn main() {
     let image_sectors = cfg.spec.image_sectors;
     let mut fleet = Fleet::new(cfg);
     fleet.enable_telemetry();
-    let profile = BootProfile::custom("scaleout-boot", 7, 400, 24 << 20, 2000, 24 << 20);
+    fleet.enable_flight_recorder(FlightRecorderConfig::default());
+    let profile = scaleout_boot_profile();
     fleet.start(move |_| Box::new(BootProgram::new(profile.clone())));
 
     let mut at = 0u64;
@@ -86,24 +88,27 @@ fn main() {
         );
         match done {
             Ok(startups) => {
-                let mut secs: Vec<f64> = startups.iter().map(|t| t.as_secs_f64()).collect();
-                secs.sort_by(|a, b| a.partial_cmp(b).unwrap());
-                let mut durs: Vec<f64> = fleet
-                    .startup_durations()
-                    .iter()
-                    .map(|d| d.expect("all booted").as_secs_f64())
-                    .collect();
-                durs.sort_by(|a, b| a.partial_cmp(b).unwrap());
-                let pct = |v: &[f64], p: f64| v[((v.len() as f64 * p).ceil() as usize).min(v.len()) - 1];
+                let mut finishes = Histogram::new();
+                for t in &startups {
+                    finishes.record(t.as_secs_f64());
+                }
+                let mut durs = Histogram::new();
+                for d in fleet.startup_durations() {
+                    durs.record(d.expect("all booted").as_secs_f64());
+                }
                 println!(
                     "ALL BOOTED: finish min {:.2}s max {:.2}s | per-machine startup \
                      p50 {:.2}s p99 {:.2}s max {:.2}s",
-                    secs[0],
-                    secs[secs.len() - 1],
-                    pct(&durs, 0.50),
-                    pct(&durs, 0.99),
-                    durs[durs.len() - 1],
+                    finishes.min(),
+                    finishes.max(),
+                    durs.percentile(50.0),
+                    durs.percentile(99.0),
+                    durs.max(),
                 );
+                if let Some(report) = fleet.straggler_attribution() {
+                    println!();
+                    print!("{}", straggler_text(&report));
+                }
                 break;
             }
             // A slice-limit stall is just "not done yet"; a wedged

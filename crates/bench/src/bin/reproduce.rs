@@ -4,7 +4,8 @@
 //! ```text
 //! reproduce [--quick] [--metrics] [--jobs N] [--sim-threads N]
 //!           [--faults PLAN|all] [--scaleout] [--elasticity]
-//!           [--trace-out DIR] [--trace-ring N] [fig04 fig05 ... | all]
+//!           [--fleet-obs DIR] [--trace-out DIR] [--trace-ring N]
+//!           [fig04 fig05 ... | all]
 //! ```
 //!
 //! `--scaleout` runs the *measured* fleet scale-out figure: one
@@ -24,6 +25,17 @@
 //! `BENCH_elasticity.json`; with `--trace-out <dir>` the first chaos
 //! wave's flight-recorder trace lands in `<dir>/elasticity_trace.json`.
 //! Exits non-zero on engine divergence or a chaos determinism break.
+//!
+//! `--fleet-obs <dir>` adds one fully-instrumented observability fleet
+//! to each of `--scaleout` and `--elasticity`: telemetry registries,
+//! flight recorder, and the SLO watchdogs all on, reduced to the
+//! artifact directories `<dir>/scaleout/` and `<dir>/elasticity/`
+//! (fleet snapshot, alert timeline, straggler attribution report,
+//! Perfetto trace, digests — see `bmcast_bench::obs`). The scaleout
+//! obs fleet is the figure's n=64 peer-to-peer point; the elasticity
+//! one runs the same fleet under the chaos fault plan. Artifacts are
+//! byte-identical across engines and same-seed runs
+//! (`check_figures.py --obs` validates a directory).
 //!
 //! `--sim-threads N` runs each fleet on the conservative parallel
 //! engine with N simulator workers (default 1 = the sequential
@@ -135,6 +147,41 @@ fn write_bench_json(
     std::fs::write(path, out)
 }
 
+/// Runs one fully-instrumented observability fleet (the scale-out
+/// figure's n=64 p2p point; `chaos` adds the chaos fault plan for the
+/// elasticity flavor) and writes its artifact directory under
+/// `<dir>/<kind>/`.
+fn write_fleet_obs(dir: &str, kind: &str, sim_threads: usize, chaos: bool) {
+    eprintln!(
+        "[reproduce] collecting {kind} observability fleet \
+         (n={}, p2p{}, {sim_threads} sim threads) ...",
+        obs::OBS_FLEET_N,
+        if chaos { ", chaos faults" } else { "" },
+    );
+    let started = Instant::now();
+    let mut cfg = obs::obs_fleet_cfg(ext_scaleout::Topology::PeerToPeer);
+    cfg.sim_threads = sim_threads;
+    if chaos {
+        cfg.faults = simkit::fault::FaultPlan::preset("chaos", 7);
+    }
+    let (_, profile) = ext_scaleout::fleet_geometry();
+    let o = obs::collect_fleet_obs(cfg, &profile);
+    let out = std::path::Path::new(dir).join(kind);
+    match o.write(&out) {
+        Ok(()) => eprintln!(
+            "[reproduce] wrote {} ({} booted, {} alert raises) in {:.1}s wall",
+            out.display(),
+            o.booted,
+            o.raises(),
+            started.elapsed().as_secs_f64(),
+        ),
+        Err(e) => {
+            eprintln!("[reproduce] failed to write {}: {e}", out.display());
+            std::process::exit(1);
+        }
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let scale = if args.iter().any(|a| a == "--quick") {
@@ -148,12 +195,14 @@ fn main() {
     let mut wanted: Vec<&str> = Vec::new();
     let mut faults_sel: Option<&str> = None;
     let mut trace_out: Option<&str> = None;
+    let mut fleet_obs: Option<&str> = None;
     let mut trace_ring: Option<usize> = None;
     let mut sim_threads = 1usize;
     let mut take_jobs = false;
     let mut take_sim_threads = false;
     let mut take_faults = false;
     let mut take_trace_out = false;
+    let mut take_fleet_obs = false;
     let mut take_trace_ring = false;
     for a in &args {
         if take_jobs {
@@ -168,6 +217,9 @@ fn main() {
         } else if take_trace_out {
             trace_out = Some(a.as_str());
             take_trace_out = false;
+        } else if take_fleet_obs {
+            fleet_obs = Some(a.as_str());
+            take_fleet_obs = false;
         } else if take_trace_ring {
             trace_ring = Some(a.parse().expect("--trace-ring takes a positive integer"));
             take_trace_ring = false;
@@ -179,6 +231,8 @@ fn main() {
             take_faults = true;
         } else if a == "--trace-out" {
             take_trace_out = true;
+        } else if a == "--fleet-obs" {
+            take_fleet_obs = true;
         } else if a == "--trace-ring" {
             take_trace_ring = true;
         } else if let Some(n) = a.strip_prefix("--jobs=") {
@@ -189,6 +243,8 @@ fn main() {
             faults_sel = Some(p);
         } else if let Some(p) = a.strip_prefix("--trace-out=") {
             trace_out = Some(p);
+        } else if let Some(p) = a.strip_prefix("--fleet-obs=") {
+            fleet_obs = Some(p);
         } else if let Some(n) = a.strip_prefix("--trace-ring=") {
             trace_ring = Some(n.parse().expect("--trace-ring takes a positive integer"));
         } else if !a.starts_with("--") {
@@ -200,6 +256,7 @@ fn main() {
     assert!(!take_sim_threads, "--sim-threads takes a positive integer");
     assert!(!take_faults, "--faults takes a plan name or 'all'");
     assert!(!take_trace_out, "--trace-out takes a directory path");
+    assert!(!take_fleet_obs, "--fleet-obs takes a directory path");
     assert!(!take_trace_ring, "--trace-ring takes a positive integer");
     assert!(trace_ring != Some(0), "--trace-ring takes a positive integer");
 
@@ -249,6 +306,9 @@ fn main() {
                 std::process::exit(1);
             }
         }
+        if let Some(dir) = fleet_obs {
+            write_fleet_obs(dir, "scaleout", sim_threads, false);
+        }
         if wanted.is_empty()
             && faults_sel.is_none()
             && trace_out.is_none()
@@ -291,6 +351,9 @@ fn main() {
                 eprintln!("[reproduce] failed to write {json_path}: {e}");
                 std::process::exit(1);
             }
+        }
+        if let Some(dir) = fleet_obs {
+            write_fleet_obs(dir, "elasticity", sim_threads, true);
         }
         if let Some(dir) = trace_out {
             let path = std::path::Path::new(dir).join("elasticity_trace.json");

@@ -262,7 +262,7 @@ pub struct ScaleoutPoint {
 /// let the lone machine's copier compete with its own boot reads — a
 /// contention fleets shed via the busy hint, which made small fleets
 /// boot *faster* than one machine and hid the fabric's n-scaling.
-fn scaleout_boot_profile() -> BootProfile {
+pub fn scaleout_boot_profile() -> BootProfile {
     BootProfile::custom("scaleout-boot", 7, 400, 24 << 20, 2000, 24 << 20)
 }
 
@@ -271,7 +271,7 @@ fn scaleout_boot_profile() -> BootProfile {
 /// tiny images the n = 2 cache savings outweigh the fabric contention
 /// and the curve inverts below n = 1; same-spec points keep every
 /// quick value bit-identical to the paper run's prefix.
-fn fleet_geometry() -> (MachineSpec, BootProfile) {
+pub fn fleet_geometry() -> (MachineSpec, BootProfile) {
     let spec = MachineSpec {
         capacity_sectors: (1u64 << 28) / 512,
         image_sectors: (1u64 << 27) / 512,

@@ -25,6 +25,7 @@ pub mod fig12_ib_tput;
 pub mod fig13_ib_lat;
 pub mod fig14_moderation;
 pub mod flight;
+pub mod obs;
 pub mod telemetry;
 
 use std::fmt;

@@ -121,8 +121,10 @@ use hwsim::block::BlockStore;
 use hwsim::disk::{DiskModel, DiskParams};
 use hwsim::eth::{Frame, Link, MacAddr, Switch};
 use simkit::fault::{FaultCounters, FaultInjector, FaultPlan, LinkVerdict, ServerHealth};
+use simkit::slo::{Alert, SloConfig, SloEngine, SloInput};
 use simkit::{
-    Metrics, MetricsSnapshot, Prng, SampleRow, Sampler, SimDuration, SimTime, Span, Spans, Tracer,
+    LogHistogram, Metrics, MetricsSnapshot, Prng, SampleRow, Sampler, SimDuration, SimTime, Span,
+    Spans, Tracer,
 };
 use std::cmp::Reverse;
 use std::collections::{BTreeMap, BinaryHeap, VecDeque};
@@ -614,6 +616,61 @@ impl std::fmt::Display for FleetStall {
 
 impl std::error::Error for FleetStall {}
 
+/// One machine's boot-time decomposition in the straggler report
+/// ([`Fleet::straggler_attribution`]). Every field is derived from that
+/// member's own registry, span store, and client state in fixed member
+/// order, so rows are deterministic and engine-independent.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StragglerRow {
+    /// Member index.
+    pub machine: usize,
+    /// Elapsed boot time (finish minus staggered start), seconds.
+    pub boot_s: f64,
+    /// `phase.initialization` span total, seconds.
+    pub init_s: f64,
+    /// `phase.deployment` span total, seconds (0 while still open).
+    pub deploy_s: f64,
+    /// `phase.devirtualization` span total, seconds.
+    pub devirt_s: f64,
+    /// Total AoE round-trip time (`aoe.rtt` spans), seconds.
+    pub rtt_total_s: f64,
+    /// Mean AoE round-trip, microseconds.
+    pub rtt_mean_us: f64,
+    /// Reads issued.
+    pub reads: u64,
+    /// Frames retransmitted.
+    pub retransmits: u64,
+    /// Server-busy hints received.
+    pub busy_hints: u64,
+    /// Retry-budget holds granted under busy grace.
+    pub budget_holds: u64,
+    /// Estimated elastic backoff spent yielding to busy servers,
+    /// seconds (busy hints × the moderation backoff window).
+    pub busy_backoff_s: f64,
+    /// Estimated queueing excess: round-trip time beyond what this
+    /// member's reads would cost at the fleet-median per-read RTT,
+    /// seconds. The DRR wait and egress-backlog share of a straggler's
+    /// boot shows up here.
+    pub queue_excess_s: f64,
+    /// Reads steered to rack-local serving peers.
+    pub peer_reads: u64,
+    /// Reads steered to origin replicas.
+    pub origin_reads: u64,
+}
+
+/// The straggler attribution report: the slowest decile of booted
+/// members decomposed and diffed against the fleet-median member.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StragglerReport {
+    /// Slowest-decile rows, slowest boot first.
+    pub stragglers: Vec<StragglerRow>,
+    /// The member at the median boot time — the baseline the straggler
+    /// rows are diffed against.
+    pub median: StragglerRow,
+    /// Members booted (the population the decile was drawn from).
+    pub booted: usize,
+}
+
 /// Per-machine guest-program factory handed to [`Fleet::start`].
 type ProgramFactory = Box<dyn FnMut(usize) -> Box<dyn GuestProgram>>;
 
@@ -709,7 +766,18 @@ pub struct Fleet {
     last_sched_start: SimTime,
     /// Whether the flight recorder was armed at [`Fleet::start`].
     record: bool,
-    metrics: Metrics,
+    /// Per-member metrics registries, index-aligned (empty unless
+    /// [`Fleet::enable_telemetry`] ran): each member owns its registry
+    /// so the fleet can both aggregate ([`Fleet::metrics_snapshot`])
+    /// and attribute ([`Fleet::fleet_snapshot`]'s `machine.{i}.*`
+    /// namespaces and the straggler report).
+    member_metrics: Vec<Metrics>,
+    /// Fabric-side registry: server nodes and the fault injector.
+    fabric_metrics: Metrics,
+    /// Shared trace ring (member events plus SLO alert edges).
+    fleet_tracer: Tracer,
+    /// Sim-time SLO watchdogs, evaluated on the fleet sampler tick.
+    slo: Option<SloEngine>,
     /// Per-machine flight recorders, when enabled: `(spans, sampler)`.
     recorders: Vec<(Spans, Sampler)>,
     /// Server-side spans (fleet process in the exported trace).
@@ -854,30 +922,39 @@ impl Fleet {
             admitted: 0,
             last_sched_start: SimTime::ZERO,
             record: false,
-            metrics: Metrics::disabled(),
+            member_metrics: Vec::new(),
+            fabric_metrics: Metrics::disabled(),
+            fleet_tracer: Tracer::disabled(),
+            slo: None,
             recorders: Vec::new(),
             server_spans: Spans::disabled(),
             fleet_sampler: Sampler::disabled(),
         }
     }
 
-    /// Attaches one shared metrics registry and tracer to every member,
-    /// the servers, and the fault injector, so a single snapshot holds
-    /// the aggregate fleet counters (`server.cache.*`, `server.queue.*`,
-    /// `machine.frames_tx`, ...). Call before [`Fleet::start`].
+    /// Attaches a metrics registry to every member (its own), the
+    /// servers and fault injector (a shared fabric registry), and one
+    /// shared tracer. [`Fleet::metrics_snapshot`] still folds everything
+    /// into one aggregate (`server.cache.*`, `server.queue.*`,
+    /// `machine.frames_tx`, ...), while [`Fleet::fleet_snapshot`] keeps
+    /// the per-member attribution. Call before [`Fleet::start`].
     pub fn enable_telemetry(&mut self) {
-        let metrics = Metrics::enabled();
         let tracer = Tracer::enabled(4096);
+        self.member_metrics.clear();
         for (m, _) in &mut self.machines {
+            let metrics = Metrics::enabled();
             m.set_telemetry(metrics.clone(), tracer.clone());
+            self.member_metrics.push(metrics);
         }
+        let fabric = Metrics::enabled();
         for node in &mut self.nodes {
-            node.server.set_telemetry(metrics.clone());
+            node.server.set_telemetry(fabric.clone());
         }
         if let Some(inj) = self.faults.as_mut() {
-            inj.set_metrics(metrics.clone());
+            inj.set_metrics(fabric.clone());
         }
-        self.metrics = metrics;
+        self.fabric_metrics = fabric;
+        self.fleet_tracer = tracer;
     }
 
     /// Attaches a flight recorder to every member (its own span store
@@ -898,6 +975,39 @@ impl Fleet {
             node.server.set_spans(self.server_spans.clone());
         }
         self.fleet_sampler = Sampler::enabled(rec.sample_interval);
+    }
+
+    /// Arms the SLO watchdogs. Rules are evaluated on the fleet sampler
+    /// tick, so the flight recorder must already be enabled; alert
+    /// edges land in the shared trace ring (when telemetry is enabled)
+    /// and in [`Fleet::alerts`]. Call before [`Fleet::start`].
+    ///
+    /// Evaluation is lookahead-safe on the parallel engine: the sampler
+    /// tick is a fleet-timeline event, and a parallel round's horizon
+    /// never crosses the earliest fleet event, so every member event
+    /// strictly before the tick has executed — the rules read the same
+    /// member state on both engines.
+    ///
+    /// # Panics
+    ///
+    /// Panics if [`Fleet::enable_flight_recorder`] has not run.
+    pub fn enable_slo(&mut self, cfg: SloConfig) {
+        assert!(
+            self.fleet_sampler.is_enabled(),
+            "enable_flight_recorder first: SLO rules evaluate on the fleet sampler tick"
+        );
+        self.slo = Some(SloEngine::new(cfg));
+    }
+
+    /// All SLO alert edges fired so far, in firing order (empty unless
+    /// [`Fleet::enable_slo`] ran).
+    pub fn alerts(&self) -> &[Alert] {
+        self.slo.as_ref().map(|s| s.alerts()).unwrap_or(&[])
+    }
+
+    /// The SLO engine, if armed.
+    pub fn slo(&self) -> Option<&SloEngine> {
+        self.slo.as_ref()
     }
 
     /// Arms every member: installs its guest program (from the factory,
@@ -1485,8 +1595,8 @@ impl Fleet {
             },
             disk,
         );
-        if self.metrics.is_enabled() {
-            server.set_telemetry(self.metrics.clone());
+        if self.fabric_metrics.is_enabled() {
+            server.set_telemetry(self.fabric_metrics.clone());
         }
         if self.server_spans.is_enabled() {
             server.set_spans(self.server_spans.clone());
@@ -2098,7 +2208,27 @@ impl Fleet {
         }
     }
 
-    fn record_fleet_sample(&self, now: SimTime) {
+    /// Projected p99 boot time in seconds: nearest-rank p99 over every
+    /// admitted member's boot duration — final for booted members, the
+    /// running elapsed time (a lower bound on the final duration) for
+    /// members still booting. Deterministic, and monotone enough for
+    /// the boot-budget watchdog to fire while the run is still going.
+    fn projected_p99_s(&self, now: SimTime) -> f64 {
+        let mut proj: Vec<f64> = (0..self.admitted.min(self.machines.len()))
+            .map(|i| {
+                let done = self.startup[i].unwrap_or(now);
+                done.saturating_duration_since(self.start_at[i]).as_secs_f64()
+            })
+            .collect();
+        if proj.is_empty() {
+            return 0.0;
+        }
+        proj.sort_by(|a, b| a.partial_cmp(b).expect("durations are finite"));
+        let n = proj.len();
+        proj[(((0.99 * n as f64).ceil() as usize).clamp(1, n)) - 1]
+    }
+
+    fn record_fleet_sample(&mut self, now: SimTime) {
         if !self.fleet_sampler.is_enabled() {
             return;
         }
@@ -2115,6 +2245,44 @@ impl Fleet {
         } else {
             hits as f64 / (hits + misses) as f64
         };
+        // SLO watchdogs: evaluated here, on the fleet timeline, so both
+        // engines see identical member state (see [`Fleet::enable_slo`]).
+        let mut active_alerts = 0.0;
+        let projected_p99_s = self.projected_p99_s(now);
+        if let Some(slo) = self.slo.as_mut() {
+            let retransmits_total = self
+                .machines
+                .iter()
+                .map(|(m, _)| m.vmm.as_ref().map(|v| v.client.retransmits()).unwrap_or(0))
+                .sum::<u64>();
+            let fill_progress = self
+                .machines
+                .iter()
+                .map(|(m, _)| m.deployment_progress())
+                .sum::<f64>()
+                + self.booted_n as f64;
+            let input = SloInput {
+                at: now,
+                retransmits_total,
+                cache_hits: hits,
+                cache_misses: misses,
+                fill_progress,
+                machines_booted: self.booted_n as u64,
+                machines_total: self.machines.len() as u64,
+                projected_p99_s,
+            };
+            let edges = slo.evaluate(&input);
+            active_alerts = slo.active_count() as f64;
+            for edge in &edges {
+                let detail = format!(
+                    "{} {}",
+                    if edge.raised { "RAISE" } else { "clear" },
+                    edge.detail
+                );
+                self.fleet_tracer
+                    .emit(now, "fleet.slo", edge.rule.name(), || detail.clone());
+            }
+        }
         self.fleet_sampler.record_row(
             now,
             vec![
@@ -2146,6 +2314,7 @@ impl Fleet {
                 ("fleet.machines_booted", self.booted_count() as f64),
                 ("fleet.min_fill_pct", min_fill * 100.0),
                 ("fleet.peers_active", self.peers_active() as f64),
+                ("fleet.alerts", active_alerts),
             ],
         );
     }
@@ -2266,18 +2435,180 @@ impl Fleet {
     }
 
     /// Aggregate metrics snapshot (`None` unless
-    /// [`Fleet::enable_telemetry`] ran). Server cache and queue gauges
-    /// are included — `server.cache.{hits,misses,evictions}`,
+    /// [`Fleet::enable_telemetry`] ran): the fabric registry merged
+    /// with every member registry in member order. Server cache and
+    /// queue gauges are included — `server.cache.{hits,misses,evictions}`,
     /// `server.queue.{total,max_client}` — so the snapshot alone tells
     /// the scale-out story.
     pub fn metrics_snapshot(&self) -> Option<MetricsSnapshot> {
-        self.metrics.snapshot()
+        let mut snap = self.fabric_metrics.snapshot()?;
+        for m in &self.member_metrics {
+            if let Some(ms) = m.snapshot() {
+                snap.merge(&ms);
+            }
+        }
+        Some(snap)
+    }
+
+    /// One namespaced fleet-wide snapshot (`None` unless
+    /// [`Fleet::enable_telemetry`] ran), folded in canonical member
+    /// order: fabric-side series keep their plain names, each member's
+    /// registry is preserved under `machine.{i}.`, the member aggregate
+    /// rides under `fleet.`, and computed fleet state (booted count,
+    /// active peers, the boot-time distribution in µs) is added as
+    /// `fleet.machines_booted` / `fleet.peers_active` /
+    /// `fleet.startup_us`. Merge order is the fixed member index order,
+    /// never completion order, so sequential and parallel engines — and
+    /// any two same-seed runs — produce byte-identical JSON.
+    pub fn fleet_snapshot(&self) -> Option<MetricsSnapshot> {
+        let mut out = self.fabric_metrics.snapshot()?;
+        let mut aggregate = MetricsSnapshot::default();
+        for (i, m) in self.member_metrics.iter().enumerate() {
+            if let Some(ms) = m.snapshot() {
+                out.merge(&ms.namespaced(&format!("machine.{i}.")));
+                aggregate.merge(&ms);
+            }
+        }
+        out.merge(&aggregate.namespaced("fleet."));
+        let mut startup_us = LogHistogram::new();
+        for d in self.startup_durations().into_iter().flatten() {
+            startup_us.observe(d.as_nanos() / 1_000);
+        }
+        out.histograms
+            .insert("fleet.startup_us".into(), startup_us);
+        out.gauges
+            .insert("fleet.machines_booted".into(), self.booted_count() as i64);
+        out.gauges
+            .insert("fleet.peers_active".into(), self.peers_active() as i64);
+        Some(out)
+    }
+
+    /// One member's attribution row. `median_rtt_mean_us` is the
+    /// fleet-median per-read round trip the queueing-excess estimate is
+    /// normalized against.
+    fn attribution_row(&self, i: usize, median_rtt_mean_us: f64) -> StragglerRow {
+        let boot_s = self.startup[i]
+            .map(|f| f.saturating_duration_since(self.start_at[i]).as_secs_f64())
+            .unwrap_or(0.0);
+        let kinds = self.recorders[i].0.kind_histograms();
+        let kind = |name: &str| {
+            kinds
+                .iter()
+                .find(|(k, _)| *k == name)
+                .map(|(_, h)| h.clone())
+                .unwrap_or_default()
+        };
+        let rtt = kind("aoe.rtt");
+        let rtt_total_s = rtt.sum() as f64 / 1e6;
+        let snap = self.member_metrics[i].snapshot().unwrap_or_default();
+        let reads = snap.counter("aoe.client.reads");
+        let busy_hints = snap.counter("aoe.client.busy_hints");
+        let expected_rtt_s = reads as f64 * median_rtt_mean_us / 1e6;
+        let (mut peer_reads, mut origin_reads) = (0u64, 0u64);
+        if let Some(vmm) = self.machines[i].0.vmm.as_ref() {
+            for (shelf, n) in vmm.client.reads_by_shelf() {
+                if *shelf >= PEER_SHELF_BASE {
+                    peer_reads += n;
+                } else {
+                    origin_reads += n;
+                }
+            }
+        }
+        // The initialization span starts at global ZERO; subtract the
+        // member's admission offset so init measures time after its
+        // own power-on, not the staggered arrival wait.
+        let start_offset_s = self.start_at[i].as_secs_f64();
+        StragglerRow {
+            machine: i,
+            boot_s,
+            init_s: (kind("phase.initialization").sum() as f64 / 1e6 - start_offset_s).max(0.0),
+            deploy_s: kind("phase.deployment").sum() as f64 / 1e6,
+            devirt_s: kind("phase.devirtualization").sum() as f64 / 1e6,
+            rtt_total_s,
+            rtt_mean_us: rtt.mean(),
+            reads,
+            retransmits: snap.counter("aoe.client.retransmits"),
+            busy_hints,
+            budget_holds: snap.counter("aoe.client.budget_holds"),
+            busy_backoff_s: busy_hints as f64
+                * self
+                    .cfg
+                    .machine_cfg
+                    .moderation
+                    .server_busy_backoff
+                    .as_secs_f64(),
+            queue_excess_s: (rtt_total_s - expected_rtt_s).max(0.0),
+            peer_reads,
+            origin_reads,
+        }
+    }
+
+    /// The straggler attribution report: decomposes the slowest decile
+    /// of booted members' boot times into phase spans, AoE round-trip
+    /// and queueing shares, retransmit and busy-backoff costs, and the
+    /// peer-vs-origin read mix, with the fleet-median member as the
+    /// baseline. `None` unless both [`Fleet::enable_telemetry`] and
+    /// [`Fleet::enable_flight_recorder`] ran, or before any member
+    /// boots.
+    pub fn straggler_attribution(&self) -> Option<StragglerReport> {
+        if self.member_metrics.is_empty() || self.recorders.is_empty() {
+            return None;
+        }
+        // Booted members, slowest elapsed boot first, ties by index —
+        // a total order, so the decile cut is deterministic.
+        let mut booted: Vec<(usize, f64)> = self
+            .startup_durations()
+            .into_iter()
+            .enumerate()
+            .filter_map(|(i, d)| d.map(|d| (i, d.as_secs_f64())))
+            .collect();
+        if booted.is_empty() {
+            return None;
+        }
+        booted.sort_by(|a, b| {
+            b.1.partial_cmp(&a.1)
+                .expect("durations are finite")
+                .then(a.0.cmp(&b.0))
+        });
+        // Fleet-median per-read RTT, for the queueing-excess baseline.
+        let mut rtt_means: Vec<f64> = booted
+            .iter()
+            .map(|&(i, _)| {
+                self.recorders[i]
+                    .0
+                    .kind_histograms()
+                    .iter()
+                    .find(|(k, _)| *k == "aoe.rtt")
+                    .map(|(_, h)| h.mean())
+                    .unwrap_or(0.0)
+            })
+            .collect();
+        rtt_means.sort_by(|a, b| a.partial_cmp(b).expect("means are finite"));
+        let median_rtt_mean_us = rtt_means[rtt_means.len() / 2];
+
+        let decile = booted.len().div_ceil(10);
+        let stragglers = booted[..decile]
+            .iter()
+            .map(|&(i, _)| self.attribution_row(i, median_rtt_mean_us))
+            .collect();
+        let median_member = booted[booted.len() / 2].0;
+        Some(StragglerReport {
+            stragglers,
+            median: self.attribution_row(median_member, median_rtt_mean_us),
+            booted: booted.len(),
+        })
     }
 
     /// The fleet-level timeline sampler (enabled by
     /// [`Fleet::enable_flight_recorder`]).
     pub fn fleet_sampler(&self) -> &Sampler {
         &self.fleet_sampler
+    }
+
+    /// The shared trace ring (alert edges land here; enabled by
+    /// [`Fleet::enable_telemetry`]).
+    pub fn tracer(&self) -> &Tracer {
+        &self.fleet_tracer
     }
 
     /// Per-machine `(spans, sampler)` recorders (empty unless
@@ -3007,6 +3338,158 @@ mod tests {
         assert_holds_image(&fleet, 0, 0xB002);
     }
 
+    /// Full-obs run: telemetry + flight recorder + SLO watchdogs, with
+    /// `threads` workers. Returns the three obs artifacts the
+    /// acceptance criterion compares byte-for-byte.
+    fn obs_run(mut cfg: FleetConfig, threads: usize) -> (String, Vec<Alert>, StragglerReport) {
+        cfg.sim_threads = threads;
+        let mut fleet = Fleet::new(cfg);
+        fleet.enable_telemetry();
+        fleet.enable_flight_recorder(FlightRecorderConfig::default());
+        fleet.enable_slo(SloConfig::default());
+        fleet.start(|_| Box::new(BootProgram::new(BootProfile::tiny(7))));
+        fleet
+            .run_to_all_booted(SimTime::from_secs(3600))
+            .expect("fleet boots");
+        (
+            fleet.fleet_snapshot().expect("telemetry on").to_json(),
+            fleet.alerts().to_vec(),
+            fleet.straggler_attribution().expect("recorders on"),
+        )
+    }
+
+    #[test]
+    fn fleet_obs_artifacts_are_engine_and_chaos_identical() {
+        let mut cfg = tiny_cfg(4);
+        cfg.faults = FaultPlan::preset("chaos", 7);
+        let (snap_seq, alerts_seq, report_seq) = obs_run(cfg.clone(), 1);
+        let (snap_par, alerts_par, report_par) = obs_run(cfg.clone(), 4);
+        let (snap_rerun, alerts_rerun, report_rerun) = obs_run(cfg, 1);
+        assert_eq!(snap_seq, snap_par, "fleet snapshot diverged across engines");
+        assert_eq!(snap_seq, snap_rerun, "fleet snapshot diverged across runs");
+        assert_eq!(alerts_seq, alerts_par, "alert stream diverged across engines");
+        assert_eq!(alerts_seq, alerts_rerun, "alert stream diverged across runs");
+        assert_eq!(report_seq, report_par, "straggler report diverged across engines");
+        assert_eq!(report_seq, report_rerun, "straggler report diverged across runs");
+    }
+
+    #[test]
+    fn fleet_snapshot_namespaces_and_aggregates() {
+        let mut fleet = Fleet::new(small_cfg(2));
+        fleet.enable_telemetry();
+        fleet.start(|_| Box::new(BootProgram::new(BootProfile::tiny(7))));
+        fleet
+            .run_to_all_booted(SimTime::from_secs(3600))
+            .expect("fleet boots");
+        let snap = fleet.fleet_snapshot().expect("telemetry on");
+        // Fabric series keep plain names; members are namespaced; the
+        // aggregate equals the sum of the members.
+        assert!(snap.counter("server.cache.hits") > 0);
+        let m0 = snap.counter("machine.0.aoe.client.reads");
+        let m1 = snap.counter("machine.1.aoe.client.reads");
+        assert!(m0 > 0 && m1 > 0, "per-member reads preserved");
+        assert_eq!(snap.counter("fleet.aoe.client.reads"), m0 + m1);
+        assert_eq!(snap.gauge("fleet.machines_booted"), 2);
+        let startup = snap
+            .histograms
+            .get("fleet.startup_us")
+            .expect("boot histogram");
+        assert_eq!(startup.count(), 2);
+        assert!(startup.min() > 0);
+        // The aggregate view is the same data without the namespaces.
+        let agg = fleet.metrics_snapshot().expect("telemetry on");
+        assert_eq!(agg.counter("aoe.client.reads"), m0 + m1);
+    }
+
+    #[test]
+    fn straggler_attribution_decomposes_the_slowest_decile() {
+        let mut cfg = small_cfg(3);
+        cfg.start_stagger = SimDuration::from_secs(5);
+        let mut fleet = Fleet::new(cfg);
+        fleet.enable_telemetry();
+        fleet.enable_flight_recorder(FlightRecorderConfig::default());
+        fleet.start(|_| Box::new(BootProgram::new(BootProfile::tiny(7))));
+        fleet
+            .run_to_all_booted(SimTime::from_secs(3600))
+            .expect("fleet boots");
+        let report = fleet.straggler_attribution().expect("recorders on");
+        assert_eq!(report.booted, 3);
+        assert_eq!(report.stragglers.len(), 1, "decile of 3 is 1");
+        let worst = &report.stragglers[0];
+        assert!(worst.boot_s > 0.0);
+        assert!(worst.boot_s >= report.median.boot_s, "decile is the slow end");
+        assert!(worst.reads > 0, "attribution counts the straggler's reads");
+        // Fleet members arm deployment at power-on, so initialization
+        // must exclude the admission stagger, not report it as work.
+        assert!(
+            worst.init_s < 1.0,
+            "init must not absorb the stagger offset: {}",
+            worst.init_s
+        );
+        assert!(worst.rtt_total_s > 0.0, "round trips attributed");
+        assert_eq!(
+            worst.peer_reads + worst.origin_reads,
+            worst.reads,
+            "read mix partitions the reads"
+        );
+        // No watchdogs armed, no alerts; quiet boots also keep an armed
+        // engine silent (see fleet_obs_artifacts test for armed runs).
+        assert!(fleet.alerts().is_empty());
+    }
+
+    #[test]
+    fn quiet_boot_keeps_the_watchdogs_silent() {
+        let (_, alerts, _) = obs_run(tiny_cfg(2), 1);
+        assert!(
+            alerts.is_empty(),
+            "default thresholds must not fire on a healthy boot: {alerts:?}"
+        );
+    }
+
+    #[test]
+    #[ignore = "rack scale: run in release (CI parallel-equivalence job)"]
+    fn retransmit_storm_watchdog_fires_without_egress_backpressure() {
+        // The scaleout figure's n=64 p2p point: same geometry, boot
+        // profile, stagger, and peer-aware admission ramp as
+        // ext_scaleout's p2p column.
+        let cfg_at = |cap: Option<SimDuration>| {
+            let mut cfg = small_cfg(64);
+            cfg.start_stagger = SimDuration::from_millis(50);
+            cfg.peer_serving = true;
+            cfg.machine_cfg.moderation.post_boot_sprint = true;
+            cfg.server_cfg.sprint_boost = 8;
+            cfg.admission_base = 8;
+            cfg.admission_per_peer = 8;
+            if let Some(cap) = cap {
+                cfg.egress_queue_cap = cap;
+            }
+            cfg
+        };
+        let run = |cfg: FleetConfig| {
+            let mut fleet = Fleet::new(cfg);
+            fleet.enable_telemetry();
+            fleet.enable_flight_recorder(FlightRecorderConfig::default());
+            fleet.enable_slo(SloConfig::default());
+            let profile = BootProfile::custom("scaleout-boot", 7, 400, 24 << 20, 2000, 24 << 20);
+            fleet.start(move |_| Box::new(BootProgram::new(profile.clone())));
+            fleet
+                .run_to_all_booted(SimTime::from_secs(36_000))
+                .expect("fleet boots");
+            fleet
+                .slo()
+                .expect("armed")
+                .raise_count(simkit::slo::SloRule::RetransmitStorm)
+        };
+        assert_eq!(run(cfg_at(None)), 0, "default config stays silent");
+        // An effectively unbounded egress queue disables backpressure:
+        // replies sit behind a multi-second backlog, RTOs expire, and
+        // the fleet-wide retransmit rate crosses the storm threshold.
+        assert!(
+            run(cfg_at(Some(SimDuration::from_secs(3600)))) > 0,
+            "storm watchdog fires once backpressure is off"
+        );
+    }
+
     #[test]
     fn flight_recorder_exports_one_process_per_machine() {
         let mut fleet = Fleet::new(small_cfg(2));
@@ -3032,3 +3515,4 @@ mod tests {
             .any(|r| r.value("fleet.peers_active").is_some()));
     }
 }
+

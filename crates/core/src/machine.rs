@@ -1793,6 +1793,20 @@ pub fn sample_flight_row(m: &Machine, now: SimTime) {
         .writer_next_allowed
         .saturating_duration_since(now)
         .as_secs_f64();
+    // Peer-vs-origin read mix: share of reads steered to rack-local
+    // serving peers (peer shelves live at PEER_SHELF_BASE and above).
+    let (peer_reads, total_reads) = vmm.client.reads_by_shelf().iter().fold(
+        (0u64, 0u64),
+        |(peer, total), (shelf, n)| {
+            let is_peer = *shelf >= crate::fleet::PEER_SHELF_BASE;
+            (peer + if is_peer { *n } else { 0 }, total + n)
+        },
+    );
+    let peer_share = if total_reads == 0 {
+        0.0
+    } else {
+        peer_reads as f64 / total_reads as f64
+    };
     let fc = m.faults.as_ref().map(|f| f.counters()).unwrap_or_default();
     let faults_total = fc.link_dropped
         + fc.link_duplicated
@@ -1811,6 +1825,7 @@ pub fn sample_flight_row(m: &Machine, now: SimTime) {
             ("bg.fifo_depth", vmm.bg.fifo_depth() as f64),
             ("bg.inflight", vmm.bg.inflight() as f64),
             ("aoe.outstanding", vmm.client.outstanding() as f64),
+            ("aoe.peer_read_share", peer_share),
             ("moderation.guest_io_rate", vmm.bg.guest_io_rate(now)),
             ("moderation.throttle_wait_s", throttle_wait_s),
             ("nic.rx_pending", vmm.nic.nic().rx_pending() as f64),

@@ -30,6 +30,7 @@
 
 use crate::metrics::LogHistogram;
 use crate::sampler::SampleRow;
+use crate::slo::Alert;
 use crate::span::{Span, NO_SPAN};
 use crate::time::SimTime;
 use std::fmt::Write as _;
@@ -245,6 +246,54 @@ pub fn timeline_json(samples: &[SampleRow]) -> String {
     out
 }
 
+/// Renders the SLO alert timeline as a line-oriented JSON document
+/// (`{"alerts": [{"t_s": ..., "rule": ..., "edge": ..., "detail": ...},
+/// ...]}`) — the `fleet_alerts.json` artifact `check_figures.py --obs`
+/// validates. Edge events appear in firing order; deterministic.
+pub fn alerts_json(alerts: &[Alert]) -> String {
+    let mut out = String::from("{\"alerts\": [\n");
+    for (i, a) in alerts.iter().enumerate() {
+        let ns = a.at.as_nanos();
+        let _ = writeln!(
+            out,
+            "  {{\"t_s\": {}.{:09}, \"rule\": \"{}\", \"edge\": \"{}\", \"detail\": \"{}\"}}{}",
+            ns / 1_000_000_000,
+            ns % 1_000_000_000,
+            json_escape(a.rule.name()),
+            if a.raised { "raise" } else { "clear" },
+            json_escape(&a.detail),
+            if i + 1 < alerts.len() { "," } else { "" }
+        );
+    }
+    out.push_str("]}\n");
+    out
+}
+
+/// Renders the SLO alert timeline as aligned human-readable text.
+pub fn alerts_text(alerts: &[Alert]) -> String {
+    let mut out = String::from("fleet alerts\n============\n\n");
+    if alerts.is_empty() {
+        out.push_str("  (none fired)\n");
+        return out;
+    }
+    let width = alerts
+        .iter()
+        .map(|a| a.rule.name().len())
+        .max()
+        .unwrap_or(0);
+    for a in alerts {
+        let _ = writeln!(
+            out,
+            "  [{:>12}] {:<width$}  {:<5}  {}",
+            format!("{}", a.at),
+            a.rule.name(),
+            if a.raised { "RAISE" } else { "clear" },
+            a.detail,
+        );
+    }
+    out
+}
+
 /// Per-phase rows for the deployment report: every span on the
 /// `"phase"` track, in start order, as `(kind, start, end)`.
 fn phase_rows(spans: &[Span]) -> Vec<(&'static str, SimTime, SimTime)> {
@@ -359,7 +408,10 @@ mod tests {
     fn trace_json_has_tracks_spans_and_counters() {
         let rows = vec![SampleRow {
             at: SimTime::from_millis(5),
-            values: vec![("bitmap.fill_pct", 12.5), ("bg.fifo_depth", 3.0)],
+            values: vec![
+                ("bitmap.fill_pct".into(), 12.5),
+                ("bg.fifo_depth".into(), 3.0),
+            ],
         }];
         let json = chrome_trace_json(&sample_spans(), &rows);
         assert!(json.contains("\"ph\": \"M\""), "thread metadata:\n{json}");
@@ -402,11 +454,11 @@ mod tests {
         let rows = vec![
             SampleRow {
                 at: SimTime::ZERO,
-                values: vec![("bitmap.fill_pct", 0.0)],
+                values: vec![("bitmap.fill_pct".into(), 0.0)],
             },
             SampleRow {
                 at: SimTime::from_millis(1500),
-                values: vec![("bitmap.fill_pct", 100.0)],
+                values: vec![("bitmap.fill_pct".into(), 100.0)],
             },
         ];
         let json = timeline_json(&rows);
@@ -438,6 +490,39 @@ mod tests {
         assert!(text.contains("(none recorded)"));
         let json = report_json(&[], &[]);
         assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+
+    #[test]
+    fn alerts_render_in_firing_order() {
+        use crate::slo::SloRule;
+        let alerts = vec![
+            Alert {
+                at: SimTime::from_millis(1500),
+                rule: SloRule::RetransmitStorm,
+                raised: true,
+                detail: "123.000/s > 50.000/s".into(),
+            },
+            Alert {
+                at: SimTime::from_secs(3),
+                rule: SloRule::RetransmitStorm,
+                raised: false,
+                detail: "0.000/s > 50.000/s".into(),
+            },
+        ];
+        let json = alerts_json(&alerts);
+        assert!(json.contains("\"t_s\": 1.500000000"), "{json}");
+        assert!(json.contains("\"rule\": \"retransmit-storm\""), "{json}");
+        assert!(json.contains("\"edge\": \"raise\""), "{json}");
+        assert!(json.contains("\"edge\": \"clear\""), "{json}");
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        let raise = json.find("raise").unwrap();
+        let clear = json.find("clear").unwrap();
+        assert!(raise < clear, "firing order:\n{json}");
+
+        let text = alerts_text(&alerts);
+        assert!(text.contains("RAISE"), "{text}");
+        assert!(text.contains("retransmit-storm"), "{text}");
+        assert!(alerts_text(&[]).contains("(none fired)"));
     }
 
     #[test]

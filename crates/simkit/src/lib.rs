@@ -7,8 +7,9 @@
 //! layer — a sim-timestamped trace ring ([`trace::Tracer`]), a
 //! counter/gauge/histogram registry ([`metrics::Metrics`]), hierarchical
 //! flight-recorder spans ([`span::Spans`]), a periodic timeline sampler
-//! ([`sampler::Sampler`]), and Perfetto/report exporters
-//! ([`export`]) — all zero-cost when disabled.
+//! ([`sampler::Sampler`]), sim-time SLO watchdogs ([`slo::SloEngine`]),
+//! and Perfetto/report exporters ([`export`]) — all zero-cost when
+//! disabled.
 //!
 //! The engine is single-threaded and fully deterministic: events scheduled
 //! at the same instant fire in scheduling order. The paper's "threads"
@@ -38,6 +39,7 @@ pub mod fault;
 pub mod metrics;
 pub mod rng;
 pub mod sampler;
+pub mod slo;
 pub mod span;
 pub mod stats;
 pub mod time;
@@ -47,6 +49,7 @@ pub use fault::{FaultCounters, FaultInjector, FaultPlan, LinkVerdict, ServerHeal
 pub use metrics::{LogHistogram, Metrics, MetricsSnapshot};
 pub use rng::Prng;
 pub use sampler::{SampleRow, Sampler};
+pub use slo::{Alert, SloConfig, SloEngine, SloInput, SloRule};
 pub use span::{Span, SpanId, Spans, NO_SPAN};
 pub use stats::{Counter, Histogram, TimeSeries};
 pub use time::{SimDuration, SimTime};

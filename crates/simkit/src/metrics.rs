@@ -35,6 +35,7 @@
 //! assert!(off.snapshot().is_none());
 //! ```
 
+use std::borrow::Cow;
 use std::sync::Mutex;
 use std::collections::BTreeMap;
 use std::fmt;
@@ -93,6 +94,11 @@ impl LogHistogram {
         self.count
     }
 
+    /// Exact (saturating) sum of all samples.
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
     /// Exact mean of all samples, 0.0 when empty.
     pub fn mean(&self) -> f64 {
         if self.count == 0 {
@@ -138,6 +144,30 @@ impl LogHistogram {
         }
         self.max
     }
+
+    /// Folds `other` into `self`: bucket-wise addition with exact
+    /// count/sum/min/max bookkeeping. Equivalent to having observed both
+    /// sample streams into one histogram, in any order — the operation
+    /// is associative and commutative, so per-machine histograms merge
+    /// into a deterministic fleet aggregate regardless of fold shape
+    /// (the merge-law proptests in `tests/properties.rs` pin this).
+    pub fn merge(&mut self, other: &LogHistogram) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            self.min = other.min;
+            self.max = other.max;
+        } else {
+            self.min = self.min.min(other.min);
+            self.max = self.max.max(other.max);
+        }
+        for (b, o) in self.buckets.iter_mut().zip(&other.buckets) {
+            *b += *o;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+    }
 }
 
 /// The shared store behind enabled [`Metrics`] handles.
@@ -149,14 +179,19 @@ pub struct Registry {
 }
 
 /// A point-in-time copy of the registry, detached from the handles.
+///
+/// Keys are `Cow<'static, str>`: live registries record under
+/// `&'static str` names (borrowed, no allocation), while merged fleet
+/// snapshots carry dynamic namespaced keys (`machine.3.aoe.client.reads`)
+/// as owned strings.
 #[derive(Debug, Clone, Default)]
 pub struct MetricsSnapshot {
     /// Monotonic counters by name.
-    pub counters: BTreeMap<&'static str, u64>,
+    pub counters: BTreeMap<Cow<'static, str>, u64>,
     /// Last-set gauge values by name.
-    pub gauges: BTreeMap<&'static str, i64>,
+    pub gauges: BTreeMap<Cow<'static, str>, i64>,
     /// Log-scale histograms by name.
-    pub histograms: BTreeMap<&'static str, LogHistogram>,
+    pub histograms: BTreeMap<Cow<'static, str>, LogHistogram>,
 }
 
 impl MetricsSnapshot {
@@ -173,6 +208,44 @@ impl MetricsSnapshot {
     /// A histogram by name, if any samples were recorded.
     pub fn histogram(&self, name: &str) -> Option<&LogHistogram> {
         self.histograms.get(name)
+    }
+
+    /// Folds `other` into `self`, key by key: counters and gauges add,
+    /// histograms [`LogHistogram::merge`]. All three operations are
+    /// associative and commutative, so merging N per-machine snapshots
+    /// yields the same aggregate as recording everything into one shared
+    /// registry — for counters and histograms exactly (increments and
+    /// observations commute), and for gauges under the summation
+    /// convention (a fleet's "queue depth" gauges add; a shared registry
+    /// would instead keep one member's last write, which is meaningless
+    /// across machines).
+    pub fn merge(&mut self, other: &MetricsSnapshot) {
+        for (name, v) in &other.counters {
+            *self.counters.entry(name.clone()).or_insert(0) += v;
+        }
+        for (name, v) in &other.gauges {
+            *self.gauges.entry(name.clone()).or_insert(0) += v;
+        }
+        for (name, h) in &other.histograms {
+            self.histograms.entry(name.clone()).or_default().merge(h);
+        }
+    }
+
+    /// A copy of the snapshot with `prefix` prepended to every key —
+    /// the namespacing step of a fleet fold (`machine.{i}.` per member),
+    /// keeping per-member detail and aggregate totals disjoint in one
+    /// merged snapshot.
+    pub fn namespaced(&self, prefix: &str) -> MetricsSnapshot {
+        let key = |name: &Cow<'static, str>| Cow::Owned(format!("{prefix}{name}"));
+        MetricsSnapshot {
+            counters: self.counters.iter().map(|(n, v)| (key(n), *v)).collect(),
+            gauges: self.gauges.iter().map(|(n, v)| (key(n), *v)).collect(),
+            histograms: self
+                .histograms
+                .iter()
+                .map(|(n, h)| (key(n), h.clone()))
+                .collect(),
+        }
     }
 
     /// Renders the snapshot as JSON (hand-rolled — the workspace carries
@@ -325,9 +398,21 @@ impl Metrics {
         self.0.as_ref().map(|r| {
             let reg = r.lock().unwrap();
             MetricsSnapshot {
-                counters: reg.counters.clone(),
-                gauges: reg.gauges.clone(),
-                histograms: reg.histograms.clone(),
+                counters: reg
+                    .counters
+                    .iter()
+                    .map(|(&n, &v)| (Cow::Borrowed(n), v))
+                    .collect(),
+                gauges: reg
+                    .gauges
+                    .iter()
+                    .map(|(&n, &v)| (Cow::Borrowed(n), v))
+                    .collect(),
+                histograms: reg
+                    .histograms
+                    .iter()
+                    .map(|(&n, h)| (Cow::Borrowed(n), h.clone()))
+                    .collect(),
             }
         })
     }
@@ -433,6 +518,71 @@ mod tests {
         // Out-of-range q is clamped, not UB.
         assert_eq!(h.quantile(2.0), u64::MAX);
         assert_eq!(h.quantile(-1.0), u64::MAX);
+    }
+
+    #[test]
+    fn histogram_merge_equals_observing_both_streams() {
+        let mut a = LogHistogram::new();
+        let mut b = LogHistogram::new();
+        let mut both = LogHistogram::new();
+        for v in [1u64, 7, 300] {
+            a.observe(v);
+            both.observe(v);
+        }
+        for v in [0u64, 9000, 2] {
+            b.observe(v);
+            both.observe(v);
+        }
+        a.merge(&b);
+        assert_eq!(a, both);
+        // Merging an empty side is the identity, both ways.
+        let empty = LogHistogram::new();
+        let mut c = both.clone();
+        c.merge(&empty);
+        assert_eq!(c, both);
+        let mut d = LogHistogram::new();
+        d.merge(&both);
+        assert_eq!(d, both);
+    }
+
+    #[test]
+    fn snapshot_merge_adds_counters_gauges_and_histograms() {
+        let a = Metrics::enabled();
+        a.add("reads", 3);
+        a.gauge_set("depth", 2);
+        a.observe("lat", 10);
+        let b = Metrics::enabled();
+        b.add("reads", 4);
+        b.add("writes", 1);
+        b.gauge_set("depth", 5);
+        b.observe("lat", 1000);
+        let mut merged = a.snapshot().unwrap();
+        merged.merge(&b.snapshot().unwrap());
+        assert_eq!(merged.counter("reads"), 7);
+        assert_eq!(merged.counter("writes"), 1);
+        assert_eq!(merged.gauge("depth"), 7, "gauges merge by summation");
+        let h = merged.histogram("lat").unwrap();
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.min(), 10);
+        assert_eq!(h.max(), 1000);
+    }
+
+    #[test]
+    fn namespaced_snapshot_prefixes_every_key() {
+        let m = Metrics::enabled();
+        m.inc("reads");
+        m.gauge_set("depth", 4);
+        m.observe("lat", 8);
+        let ns = m.snapshot().unwrap().namespaced("machine.3.");
+        assert_eq!(ns.counter("machine.3.reads"), 1);
+        assert_eq!(ns.counter("reads"), 0);
+        assert_eq!(ns.gauge("machine.3.depth"), 4);
+        assert!(ns.histogram("machine.3.lat").is_some());
+        // Disjoint prefixes merge without collisions.
+        let mut fleet = ns.clone();
+        fleet.merge(&m.snapshot().unwrap().namespaced("machine.10."));
+        assert_eq!(fleet.counter("machine.3.reads"), 1);
+        assert_eq!(fleet.counter("machine.10.reads"), 1);
     }
 
     #[test]

@@ -31,17 +31,22 @@
 //! ```
 
 use crate::time::{SimDuration, SimTime};
+use std::borrow::Cow;
 use std::sync::Mutex;
 use std::fmt;
 use std::sync::Arc;
 
 /// One timeline row: a sim-timestamp and named values.
+///
+/// Series names are `Cow<'static, str>` so per-machine drivers can emit
+/// static keys for free while fleet-level drivers build dynamic keys
+/// (`machine.3.fill_pct`) without a leak or a registry.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SampleRow {
     /// Virtual time the row was sampled.
     pub at: SimTime,
     /// `(series name, value)` pairs, in the driver's emission order.
-    pub values: Vec<(&'static str, f64)>,
+    pub values: Vec<(Cow<'static, str>, f64)>,
 }
 
 impl SampleRow {
@@ -49,7 +54,7 @@ impl SampleRow {
     pub fn value(&self, name: &str) -> Option<f64> {
         self.values
             .iter()
-            .find(|(n, _)| *n == name)
+            .find(|(n, _)| n.as_ref() == name)
             .map(|(_, v)| *v)
     }
 }
@@ -113,10 +118,15 @@ impl Sampler {
     }
 
     /// Appends one timeline row.
-    pub fn record_row(&self, at: SimTime, values: Vec<(&'static str, f64)>) {
-        if let Some(s) = &self.0 {
-            s.lock().unwrap().rows.push(SampleRow { at, values });
-        }
+    ///
+    /// Keys are anything convertible to `Cow<'static, str>`: `&'static
+    /// str` (the common per-machine case, no allocation) or `String`
+    /// (dynamic fleet keys). On a disabled handle this returns before
+    /// converting any key, so the fast path stays one branch.
+    pub fn record_row<K: Into<Cow<'static, str>>>(&self, at: SimTime, values: Vec<(K, f64)>) {
+        let Some(s) = &self.0 else { return };
+        let values = values.into_iter().map(|(k, v)| (k.into(), v)).collect();
+        s.lock().unwrap().rows.push(SampleRow { at, values });
     }
 
     /// All rows, in record order (empty when disabled).
@@ -193,5 +203,15 @@ mod tests {
     #[should_panic(expected = "interval")]
     fn zero_interval_panics() {
         Sampler::enabled(SimDuration::ZERO);
+    }
+
+    #[test]
+    fn dynamic_string_keys_are_accepted() {
+        let s = Sampler::enabled(SimDuration::from_millis(1));
+        s.record_row(
+            SimTime::ZERO,
+            vec![(format!("machine.{}.fill_pct", 3), 42.0)],
+        );
+        assert_eq!(s.last_value("machine.3.fill_pct"), Some(42.0));
     }
 }

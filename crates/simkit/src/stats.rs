@@ -123,6 +123,11 @@ impl Histogram {
     }
 
     /// Merges another histogram's samples into this one.
+    ///
+    /// Samples are concatenated, so the internal order depends on merge
+    /// order — but every query (`percentile`, `mean`, `min`, `max`)
+    /// sorts or folds over the full set, so merged histograms answer
+    /// identically regardless of the order the parts arrived in.
     pub fn merge(&mut self, other: &Histogram) {
         self.samples.extend_from_slice(&other.samples);
         self.sum += other.sum;
@@ -384,5 +389,61 @@ mod tests {
         assert_eq!(c.value(), 10);
         assert_eq!(c.rate_per_sec(SimTime::from_secs(5)), 2.0);
         assert_eq!(c.rate_per_sec(SimTime::ZERO), 0.0);
+    }
+
+    // Zero-duration / degenerate-input behavior is part of the public
+    // contract the fleet observability plane builds on; the tests below
+    // pin it so a refactor can't silently change the convention.
+
+    #[test]
+    fn single_sample_percentile_is_that_sample_at_every_p() {
+        let mut h = Histogram::new();
+        h.record(7.5);
+        assert_eq!(h.percentile(0.0), 7.5);
+        assert_eq!(h.percentile(50.0), 7.5);
+        assert_eq!(h.percentile(99.0), 7.5);
+        assert_eq!(h.percentile(100.0), 7.5);
+        assert_eq!(h.min(), 7.5);
+        assert_eq!(h.max(), 7.5);
+        assert_eq!(h.std_dev(), 0.0, "one sample has no spread");
+    }
+
+    #[test]
+    fn empty_histogram_min_is_zero() {
+        let h = Histogram::new();
+        assert_eq!(h.min(), 0.0);
+        assert_eq!(h.std_dev(), 0.0);
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity_both_ways() {
+        let mut a = Histogram::new();
+        a.record(2.0);
+        let empty = Histogram::new();
+        a.merge(&empty);
+        assert_eq!(a.len(), 1);
+        assert_eq!(a.percentile(50.0), 2.0);
+
+        let mut b = Histogram::new();
+        b.merge(&a);
+        assert_eq!(b.len(), 1);
+        assert_eq!(b.mean(), 2.0);
+    }
+
+    #[test]
+    fn counter_rate_at_zero_elapsed_is_zero_even_with_events() {
+        let mut c = Counter::new();
+        c.add(1_000_000);
+        // A counter that already has events at t=0 must not report an
+        // infinite or NaN rate: the convention is 0.0 until time moves.
+        assert_eq!(c.rate_per_sec(SimTime::ZERO), 0.0);
+        let tiny = c.rate_per_sec(SimTime::from_nanos(1));
+        assert!(tiny.is_finite());
+    }
+
+    #[test]
+    fn zero_counter_rate_is_zero_at_any_time() {
+        let c = Counter::new();
+        assert_eq!(c.rate_per_sec(SimTime::from_secs(100)), 0.0);
     }
 }

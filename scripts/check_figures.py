@@ -47,12 +47,24 @@ park and restore all its members; every survivability row must survive
 its fault plan with the plan's fault class actually firing; the chaos
 double run and every engine-equivalence cell must be byte-identical.
 
+With `--obs`, validates a fleet observability artifact directory
+(`reproduce --scaleout --fleet-obs DIR` writes `DIR/scaleout`,
+`--elasticity --fleet-obs DIR` writes `DIR/elasticity`): all seven
+artifact files must be present; the merged snapshot must carry
+`machine.{i}.`-namespaced member series whose sum equals the `fleet.`
+aggregate; the alert timeline must use known rule names with a raise
+preceding every clear; the straggler report's decile must sit at or
+above the fleet median with a consistent peer/origin read split; the
+Perfetto trace must be non-empty; and `obs_digest.json` must match the
+FNV-1a64 digest of every artifact body, recomputed here.
+
 Usage: scripts/check_figures.py BENCH_reproduce.json reproduce_output.txt
        scripts/check_figures.py --faults BENCH_reproduce.json
        scripts/check_figures.py --trace TRACE_DIR
        scripts/check_figures.py --scaleout BENCH_scaleout.json
        scripts/check_figures.py --parallel BENCH_parallel.json
        scripts/check_figures.py --elasticity BENCH_elasticity.json
+       scripts/check_figures.py --obs OBS_DIR
 """
 
 import json
@@ -439,6 +451,139 @@ def check_elasticity(bench_path):
         sys.exit(1)
 
 
+OBS_ARTIFACTS = (
+    "fleet_snapshot.json",
+    "fleet_alerts.json",
+    "fleet_alerts.txt",
+    "straggler_report.json",
+    "straggler_report.txt",
+    "fleet_trace.json",
+)
+
+OBS_RULES = ("retransmit-storm", "cache-collapse", "stalled-member",
+             "boot-budget")
+
+
+def fnv1a64(data):
+    """FNV-1a 64-bit, matching the Rust side's digest of artifact bytes."""
+    h = 0xCBF29CE484222325
+    for b in data:
+        h ^= b
+        h = (h * 0x100000001B3) & 0xFFFFFFFFFFFFFFFF
+    return h
+
+
+def check_obs(obs_dir):
+    """Validate a fleet observability artifact directory (--fleet-obs)."""
+    import os
+
+    failed = False
+    missing = [n for n in OBS_ARTIFACTS + ("obs_digest.json",)
+               if not os.path.isfile(os.path.join(obs_dir, n))]
+    if missing:
+        print(f"FAIL files: missing {missing} in {obs_dir}")
+        sys.exit(1)
+    print(f"ok   files: all {len(OBS_ARTIFACTS) + 1} artifacts present")
+
+    with open(os.path.join(obs_dir, "fleet_snapshot.json"),
+              encoding="utf-8") as f:
+        snap = json.load(f)
+    counters = snap["counters"]
+    member_reads = {}
+    for name, v in counters.items():
+        m = re.match(r"machine\.(\d+)\.aoe\.client\.reads$", name)
+        if m:
+            member_reads[int(m.group(1))] = v
+    if not member_reads:
+        print("FAIL snapshot: no machine.{i}.aoe.client.reads counters")
+        failed = True
+    fleet_reads = counters.get("fleet.aoe.client.reads")
+    if fleet_reads != sum(member_reads.values()):
+        print(f"FAIL snapshot: fleet.aoe.client.reads {fleet_reads}"
+              f" != member sum {sum(member_reads.values())}")
+        failed = True
+    booted = snap["gauges"].get("fleet.machines_booted", 0)
+    if booted <= 0:
+        print(f"FAIL snapshot: fleet.machines_booted is {booted}")
+        failed = True
+    if not failed:
+        print(f"ok   snapshot: {len(member_reads)} members namespaced,"
+              f" fleet aggregate consistent, {booted} booted")
+
+    with open(os.path.join(obs_dir, "fleet_alerts.json"),
+              encoding="utf-8") as f:
+        alerts = json.load(f)["alerts"]
+    raised = {}
+    for i, a in enumerate(alerts):
+        if a["rule"] not in OBS_RULES:
+            print(f"FAIL alerts[{i}]: unknown rule {a['rule']!r}")
+            failed = True
+        if a["edge"] == "raise":
+            raised[a["rule"]] = raised.get(a["rule"], 0) + 1
+        elif a["edge"] == "clear":
+            if raised.get(a["rule"], 0) <= 0:
+                print(f"FAIL alerts[{i}]: {a['rule']} cleared before raise")
+                failed = True
+            else:
+                raised[a["rule"]] -= 1
+        else:
+            print(f"FAIL alerts[{i}]: unknown edge {a['edge']!r}")
+            failed = True
+    print(f"ok   alerts: {len(alerts)} edges, raise-before-clear holds")
+
+    with open(os.path.join(obs_dir, "straggler_report.json"),
+              encoding="utf-8") as f:
+        report = json.load(f)
+    if report["booted"] <= 0 or not report["stragglers"]:
+        print(f"FAIL stragglers: booted {report['booted']},"
+              f" {len(report['stragglers'])} rows")
+        failed = True
+    median = report["median"]["boot_s"]
+    for r in report["stragglers"]:
+        if r["boot_s"] < median:
+            print(f"FAIL stragglers: machine {r['machine']} boot"
+                  f" {r['boot_s']:.3f}s below median {median:.3f}s")
+            failed = True
+        if r["peer_reads"] + r["origin_reads"] != r["reads"]:
+            print(f"FAIL stragglers: machine {r['machine']} read mix"
+                  f" {r['peer_reads']}+{r['origin_reads']} != {r['reads']}")
+            failed = True
+    if not failed:
+        print(f"ok   stragglers: {len(report['stragglers'])} of"
+              f" {report['booted']} decomposed, slowest"
+              f" {max(r['boot_s'] for r in report['stragglers']):.2f}s"
+              f" vs median {median:.2f}s")
+
+    with open(os.path.join(obs_dir, "fleet_trace.json"),
+              encoding="utf-8") as f:
+        events = json.load(f)["traceEvents"]
+    if not events:
+        print("FAIL fleet_trace.json: empty traceEvents")
+        failed = True
+    else:
+        print(f"ok   fleet_trace.json: {len(events)} events")
+
+    with open(os.path.join(obs_dir, "obs_digest.json"),
+              encoding="utf-8") as f:
+        digests = json.load(f)["artifacts"]
+    for name in OBS_ARTIFACTS:
+        with open(os.path.join(obs_dir, name), "rb") as f:
+            got = f"{fnv1a64(f.read()):016x}"
+        want = digests.get(name)
+        if got != want:
+            print(f"FAIL digest {name}: recorded {want}, recomputed {got}")
+            failed = True
+    if set(digests) != set(OBS_ARTIFACTS):
+        print(f"FAIL digest: covers {sorted(digests)},"
+              f" expected {sorted(OBS_ARTIFACTS)}")
+        failed = True
+    if not failed:
+        print(f"ok   digest: {len(digests)} artifacts match recomputation")
+
+    if failed:
+        sys.exit(1)
+
+
 def main():
     if len(sys.argv) == 3 and sys.argv[1] == "--faults":
         check_faults(sys.argv[2])
@@ -454,6 +599,9 @@ def main():
         return
     if len(sys.argv) == 3 and sys.argv[1] == "--elasticity":
         check_elasticity(sys.argv[2])
+        return
+    if len(sys.argv) == 3 and sys.argv[1] == "--obs":
+        check_obs(sys.argv[2])
         return
     if len(sys.argv) != 3 or sys.argv[1].startswith("--"):
         sys.exit("\n".join(__doc__.strip().splitlines()[-2:]))

@@ -395,3 +395,99 @@ proptest! {
         }
     }
 }
+
+// ---------------------- telemetry merge laws -----------------------
+
+use bmcast_repro::simkit::{LogHistogram, Metrics};
+
+/// One synthetic machine's telemetry stream: counter adds and
+/// histogram observations.
+fn drive(metrics: &Metrics, stream: &[(u8, u64)]) {
+    for &(kind, v) in stream {
+        match kind % 3 {
+            0 => metrics.add("events", v % 1000),
+            1 => metrics.observe("latency_us", v),
+            _ => metrics.observe("bytes", v % (1 << 40)),
+        }
+    }
+}
+
+proptest! {
+    /// `LogHistogram::merge` is associative and commutative, and a
+    /// merge of independently-observed parts answers every query
+    /// exactly like one histogram that observed the concatenated
+    /// stream.
+    #[test]
+    fn log_histogram_merge_is_a_monoid_fold(
+        a in proptest::collection::vec(any::<u64>(), 0..200),
+        b in proptest::collection::vec(any::<u64>(), 0..200),
+        c in proptest::collection::vec(any::<u64>(), 0..200),
+    ) {
+        let of = |vals: &[u64]| {
+            let mut h = LogHistogram::new();
+            for &v in vals {
+                h.observe(v);
+            }
+            h
+        };
+        let (ha, hb, hc) = (of(&a), of(&b), of(&c));
+
+        // (a ⊕ b) ⊕ c == a ⊕ (b ⊕ c)
+        let mut left = ha.clone();
+        left.merge(&hb);
+        left.merge(&hc);
+        let mut right_tail = hb.clone();
+        right_tail.merge(&hc);
+        let mut right = ha.clone();
+        right.merge(&right_tail);
+        prop_assert_eq!(&left, &right, "associativity");
+
+        // a ⊕ b == b ⊕ a
+        let mut ab = ha.clone();
+        ab.merge(&hb);
+        let mut ba = hb.clone();
+        ba.merge(&ha);
+        prop_assert_eq!(&ab, &ba, "commutativity");
+
+        // Merged parts == one observer of the whole stream.
+        let whole: Vec<u64> = a.iter().chain(&b).chain(&c).copied().collect();
+        let hw = of(&whole);
+        prop_assert_eq!(&left, &hw, "concatenation equivalence");
+        prop_assert_eq!(left.count(), hw.count());
+        prop_assert_eq!(left.min(), hw.min());
+        prop_assert_eq!(left.max(), hw.max());
+        for q in [0.0, 0.5, 0.9, 0.99, 1.0] {
+            prop_assert_eq!(left.quantile(q), hw.quantile(q), "q={}", q);
+        }
+    }
+
+    /// Merging N machines' individually-recorded snapshots equals one
+    /// registry that observed every machine's stream — the law that
+    /// makes `Fleet::fleet_snapshot`'s aggregate honest.
+    #[test]
+    fn snapshot_merge_equals_shared_observation(
+        streams in proptest::collection::vec(
+            proptest::collection::vec((any::<u8>(), any::<u64>()), 0..60),
+            1..6,
+        ),
+    ) {
+        let shared = Metrics::enabled();
+        let mut merged = None;
+        for stream in &streams {
+            let own = Metrics::enabled();
+            drive(&own, stream);
+            drive(&shared, stream);
+            let snap = own.snapshot().unwrap();
+            match &mut merged {
+                None => merged = Some(snap),
+                Some(m) => m.merge(&snap),
+            }
+        }
+        let merged = merged.unwrap();
+        let expected = shared.snapshot().unwrap();
+        prop_assert_eq!(&merged.counters, &expected.counters);
+        prop_assert_eq!(&merged.histograms, &expected.histograms);
+        // Byte-for-byte: the exported artifact agrees too.
+        prop_assert_eq!(merged.to_json(), expected.to_json());
+    }
+}
